@@ -1,0 +1,87 @@
+"""Experiment C-BRG — the RIVET <-> RECAST bridge deliverable.
+
+Paper claim: "A DASPOS project to connect RECAST with the RIVET
+framework is underway. This will significantly broaden the capabilities
+of both systems." The bench runs the same preserved search through the
+bridge and measures the capability union: a RIVET analysis acquires
+limit setting; RECAST acquires a light, open back end.
+"""
+
+from repro.datamodel import AndCut, CountCut, MassWindowCut, SkimSpec
+from repro.recast import (
+    AnalysisCatalog,
+    ModelSpec,
+    PreservedSearch,
+    RecastAPI,
+    RecastFrontend,
+    RivetBridgeBackend,
+)
+from repro.recast.bridge import RivetSignalRegion
+from repro.rivet import standard_repository
+
+
+def _search():
+    selection = SkimSpec("highmass", AndCut((
+        CountCut("muons", 2, min_pt=30.0),
+        MassWindowCut("muons", 500.0, 1e9, opposite_charge=True),
+    )))
+    return PreservedSearch(
+        analysis_id="GPD-EXO-2013-01", title="High-mass dimuon search",
+        experiment="GPD", selection=selection, n_observed=3,
+        background=2.5, background_uncertainty=0.6,
+        luminosity_ipb=20000.0,
+    )
+
+
+def test_bridge_serves_recast_requests(benchmark, emit):
+    """A RIVET analysis plugged in as a first-class RECAST back end."""
+    repository = standard_repository()
+    catalog = AnalysisCatalog("GPD")
+    catalog.register(_search())
+    api = RecastAPI()
+    api.register_experiment(catalog, RivetBridgeBackend(
+        repository,
+        signal_regions={"GPD-EXO-2013-01": RivetSignalRegion(
+            "TOY_2013_I0007", "mass", 500.0, 3000.0)},
+        n_events=600, n_limit_toys=1500, seed=3500,
+    ))
+    frontend = RecastFrontend(api)
+
+    def round_trip():
+        request_id = frontend.submit_request(
+            "GPD-EXO-2013-01",
+            ModelSpec("Zp-1.5TeV", "zprime",
+                      {"mass": 1500.0, "cross_section_pb": 0.05}),
+            "theorist",
+        )
+        api.accept(request_id)
+        api.run(request_id)
+        api.approve(request_id, "coordinator")
+        return frontend.result(request_id)
+
+    result = benchmark.pedantic(round_trip, rounds=1, iterations=1)
+
+    # The bridged analysis produced a real limit through the full
+    # RECAST control flow — the capability union the paper anticipates.
+    assert result is not None
+    assert result["backend"] == "rivet-bridge"
+    assert result["extra"]["truth_level_only"] is True
+    assert result["signal_efficiency"] > 0.5
+    assert result["upper_limit_pb"] < 0.01
+    assert result["excluded"] is True
+
+    lines = [
+        "RIVET <-> RECAST bridge (the DASPOS deliverable)",
+        "",
+        f"RIVET analysis used:   {result['extra']['rivet_analysis']}",
+        f"served as back end:    {result['backend']}",
+        f"signal efficiency:     {result['signal_efficiency']:.3f} "
+        f"(truth level)",
+        f"95% CL upper limit:    {result['upper_limit_pb']:.3e} pb",
+        f"model excluded:        {result['excluded']}",
+        "",
+        "Capability union achieved: the RIVET analysis gained CLs "
+        "limit setting and the approval-gated RECAST control flow; "
+        "RECAST gained a light-footprint open back end.",
+    ]
+    emit("bridge", "\n".join(lines))

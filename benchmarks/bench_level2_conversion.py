@@ -1,0 +1,82 @@
+"""Experiment C-L2C — the thin AOD -> Level-2 converter (Section 2.1).
+
+Paper artifact: the Finland/CMS-open-data architecture — "a thin layer
+of software will convert data in a relatively low-level format (called
+AOD) ... into a simplified representation that can be used for further
+analysis or visualization". The bench measures converter throughput,
+the size reduction, and that the output genuinely serves both uses
+(portal analysis and event display).
+"""
+
+from repro.conditions import default_conditions
+from repro.datamodel import make_aod
+from repro.detector import DetectorSimulation, Digitizer
+from repro.generation import DrellYanZ, GeneratorConfig, ToyGenerator
+from repro.outreach import (
+    EventDisplayRecord,
+    Level2Converter,
+    OutreachPortal,
+)
+from repro.reconstruction import GlobalTagView, Reconstructor
+
+N_EVENTS = 250
+
+
+def _make_aods(geometry, conditions):
+    generator = ToyGenerator(GeneratorConfig(
+        processes=[DrellYanZ()], seed=3900))
+    simulation = DetectorSimulation(geometry, seed=3901)
+    digitizer = Digitizer(geometry, run_number=42, seed=3902)
+    reconstructor = Reconstructor(
+        geometry, GlobalTagView(conditions, "GT-FINAL"))
+    aods = []
+    for event in generator.stream(N_EVENTS):
+        reco = reconstructor.reconstruct(
+            digitizer.digitize(simulation.simulate(event)))
+        aods.append(make_aod(reco))
+    return aods
+
+
+def test_converter_throughput_and_usability(benchmark, emit,
+                                            gpd_geometry,
+                                            conditions_store):
+    aods = _make_aods(gpd_geometry, conditions_store)
+
+    level2 = benchmark(
+        lambda: Level2Converter(collision_energy_tev=8.0).convert_many(
+            aods
+        )
+    )
+
+    # Volume accounting from one clean pass (the benchmark loop above
+    # re-runs the conversion many times for timing).
+    converter = Level2Converter(collision_energy_tev=8.0)
+    converter.convert_many(aods)
+    stats = converter.stats
+    # The thin layer reduces volume (AOD -> simplified).
+    assert stats.reduction_factor > 1.0
+    # Usability for analysis: the portal recovers the Z peak.
+    portal = OutreachPortal(level2, "converted")
+    histogram = portal.histogram("dimuon_mass", 30, 60.0, 120.0)
+    assert histogram.integral() > 20
+    assert abs(histogram.mean() - 91.2) < 3.0
+    # Usability for visualisation: a standalone display record builds.
+    record = EventDisplayRecord.build(gpd_geometry, level2[0])
+    assert record.to_dict()["format"] == "repro-event-display"
+
+    per_event_output = stats.output_bytes / stats.n_events
+    lines = [
+        "Level-2 conversion (thin layer, 250 Z->mumu AOD events)",
+        "",
+        f"input volume:       {stats.input_bytes} bytes",
+        f"output volume:      {stats.output_bytes} bytes "
+        f"({per_event_output:.0f} B/event)",
+        f"size reduction:     {stats.reduction_factor:.2f}x",
+        f"dimuon peak (portal histogram): {histogram.mean():.2f} GeV",
+        "display record:     builds standalone (geometry + payload)",
+        "",
+        "Paper: one simplified format serves 'further analysis or "
+        "visualization using an event display that consumes this "
+        "simplified format'.",
+    ]
+    emit("level2_conversion", "\n".join(lines))

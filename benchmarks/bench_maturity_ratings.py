@@ -1,0 +1,55 @@
+"""Experiments A-F5 / A-D6 / A-E8 — the Appendix A maturity rubrics.
+
+Paper artifacts: the three embedded 1-5 rubric tables (data management &
+disaster recovery Q5F, data description Q6D, preservation Q8E). The
+bench regenerates the rubric rows verbatim from the library and computes
+each experiment's rating from its interview evidence ladder.
+"""
+
+from repro.experiments import all_experiments
+from repro.interview import all_scales, assess_experiment
+from repro.interview.report import maturity_table, render_maturity_table
+
+
+def _build_maturity():
+    experiments = all_experiments()
+    table = maturity_table(experiments)
+    rendered = render_maturity_table(experiments)
+    return experiments, table, rendered
+
+
+def test_maturity_rubrics_and_ratings(benchmark, emit):
+    experiments, table, rendered = benchmark(_build_maturity)
+
+    # All four scales with their five rubric levels are reproduced.
+    assert set(table["scales"]) == {"5F", "6D", "8E", "9F"}
+    for scale in all_scales():
+        levels = table["scales"][scale.scale_id]["levels"]
+        assert len(levels) == 5
+        assert all(len(level) > 10 for level in levels)
+
+    # Ratings are 1-5 and follow the evidence ladder deterministically.
+    for profile in experiments:
+        ratings = table["ratings"][profile.name]
+        assert ratings == assess_experiment(profile)
+        assert all(1 <= value <= 5 for value in ratings.values())
+
+    # Shape expectations: the dedicated BaBar preservation project
+    # scores highest on preservation; CMS (approved open-data policy,
+    # published format specs) leads the LHC pack on description.
+    preservation = {name: r["8E"] for name, r in
+                    table["ratings"].items()}
+    assert preservation["BaBar"] == max(preservation.values())
+    description = {name: r["6D"] for name, r in
+                   table["ratings"].items()}
+    assert description["CMS"] == max(description.values())
+
+    lines = [rendered, ""]
+    for scale in all_scales():
+        lines.append(f"Rubric {scale.scale_id} — {scale.title}:")
+        for level, text in enumerate(
+            table["scales"][scale.scale_id]["levels"], start=1
+        ):
+            lines.append(f"  {level}: {text}")
+        lines.append("")
+    emit("maturity_ratings", "\n".join(lines))

@@ -1,0 +1,169 @@
+"""Experiment C-ARC — archive use cases and migration survival.
+
+Paper artifacts regenerated:
+
+1. the HepData heterogeneous-payload use case ("an ATLAS search analysis
+   with a very large amount of information uploaded to the HepData
+   repository"),
+2. the validation use case ("The analysis can be re-run at any time.
+   The outputs could be used, for example, for validation purposes"),
+3. the migration-cost discussion: preserved analyses are re-validated
+   after a set of platform migrations; lossy migrations are *detected*.
+"""
+
+import numpy as np
+
+from repro.core import (
+    DropAuxiliaryMigration,
+    FieldRenameMigration,
+    LosslessMigration,
+    PrecisionLossMigration,
+    PreservedAnalysisBundle,
+    apply_migration,
+    revalidate,
+)
+from repro.conditions import default_conditions
+from repro.datamodel import (
+    AndCut,
+    CountCut,
+    MassWindowCut,
+    SkimSpec,
+    SlimSpec,
+    make_aod,
+)
+from repro.detector import DetectorSimulation, Digitizer
+from repro.generation import DrellYanZ, GeneratorConfig, ToyGenerator
+from repro.hepdata import DataTable, HepDataArchive, HepDataRecord, Reaction
+from repro.hepdata.query import find_with_auxiliary_format
+from repro.reconstruction import GlobalTagView, Reconstructor
+from repro.stats import EfficiencyGrid, Histogram1D
+
+
+def _make_bundle(geometry, conditions):
+    generator = ToyGenerator(GeneratorConfig(
+        processes=[DrellYanZ()], seed=4000))
+    simulation = DetectorSimulation(geometry, seed=4001)
+    digitizer = Digitizer(geometry, run_number=42, seed=4002)
+    reconstructor = Reconstructor(
+        geometry, GlobalTagView(conditions, "GT-FINAL"))
+    aods = []
+    for event in generator.stream(120):
+        reco = reconstructor.reconstruct(
+            digitizer.digitize(simulation.simulate(event)))
+        aods.append(make_aod(reco))
+    skim = SkimSpec("zskim", AndCut((
+        CountCut("muons", 2, min_pt=15.0),
+        MassWindowCut("muons", 60.0, 120.0, opposite_charge=True),
+    )))
+    slim = SlimSpec("zslim", ("dimuon_mass", "met"))
+    return PreservedAnalysisBundle.create("Z-2013", aods, skim, slim)
+
+
+def test_hepdata_search_payload(benchmark, emit):
+    """The large, heterogeneous search upload the paper describes."""
+    def build_and_query():
+        archive = HepDataArchive("durham")
+        record = HepDataRecord(
+            record_id="ins9001",
+            title="Search for supersymmetry in jets + MET",
+            experiment="GPD", keywords=("search", "SUSY"),
+        )
+        record.reactions.append(Reaction("P P", "SQUARK SQUARK X",
+                                         8000.0))
+        rng = np.random.default_rng(7)
+        spectrum = Histogram1D("meff", 20, 0.0, 2000.0)
+        spectrum.fill_array(rng.exponential(400.0, 2000))
+        record.add_table(DataTable.from_histogram(
+            "Table 1", spectrum, "m_eff", "GeV", "events", ""))
+        grid = EfficiencyGrid("acceptance", list(range(0, 2001, 50)),
+                              list(range(0, 1001, 50)),
+                              x_label="m(squark)", y_label="m(LSP)")
+        for m1 in range(25, 2000, 50):
+            for m2 in range(25, min(m1, 1000), 50):
+                for trial in range(20):
+                    grid.record(m1, m2, trial < 12)
+        record.add_auxiliary("acceptance_grid", grid.to_dict())
+        record.add_auxiliary("cutflow", {
+            "format": "repro-cutflow",
+            "rows": [["all", 10000], ["4 jets", 3000],
+                     ["MET > 160", 400], ["m_eff > 800", 25]],
+        })
+        archive.submit(record)
+        matches = find_with_auxiliary_format(archive,
+                                             "efficiency_grid")
+        return archive, record, matches
+
+    archive, record, matches = benchmark(build_and_query)
+    # The archive absorbed the heterogeneous payload and can find it;
+    # the payload dwarfs a plain cross-section table (~hundreds of B).
+    assert record.payload_size_bytes() > 5_000
+    assert [m.record_id for m in matches] == ["ins9001"]
+    grid = EfficiencyGrid.from_dict(
+        archive.get("ins9001").auxiliary["acceptance_grid"])
+    assert grid.efficiency(425.0, 225.0) == 0.6
+
+    emit("hepdata_search_payload", "\n".join([
+        "HepData heterogeneous search payload",
+        "",
+        f"record: {record.record_id} ({record.title})",
+        f"payload size: {record.payload_size_bytes()} bytes",
+        f"tables: {[t.name for t in record.tables]}",
+        f"auxiliary payloads: {sorted(record.auxiliary)}",
+        "query by auxiliary format 'efficiency_grid': "
+        f"{[m.record_id for m in matches]}",
+        "",
+        "Paper: 'HepData can accept data in many formats ... it can "
+        "accommodate the sorts of information needed to replicate a "
+        "new particle search'.",
+    ]))
+
+
+def test_migration_survival_matrix(benchmark, emit, gpd_geometry,
+                                   conditions_store):
+    bundle = _make_bundle(gpd_geometry, conditions_store)
+    migrations = [
+        LosslessMigration(),
+        PrecisionLossMigration(digits=6),
+        PrecisionLossMigration(digits=3),
+        FieldRenameMigration("dimuon_mass", "m_mumu"),
+        DropAuxiliaryMigration(keep_fraction=0.8),
+    ]
+
+    def run_matrix():
+        outcomes = []
+        for migration in migrations:
+            migrated = apply_migration(bundle, migration)
+            outcomes.append((migration, revalidate(migrated)))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    # Lossless survives; every lossy migration is *detected*.
+    assert len(outcomes) == 5
+    assert outcomes[0][1].passed
+    assert not outcomes[2][1].passed  # 3-digit precision
+    assert not outcomes[3][1].passed  # schema drift
+    assert not outcomes[4][1].passed  # data loss
+
+    lines = [
+        "Preserved-analysis re-validation across platform migrations",
+        "",
+        f"{'migration':34s}{'re-validation':>15s}",
+    ]
+    for migration, outcome in outcomes:
+        detail = ""
+        if not outcome.passed and outcome.mismatches:
+            detail = f"  ({outcome.mismatches[0][:45]})"
+        label = migration.name
+        digits = getattr(migration, "digits", None)
+        if digits is not None:
+            label = f"{label} ({digits} digits)"
+        lines.append(
+            f"{label:34s}"
+            f"{'PASS' if outcome.passed else 'FAIL':>15s}{detail}"
+        )
+    lines.append("")
+    lines.append("Paper: full-stack preservation 'must be migrated to "
+                 "new computing platforms'; re-validation catches the "
+                 "silent failures.")
+    emit("preservation_validation", "\n".join(lines))

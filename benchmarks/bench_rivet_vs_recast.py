@@ -1,0 +1,122 @@
+"""Experiment C-RVT — the RIVET vs RECAST comparison of Section 2.4.
+
+Paper claims regenerated here:
+
+1. RIVET's repository scales to "well over a hundred different
+   analyses" with a small shared code base ("quite light from a
+   footprint standpoint");
+2. RIVET is truth-level only, so its efficiencies differ from the full
+   detector-simulation chain RECAST runs — the fidelity gap that
+   motivates RECAST's "significantly enhanced" level of detail;
+3. the capability matrix: background subtraction and limit setting live
+   on the RECAST side only.
+"""
+
+from repro.datamodel import AndCut, CountCut, MassWindowCut, SkimSpec
+from repro.recast import FullChainBackend, ModelSpec, PreservedSearch
+from repro.recast.bridge import RivetBridgeBackend, RivetSignalRegion
+from repro.rivet import AnalysisRepository, standard_repository
+from repro.rivet.standard_analyses import register_generated_catalog
+
+
+def _search():
+    selection = SkimSpec("highmass", AndCut((
+        CountCut("muons", 2, min_pt=30.0),
+        MassWindowCut("muons", 500.0, 1e9, opposite_charge=True),
+    )))
+    return PreservedSearch(
+        analysis_id="GPD-EXO-2013-01", title="High-mass dimuon search",
+        experiment="GPD", selection=selection, n_observed=3,
+        background=2.5, background_uncertainty=0.6,
+        luminosity_ipb=20000.0,
+    )
+
+
+def test_repository_scale_and_footprint(benchmark, emit):
+    def build_large_repository():
+        repository = AnalysisRepository("rivet-scale")
+        register_generated_catalog(repository, 130)
+        return repository.footprint()
+
+    footprint = benchmark(build_large_repository)
+    # "well over a hundred different analyses" ...
+    assert footprint["n_analyses"] == 130
+    # ... in a light, shared code base: one plugin class, small source.
+    assert footprint["n_plugin_classes"] == 1
+    assert footprint["source_bytes"] < 100_000
+
+    standard = standard_repository().footprint()
+    lines = [
+        "RIVET-analogue repository footprint",
+        "",
+        f"generated catalogue: {footprint['n_analyses']} analyses, "
+        f"{footprint['n_plugin_classes']} plugin classes, "
+        f"{footprint['source_bytes']} bytes of source",
+        f"standard catalogue:  {standard['n_analyses']} analyses, "
+        f"{standard['n_plugin_classes']} plugin classes, "
+        f"{standard['source_bytes']} bytes of source",
+        "",
+        "Paper: 'well over a hundred different analyses in a generic "
+        "framework'; 'the code base is small and runs on essentially "
+        "any platform'.",
+    ]
+    emit("rivet_footprint", "\n".join(lines))
+
+
+def test_truth_vs_fullchain_fidelity(benchmark, emit):
+    """The efficiency gap between truth-level and full-chain re-analysis."""
+    search = _search()
+    model = ModelSpec("Zp-1.5TeV", "zprime",
+                      {"mass": 1500.0, "cross_section_pb": 0.05})
+
+    def run_both():
+        bridge = RivetBridgeBackend(
+            standard_repository(),
+            signal_regions={search.analysis_id: RivetSignalRegion(
+                "TOY_2013_I0007", "mass", 500.0, 3000.0)},
+            n_events=500, n_limit_toys=1200, seed=3300,
+        )
+        full = FullChainBackend("GPD", n_events=200, n_limit_toys=1200,
+                                seed=3301)
+        return bridge.process(search, model), full.process(search, model)
+
+    truth_result, full_result = benchmark.pedantic(run_both, rounds=1,
+                                                   iterations=1)
+
+    # Both set finite limits (the bridge gained RECAST's machinery).
+    assert truth_result.upper_limit_pb < 1.0
+    assert full_result.upper_limit_pb < 1.0
+    # The fidelity gap: truth-level efficiency exceeds the full-chain
+    # efficiency because it ignores detector losses — the RIVET
+    # limitation the paper calls out.
+    assert truth_result.signal_efficiency > full_result.signal_efficiency
+    gap = (truth_result.signal_efficiency
+           - full_result.signal_efficiency)
+    assert gap > 0.03
+
+    capability_rows = [
+        ("truth-level re-analysis", "yes", "via generator"),
+        ("detector simulation", "no", "yes"),
+        ("background subtraction", "no", "yes"),
+        ("limit setting", "no (yes via bridge)", "yes"),
+        ("open code base", "yes", "no (closed back end)"),
+        ("maintenance footprint", "light", "full software stack"),
+    ]
+    lines = [
+        "RIVET vs RECAST capability and fidelity",
+        "",
+        f"{'capability':28s}{'RIVET':22s}{'RECAST':22s}",
+    ]
+    for row in capability_rows:
+        lines.append(f"{row[0]:28s}{row[1]:22s}{row[2]:22s}")
+    lines.append("")
+    lines.append(
+        f"Z' (1.5 TeV) selection efficiency: truth-level "
+        f"{truth_result.signal_efficiency:.3f} vs full chain "
+        f"{full_result.signal_efficiency:.3f} (gap {gap:+.3f})"
+    )
+    lines.append(
+        f"95% CL limits: truth {truth_result.upper_limit_pb:.2e} pb, "
+        f"full chain {full_result.upper_limit_pb:.2e} pb"
+    )
+    emit("rivet_vs_recast", "\n".join(lines))

@@ -1,0 +1,62 @@
+"""Experiment A-F9 — the sharing/access rubric and the Data Sharing Grid.
+
+Paper artifacts: the Q9F sharing/access maturity rubric and the Data
+Sharing Grid of Appendix A Section 9, combined with Section 4's data-
+policy listing (CMS/LHCb approved 2013; ALICE/ATLAS under discussion).
+The grid's preservation-stage audience must follow the policies.
+"""
+
+from repro.experiments import all_experiments, get_experiment
+from repro.interview import response_for_experiment
+from repro.interview.report import (
+    render_sharing_grid,
+    sharing_grid_table,
+)
+
+
+def _build_grid():
+    responses = [response_for_experiment(profile)
+                 for profile in all_experiments()]
+    table = sharing_grid_table(responses)
+    rendered = render_sharing_grid(responses)
+    return responses, table, rendered
+
+
+def test_sharing_grid(benchmark, emit):
+    responses, table, rendered = benchmark(_build_grid)
+
+    # Every stage of every experiment has a grid entry.
+    for response in responses:
+        assert response.sharing_grid.is_complete()
+
+    # Section 4 policy listing drives the preservation row.
+    assert table["preservation"]["CMS"] == "whole world"
+    assert table["preservation"]["LHCb"] == "whole world"
+    assert table["preservation"]["ALICE"] == "others in the field"
+    assert table["preservation"]["ATLAS"] == "others in the field"
+    assert table["preservation"]["CDF"] == "project collaborators"
+
+    # Publication-stage results are public everywhere; pre-publication
+    # stages stay inside the collaborations.
+    assert all(value == "whole world"
+               for value in table["publication"].values())
+    assert all(value == "project collaborators"
+               for value in table["collection"].values())
+
+    policy_lines = ["Data policies (Section 4):"]
+    for profile in all_experiments():
+        policy_lines.append(
+            f"  {profile.name}: {profile.data_policy.describe()}"
+        )
+    emit("sharing_grid", rendered + "\n\n" + "\n".join(policy_lines))
+
+
+def test_openness_ordering(benchmark):
+    def openness_by_policy():
+        cms = response_for_experiment(get_experiment("CMS"))
+        cdf = response_for_experiment(get_experiment("CDF"))
+        return (cms.sharing_grid.entry_for("preservation").openness,
+                cdf.sharing_grid.entry_for("preservation").openness)
+
+    cms_openness, cdf_openness = benchmark(openness_by_policy)
+    assert cms_openness > cdf_openness

@@ -1,0 +1,75 @@
+"""Library micro-benchmarks: the hot paths a downstream user will feel.
+
+Not a paper table — these are the conventional performance benchmarks a
+production library ships: event generation, the digitise+reconstruct
+loop (pattern recognition dominates), histogram filling, and archive
+ingestion. They guard against accidental slowdowns in the code paths
+every experiment above exercises.
+"""
+
+import numpy as np
+
+from repro.core import PreservationArchive, PreservationMetadata
+from repro.conditions import default_conditions
+from repro.detector import DetectorSimulation, Digitizer
+from repro.generation import DrellYanZ, GeneratorConfig, ToyGenerator
+from repro.reconstruction import GlobalTagView, Reconstructor
+from repro.stats import Histogram1D
+
+
+def test_generation_throughput(benchmark):
+    generator = ToyGenerator(GeneratorConfig(
+        processes=[DrellYanZ()], seed=9100))
+
+    events = benchmark(generator.generate, 50)
+    assert len(events) == 50
+
+
+def test_reconstruction_throughput(benchmark, gpd_geometry,
+                                   conditions_store):
+    generator = ToyGenerator(GeneratorConfig(
+        processes=[DrellYanZ()], seed=9200))
+    simulation = DetectorSimulation(gpd_geometry, seed=9201)
+    digitizer = Digitizer(gpd_geometry, run_number=42, seed=9202)
+    raws = [digitizer.digitize(simulation.simulate(event))
+            for event in generator.generate(20)]
+    reconstructor = Reconstructor(
+        gpd_geometry, GlobalTagView(conditions_store, "GT-FINAL"))
+
+    recos = benchmark(reconstructor.reconstruct_many, raws)
+    assert len(recos) == 20
+    assert any(reco.muons for reco in recos)
+
+
+def test_histogram_fill_throughput(benchmark, rng_values=None):
+    rng = np.random.default_rng(9300)
+    values = rng.normal(50.0, 10.0, 100_000)
+
+    def fill():
+        histogram = Histogram1D("throughput", 100, 0.0, 100.0)
+        histogram.fill_array(values)
+        return histogram
+
+    histogram = benchmark(fill)
+    assert histogram.n_entries == 100_000
+
+
+def test_archive_ingest_throughput(benchmark):
+    payloads = [{"index": index, "values": list(range(50))}
+                for index in range(50)]
+
+    def ingest_all():
+        archive = PreservationArchive("throughput")
+        for index, payload in enumerate(payloads):
+            metadata = PreservationMetadata.build(
+                title=f"p{index}", creator="bench", experiment="GPD",
+                created="2013-01-01", artifact_format="json",
+                size_bytes=0, checksum="", producer="bench",
+                access_policy="public",
+            )
+            archive.store(payload, "hepdata_record", metadata)
+        return archive
+
+    archive = benchmark(ingest_all)
+    assert len(archive) == 50
+    assert all(archive.verify_all().values())

@@ -1,0 +1,42 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables or load-bearing
+claims. Besides timing the workload with pytest-benchmark, each bench
+*emits* the regenerated rows to ``benchmarks/output/<name>.txt`` so the
+paper-vs-measured record in EXPERIMENTS.md can be refreshed from disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Writer for regenerated tables: emit(name, text)."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(text.rstrip() + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def gpd_geometry():
+    from repro.detector import generic_lhc_detector
+
+    return generic_lhc_detector()
+
+
+@pytest.fixture(scope="session")
+def conditions_store():
+    from repro.conditions import default_conditions
+
+    return default_conditions()

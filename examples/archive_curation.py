@@ -1,0 +1,127 @@
+"""Archivist path: from the trigger to the nightly validation sweep.
+
+Covers the parts of the preservation lifecycle the other examples skip:
+the *irreversible* selection at the trigger (why the menu itself must be
+preserved), run/luminosity bookkeeping with a good-run list, direct code
+capture of a final analyst step, the DPHEP-level inventory of the
+archive, and the batch validation sweep a real archive would run
+nightly.
+
+Run with:  python examples/archive_curation.py
+"""
+
+from repro.conditions import default_conditions
+from repro.core import (
+    PreservationArchive,
+    PreservationMetadata,
+    PreservedAnalysisBundle,
+    ScriptCapture,
+    run_validation_suite,
+    take_inventory,
+)
+from repro.datamodel import (
+    CountCut,
+    GoodRunList,
+    RunRecord,
+    RunRegistry,
+    SkimSpec,
+    SlimSpec,
+    certify_good_runs,
+    make_aod,
+)
+from repro.detector import DetectorSimulation, Digitizer, generic_lhc_detector
+from repro.generation import DrellYanZ, GeneratorConfig, ToyGenerator
+from repro.reconstruction import GlobalTagView, Reconstructor
+from repro.trigger import DataAcquisition, standard_menu
+
+
+def final_analysis(events):
+    """The analyst's preserved final step: a windowed count."""
+    n_window = 0
+    for event in events:
+        if 80.0 <= event["dimuon_mass"] <= 100.0:
+            n_window += 1
+    return {"n_window": n_window, "n_total": len(events)}
+
+
+def _metadata(title):
+    return PreservationMetadata.build(
+        title=title, creator="archivist", experiment="GPD",
+        created="2013-03-22", artifact_format="json", size_bytes=0,
+        checksum="", producer="curation-example",
+        access_policy="collaboration",
+    )
+
+
+def main() -> None:
+    geometry = generic_lhc_detector()
+    conditions = default_conditions()
+
+    # --- 1. Data taking: trigger decides what exists at all ----------
+    menu = standard_menu()
+    daq = DataAcquisition(menu, Digitizer(geometry, run_number=42,
+                                          seed=1))
+    generator = ToyGenerator(GeneratorConfig(processes=[DrellYanZ()],
+                                             seed=2))
+    simulation = DetectorSimulation(geometry, seed=3)
+    daq.process_many([simulation.simulate(event)
+                      for event in generator.stream(300)])
+    print(f"Trigger menu {menu.name}: accepted {menu.n_accepted}/"
+          f"{menu.n_seen} collisions "
+          f"({menu.acceptance():.0%}); per-path rates:")
+    for path, rate in sorted(menu.rates().items()):
+        print(f"  {path:18s} {rate:.2%}")
+    raws = daq.recorded("physics")
+
+    # --- 2. Run bookkeeping and the good-run list ---------------------
+    registry = RunRegistry("RunA-2012")
+    registry.add(RunRecord(42, 120, 0.5))
+    registry.add(RunRecord(43, 80, 0.5, detector_ok=False))
+    grl = certify_good_runs(registry, "GRL-RunA-v1")
+    print(f"\nDelivered {registry.total_luminosity_ipb():.0f} /pb; "
+          f"certified {grl.certified_luminosity_ipb(registry):.0f} /pb "
+          f"({grl.name})")
+
+    # --- 3. Reconstruct, analyse, preserve both ways ------------------
+    reconstructor = Reconstructor(geometry,
+                                  GlobalTagView(conditions, "GT-FINAL"))
+    aods = [make_aod(reconstructor.reconstruct(raw)) for raw in raws]
+    skim = SkimSpec("dimuon", CountCut("muons", 2, min_pt=10.0))
+    slim = SlimSpec("z", ("dimuon_mass", "met"))
+    bundle = PreservedAnalysisBundle.create("Z-RunA", aods, skim, slim)
+    rows = [row.to_dict()["cols"]
+            for row in slim.apply(skim.apply(aods))]
+    capture = ScriptCapture.create("final-step-RunA", final_analysis,
+                                   rows)
+    print(f"\nPreserved: declarative bundle ({len(aods)} input events) "
+          f"+ script capture "
+          f"(result {capture.expected_result})")
+
+    # --- 4. Archive everything and take inventory ---------------------
+    archive = PreservationArchive("GPD-RunA-archive")
+    archive.store(bundle.to_dict(), "aod_dataset", _metadata("bundle"))
+    archive.store(capture.to_dict(), "analysis_description",
+                  _metadata("final step"))
+    archive.store(daq.describe(), "workflow_chain",
+                  _metadata("trigger menu + streams"))
+    archive.store(grl.to_dict(), "skim_spec", _metadata("good runs"))
+    archive.store({"format": "level2-sample", "events": 3},
+                  "level2_file", _metadata("outreach sample"))
+    inventory = take_inventory(archive)
+    print()
+    print(inventory.render())
+
+    # --- 5. The nightly sweep ------------------------------------------
+    report = run_validation_suite(archive)
+    print()
+    print(report.render())
+
+    # --- 6. ... and what the sweep is for: catching rot ----------------
+    archive._corrupt_for_testing(archive.digests()[0])
+    damaged = run_validation_suite(archive)
+    print("\nAfter simulated bit rot on one blob:")
+    print(damaged.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Theorist path: re-interpret a preserved search via the RECAST analogue.
+
+A high-mass dimuon search is preserved in the GPD experiment's RECAST
+catalogue. A theorist browses the public catalogue, submits a Z' model as
+pure data, the experiment's closed back end re-runs the *full* chain —
+generation, simulation, reconstruction, preserved selection — and, after
+the experiment approves the result, the theorist receives the CLs limit.
+
+Also demonstrates the RIVET bridge: the same request served by a
+truth-level RIVET analysis gaining RECAST's limit-setting machinery.
+
+Run with:  python examples/recast_reanalysis.py
+"""
+
+from repro.datamodel import AndCut, CountCut, MassWindowCut, SkimSpec
+from repro.recast import (
+    AnalysisCatalog,
+    FullChainBackend,
+    ModelSpec,
+    PreservedSearch,
+    RecastAPI,
+    RecastFrontend,
+    RivetBridgeBackend,
+)
+from repro.recast.bridge import RivetSignalRegion
+from repro.rivet import standard_repository
+
+
+def preserved_search() -> PreservedSearch:
+    """The experiment's preserved high-mass dimuon search."""
+    selection = SkimSpec("highmass_dimuon", AndCut((
+        CountCut("muons", 2, min_pt=30.0),
+        MassWindowCut("muons", 500.0, 1e9, opposite_charge=True),
+    )))
+    return PreservedSearch(
+        analysis_id="GPD-EXO-2013-01",
+        title="Search for high-mass dimuon resonances at 8 TeV",
+        experiment="GPD",
+        selection=selection,
+        n_observed=3,
+        background=2.5,
+        background_uncertainty=0.6,
+        luminosity_ipb=20000.0,
+        notes="Counting experiment above 500 GeV",
+    )
+
+
+def main() -> None:
+    # --- Experiment side: catalogue + closed back end ----------------
+    catalog = AnalysisCatalog("GPD")
+    catalog.register(preserved_search())
+    api = RecastAPI()
+    api.register_experiment(
+        catalog, FullChainBackend("GPD", n_events=250,
+                                  n_limit_toys=2500),
+    )
+
+    # --- Theorist side: browse, submit, wait --------------------------
+    frontend = RecastFrontend(api)
+    print("Public catalogue:")
+    for entry in frontend.browse_catalog():
+        print(f"  {entry['analysis_id']}: {entry['title']} "
+              f"({entry['luminosity_ipb'] / 1000:.0f} fb^-1)")
+
+    model = ModelSpec("Zprime-1.5TeV", "zprime", {
+        "mass": 1500.0, "width": 45.0, "cross_section_pb": 0.05,
+    })
+    request_id = frontend.submit_request("GPD-EXO-2013-01", model,
+                                         requester="theorist@ippp")
+    print(f"\nSubmitted request {request_id}; status:",
+          frontend.status(request_id)["status"])
+
+    # --- Experiment processes and approves ----------------------------
+    api.accept(request_id, "in scope for EXO")
+    api.run(request_id)
+    print("After processing, theorist sees:",
+          frontend.status(request_id)["status"],
+          "| result released?", frontend.result(request_id) is not None)
+    api.approve(request_id, "GPD physics coordinator")
+
+    result = frontend.result(request_id)
+    print("\nApproved result:")
+    print(f"  selection efficiency: {result['signal_efficiency']:.3f} "
+          f"+- {result['efficiency_error']:.3f}")
+    print(f"  95% CL upper limit:   "
+          f"{result['upper_limit_pb'] * 1000:.3f} fb")
+    print(f"  model cross-section:  "
+          f"{result['model_cross_section_pb'] * 1000:.3f} fb")
+    print(f"  verdict: "
+          f"{'EXCLUDED' if result['excluded'] else 'ALLOWED'}")
+
+    # --- The RIVET bridge: same request, truth-level back end ---------
+    print("\n--- via the RIVET bridge "
+          "(truth level, but with limit setting) ---")
+    bridge = RivetBridgeBackend(
+        standard_repository(),
+        signal_regions={
+            "GPD-EXO-2013-01": RivetSignalRegion(
+                "TOY_2013_I0007", "mass", 500.0, 3000.0,
+            ),
+        },
+        n_events=1500,
+        n_limit_toys=2500,
+    )
+    bridge_result = bridge.process(preserved_search(), model)
+    print(f"  {bridge_result.summary()}")
+    print(f"  backend: {bridge_result.backend}, truth-only: "
+          f"{bridge_result.extra['truth_level_only']}")
+
+
+if __name__ == "__main__":
+    main()

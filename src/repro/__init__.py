@@ -1,0 +1,33 @@
+"""repro — a DASPOS reference implementation.
+
+A complete, self-contained realisation of the systems surveyed and
+proposed in *Data and Software Preservation for Open Science (DASPOS),
+Workshop 1 report* (Hildreth, Long, Johnson et al., CERN 2013/2014):
+
+- a synthetic collider substrate (:mod:`repro.kinematics`,
+  :mod:`repro.generation`, :mod:`repro.detector`,
+  :mod:`repro.reconstruction`, :mod:`repro.conditions`,
+  :mod:`repro.datamodel`),
+- the HEP workflow and provenance machinery (:mod:`repro.workflow`,
+  :mod:`repro.provenance`),
+- analysis-preservation frameworks (:mod:`repro.rivet`,
+  :mod:`repro.recast`, :mod:`repro.hepdata`),
+- the core preservation architecture (:mod:`repro.core`),
+- Level-2 outreach tooling (:mod:`repro.outreach`),
+- the data-curation interview toolkit (:mod:`repro.interview`), and
+- the workshop's experiment profiles (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.generation import ToyGenerator, GeneratorConfig, DrellYanZ
+    generator = ToyGenerator(GeneratorConfig(processes=[DrellYanZ()]))
+    events = generator.generate(100)
+
+See ``examples/`` for full end-to-end walkthroughs.
+"""
+
+from repro import errors
+
+__version__ = "1.0.0"
+
+__all__ = ["errors", "__version__"]

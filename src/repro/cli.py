@@ -1,0 +1,321 @@
+"""Command-line interface: the library as a preservation tool.
+
+Subcommands cover the day-to-day verbs of the paper's personas:
+
+- ``generate`` / ``process`` — produce GEN and AOD datasets as
+  self-documenting JSON-lines files;
+- ``skim`` — apply a declarative skim spec (a JSON file) to an AOD file;
+- ``convert-level2`` — the thin outreach converter;
+- ``display`` — ASCII (or SVG) event display of a Level-2 file;
+- ``validate-bundle`` — re-validate a preserved-analysis bundle;
+- ``interview`` / ``table1`` / ``maturity`` — the curator reports.
+
+Invoke as ``python -m repro.cli <command> ...`` or via the ``repro``
+console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DASPOS reference implementation command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate",
+                              help="generate truth events to a GEN file")
+    generate.add_argument("--process", default="z_to_mumu",
+                          choices=("z_to_mumu", "z_to_ee", "w_to_munu",
+                                   "higgs_4l", "qcd_dijets", "d0_to_kpi",
+                                   "jpsi", "minbias"))
+    generate.add_argument("--events", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=2013)
+    generate.add_argument("--output", required=True)
+
+    process = sub.add_parser(
+        "process",
+        help="run sim+digi+reco+AOD over a GEN file, write an AOD file",
+    )
+    process.add_argument("--input", required=True)
+    process.add_argument("--output", required=True)
+    process.add_argument("--run", type=int, default=1)
+    process.add_argument("--global-tag", default="GT-FINAL")
+    process.add_argument("--geometry", default="GPD",
+                         choices=("GPD", "FWD"))
+    process.add_argument("--seed", type=int, default=99)
+
+    skim = sub.add_parser("skim",
+                          help="apply a JSON skim spec to an AOD file")
+    skim.add_argument("--input", required=True)
+    skim.add_argument("--spec", required=True)
+    skim.add_argument("--output", required=True)
+
+    convert = sub.add_parser("convert-level2",
+                             help="convert an AOD file to Level-2")
+    convert.add_argument("--input", required=True)
+    convert.add_argument("--output", required=True)
+    convert.add_argument("--energy-tev", type=float, default=8.0)
+
+    display = sub.add_parser("display",
+                             help="render one event of a Level-2 file")
+    display.add_argument("--input", required=True)
+    display.add_argument("--event", type=int, default=0)
+    display.add_argument("--svg", help="write an SVG file instead of "
+                                       "ASCII to stdout")
+    display.add_argument("--geometry", default="GPD",
+                         choices=("GPD", "FWD"))
+
+    validate = sub.add_parser(
+        "validate-bundle",
+        help="re-validate a preserved-analysis bundle JSON file",
+    )
+    validate.add_argument("--bundle", required=True)
+
+    interview = sub.add_parser("interview",
+                               help="print an experiment's interview")
+    interview.add_argument("--experiment", required=True)
+
+    sub.add_parser("table1", help="print the Table 1 outreach matrix")
+    sub.add_parser("maturity", help="print the maturity-rating table")
+    return parser
+
+
+def _process_registry(name: str):
+    from repro.generation import (
+        DrellYanZ,
+        DzeroProduction,
+        HiggsToFourLeptons,
+        JpsiToMuMu,
+        MinimumBias,
+        QCDDijets,
+        WProduction,
+    )
+
+    registry = {
+        "z_to_mumu": lambda: DrellYanZ(flavour="mu"),
+        "z_to_ee": lambda: DrellYanZ(flavour="e"),
+        "w_to_munu": lambda: WProduction(flavour="mu"),
+        "higgs_4l": HiggsToFourLeptons,
+        "qcd_dijets": QCDDijets,
+        "d0_to_kpi": DzeroProduction,
+        "jpsi": JpsiToMuMu,
+        "minbias": MinimumBias,
+    }
+    return registry[name]()
+
+
+def _cmd_generate(args) -> int:
+    from repro.datamodel import DataTier, write_dataset
+    from repro.generation import GeneratorConfig, ToyGenerator
+
+    generator = ToyGenerator(GeneratorConfig(
+        processes=[_process_registry(args.process)], seed=args.seed,
+    ))
+    header = write_dataset(
+        args.output, f"gen-{args.process}", DataTier.GEN,
+        (event.to_dict() for event in generator.stream(args.events)),
+        provenance=generator.run_info.to_dict(),
+    )
+    print(f"wrote {header.n_events} GEN events to {args.output}")
+    return 0
+
+
+def _geometry_for(name: str):
+    from repro.detector import forward_spectrometer, generic_lhc_detector
+
+    return (generic_lhc_detector() if name == "GPD"
+            else forward_spectrometer())
+
+
+def _cmd_process(args) -> int:
+    from repro.conditions import default_conditions
+    from repro.datamodel import (
+        DataTier,
+        DatasetReader,
+        make_aod,
+        write_dataset,
+    )
+    from repro.detector import DetectorSimulation, Digitizer
+    from repro.generation import GenEvent
+    from repro.reconstruction import GlobalTagView, Reconstructor
+
+    geometry = _geometry_for(args.geometry)
+    simulation = DetectorSimulation(geometry, seed=args.seed)
+    digitizer = Digitizer(geometry, run_number=args.run,
+                          seed=args.seed + 1)
+    reconstructor = Reconstructor(
+        geometry, GlobalTagView(default_conditions(), args.global_tag),
+    )
+    reader = DatasetReader(args.input)
+    if reader.header.tier != DataTier.GEN:
+        raise ReproError(
+            f"{args.input} is a {reader.header.tier.value} file, "
+            f"expected GEN"
+        )
+    aods = []
+    for record in reader.records():
+        event = GenEvent.from_dict(record)
+        raw = digitizer.digitize(simulation.simulate(event))
+        aods.append(make_aod(reconstructor.reconstruct(raw)))
+    header = write_dataset(
+        args.output, f"aod-run{args.run}", DataTier.AOD,
+        (aod.to_dict() for aod in aods),
+        provenance={
+            "input": str(args.input),
+            "reconstruction": reconstructor.describe(),
+            "externals": reconstructor.external_dependencies(),
+        },
+    )
+    print(f"wrote {header.n_events} AOD events to {args.output}")
+    return 0
+
+
+def _read_aods(path: str):
+    from repro.datamodel import AODEvent, DataTier, DatasetReader
+
+    reader = DatasetReader(path)
+    if reader.header.tier != DataTier.AOD:
+        raise ReproError(
+            f"{path} is a {reader.header.tier.value} file, expected AOD"
+        )
+    return [AODEvent.from_dict(record) for record in reader.records()]
+
+
+def _cmd_skim(args) -> int:
+    from repro.datamodel import DataTier, SkimSpec, write_dataset
+
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        spec = SkimSpec.from_dict(json.load(handle))
+    aods = _read_aods(args.input)
+    selected = spec.apply(aods)
+    header = write_dataset(
+        args.output, f"skim-{spec.name}", DataTier.AOD,
+        (aod.to_dict() for aod in selected),
+        provenance={"skim": spec.to_dict(), "input": str(args.input)},
+    )
+    print(f"skim {spec.name!r}: {header.n_events}/{len(aods)} events "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_convert_level2(args) -> int:
+    from repro.datamodel import DataTier, write_dataset
+    from repro.outreach import Level2Converter
+
+    converter = Level2Converter(collision_energy_tev=args.energy_tev)
+    aods = _read_aods(args.input)
+    level2 = converter.convert_many(aods)
+    header = write_dataset(
+        args.output, "level2", DataTier.LEVEL2,
+        (event.to_dict() for event in level2),
+        provenance=converter.describe(),
+    )
+    stats = converter.stats
+    print(f"converted {header.n_events} events -> {args.output} "
+          f"(reduction {stats.reduction_factor:.2f}x)")
+    return 0
+
+
+def _cmd_display(args) -> int:
+    from repro.datamodel import DataTier, DatasetReader
+    from repro.outreach import (
+        EventDisplayRecord,
+        render_event_svg,
+        render_lego_ascii,
+    )
+    from repro.outreach.format import Level2Event
+
+    reader = DatasetReader(args.input)
+    if reader.header.tier != DataTier.LEVEL2:
+        raise ReproError(
+            f"{args.input} is a {reader.header.tier.value} file, "
+            f"expected LEVEL2"
+        )
+    records = reader.read_all()
+    if not 0 <= args.event < len(records):
+        raise ReproError(
+            f"event index {args.event} out of range 0.."
+            f"{len(records) - 1}"
+        )
+    event = Level2Event.from_dict(records[args.event])
+    if args.svg:
+        record = EventDisplayRecord.build(_geometry_for(args.geometry),
+                                          event)
+        Path(args.svg).write_text(render_event_svg(record.to_dict()),
+                                  encoding="utf-8")
+        print(f"wrote {args.svg}")
+    else:
+        print(render_lego_ascii(event))
+    return 0
+
+
+def _cmd_validate_bundle(args) -> int:
+    from repro.core import PreservedAnalysisBundle, revalidate
+
+    with open(args.bundle, "r", encoding="utf-8") as handle:
+        bundle = PreservedAnalysisBundle.from_dict(json.load(handle))
+    outcome = revalidate(bundle)
+    print(outcome.summary())
+    return 0 if outcome.passed else 1
+
+
+def _cmd_interview(args) -> int:
+    from repro.experiments import get_experiment
+    from repro.interview import response_for_experiment
+    from repro.interview.report import interview_report
+
+    response = response_for_experiment(get_experiment(args.experiment))
+    print(interview_report(response))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments import lhc_experiments, render_table1
+
+    print(render_table1(lhc_experiments()))
+    return 0
+
+
+def _cmd_maturity(args) -> int:
+    from repro.experiments import all_experiments
+    from repro.interview.report import render_maturity_table
+
+    print(render_maturity_table(all_experiments()))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "process": _cmd_process,
+    "skim": _cmd_skim,
+    "convert-level2": _cmd_convert_level2,
+    "display": _cmd_display,
+    "validate-bundle": _cmd_validate_bundle,
+    "interview": _cmd_interview,
+    "table1": _cmd_table1,
+    "maturity": _cmd_maturity,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Conditions database: calibration constants with intervals of validity.
+
+The paper singles out conditions data as the dominant *external dependency*
+of the Reconstruction step ("at least one and sometimes many different
+databases that store all manner of calibration constants, conditions data,
+etc.") and notes the ALICE variation of shipping constants as text files.
+This package implements both access modes:
+
+- :class:`ConditionsStore` — a tagged, IOV-versioned database queried live
+  by run number (the ATLAS/CMS/LHCb style), and
+- :mod:`repro.conditions.snapshot` — flat-file snapshots extracted from the
+  store that travel with the data (the ALICE style).
+
+The preservation layer enumerates these dependencies when encapsulating a
+workflow.
+"""
+
+from repro.conditions.iov import IOV
+from repro.conditions.store import ConditionsStore, GlobalTag
+from repro.conditions.calibration import (
+    CalibrationCampaign,
+    default_conditions,
+)
+from repro.conditions.snapshot import (
+    ConditionsSnapshot,
+    export_snapshot,
+    load_snapshot,
+)
+
+__all__ = [
+    "IOV",
+    "ConditionsStore",
+    "GlobalTag",
+    "CalibrationCampaign",
+    "default_conditions",
+    "ConditionsSnapshot",
+    "export_snapshot",
+    "load_snapshot",
+]

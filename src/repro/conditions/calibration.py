@@ -1,0 +1,107 @@
+"""Standard calibration content for the toy experiments.
+
+A :class:`CalibrationCampaign` populates a :class:`ConditionsStore` with
+the folders reconstruction needs — calorimeter energy scales, tracker
+alignment, beam-spot position — across a range of runs, including the
+run-to-run drift that makes IOV versioning necessary in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.conditions.iov import IOV, INFINITE_RUN
+from repro.conditions.store import ConditionsStore, GlobalTag
+
+#: Folder names used by reconstruction.
+FOLDER_ECAL_SCALE = "calo/ecal_energy_scale"
+FOLDER_HCAL_SCALE = "calo/hcal_energy_scale"
+FOLDER_TRACKER_ALIGNMENT = "tracker/alignment"
+FOLDER_BEAMSPOT = "beam/beamspot"
+
+#: The standard folders every reconstruction pass reads.
+RECONSTRUCTION_FOLDERS = (
+    FOLDER_ECAL_SCALE,
+    FOLDER_HCAL_SCALE,
+    FOLDER_TRACKER_ALIGNMENT,
+    FOLDER_BEAMSPOT,
+)
+
+
+@dataclass
+class CalibrationCampaign:
+    """Generates a realistic set of calibration payloads.
+
+    ``first_run``/``last_run`` bound the campaign; payloads are issued in
+    blocks of ``runs_per_iov`` runs with small deterministic drifts sampled
+    from ``seed``. Two tags are produced per folder: a ``prompt`` tag with
+    coarse constants and a ``final`` tag with refined ones — mirroring the
+    prompt/re-reco calibration cycles of the real experiments.
+    """
+
+    first_run: int = 1
+    last_run: int = 100
+    runs_per_iov: int = 10
+    seed: int = 777
+
+    def populate(self, store: ConditionsStore) -> None:
+        """Fill ``store`` with payloads and register global tags."""
+        rng = np.random.default_rng(self.seed)
+        for folder in RECONSTRUCTION_FOLDERS:
+            store.create_folder(folder)
+        run = self.first_run
+        while run <= self.last_run:
+            iov = IOV(run, min(run + self.runs_per_iov - 1, self.last_run))
+            drift = float(rng.normal(0.0, 0.01))
+            refined_drift = drift * 0.2
+            store.add_payload(FOLDER_ECAL_SCALE, "prompt", iov,
+                              {"scale": 1.0 + drift})
+            store.add_payload(FOLDER_ECAL_SCALE, "final", iov,
+                              {"scale": 1.0 + refined_drift})
+            hcal_drift = float(rng.normal(0.0, 0.02))
+            store.add_payload(FOLDER_HCAL_SCALE, "prompt", iov,
+                              {"scale": 1.0 + hcal_drift})
+            store.add_payload(FOLDER_HCAL_SCALE, "final", iov,
+                              {"scale": 1.0 + 0.2 * hcal_drift})
+            shift_x = float(rng.normal(0.0, 0.005))
+            shift_y = float(rng.normal(0.0, 0.005))
+            store.add_payload(FOLDER_TRACKER_ALIGNMENT, "prompt", iov,
+                              {"dx_mm": shift_x, "dy_mm": shift_y})
+            store.add_payload(FOLDER_TRACKER_ALIGNMENT, "final", iov,
+                              {"dx_mm": 0.1 * shift_x, "dy_mm": 0.1 * shift_y})
+            store.add_payload(FOLDER_BEAMSPOT, "prompt", iov, {
+                "x_mm": float(rng.normal(0.0, 0.01)),
+                "y_mm": float(rng.normal(0.0, 0.01)),
+                "z_mm": float(rng.normal(0.0, 2.0)),
+                "sigma_z_mm": 35.0,
+            })
+            store.add_payload(FOLDER_BEAMSPOT, "final", iov,
+                              store.payload(FOLDER_BEAMSPOT, "prompt",
+                                            iov.first_run))
+            run += self.runs_per_iov
+        # Open-ended fallback so MC processing (run 0 conventions aside)
+        # and future runs resolve; attached after the campaign range.
+        tail = IOV(self.last_run + 1, INFINITE_RUN)
+        for folder in RECONSTRUCTION_FOLDERS:
+            for tag in ("prompt", "final"):
+                payload = store.payload(folder, tag, self.last_run)
+                store.add_payload(folder, tag, tail, payload)
+        store.register_global_tag(GlobalTag.from_mapping(
+            "GT-PROMPT",
+            {folder: "prompt" for folder in RECONSTRUCTION_FOLDERS},
+        ))
+        store.register_global_tag(GlobalTag.from_mapping(
+            "GT-FINAL",
+            {folder: "final" for folder in RECONSTRUCTION_FOLDERS},
+        ))
+
+
+def default_conditions(first_run: int = 1, last_run: int = 100,
+                       seed: int = 777) -> ConditionsStore:
+    """A fully populated conditions store with GT-PROMPT and GT-FINAL."""
+    store = ConditionsStore("toy-conditions")
+    CalibrationCampaign(first_run=first_run, last_run=last_run,
+                        seed=seed).populate(store)
+    return store

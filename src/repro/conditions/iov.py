@@ -1,0 +1,56 @@
+"""Intervals of validity for conditions payloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IOVError
+
+#: Sentinel meaning "valid until further notice".
+INFINITE_RUN = 2**31 - 1
+
+
+@dataclass(frozen=True, slots=True)
+class IOV:
+    """A closed run-number interval ``[first_run, last_run]``.
+
+    ``last_run`` defaults to :data:`INFINITE_RUN`, meaning open-ended.
+    """
+
+    first_run: int
+    last_run: int = INFINITE_RUN
+
+    def __post_init__(self) -> None:
+        if self.first_run < 0:
+            raise IOVError(f"first_run must be >= 0, got {self.first_run}")
+        if self.last_run < self.first_run:
+            raise IOVError(
+                f"IOV is empty: [{self.first_run}, {self.last_run}]"
+            )
+
+    def contains(self, run: int) -> bool:
+        """True if ``run`` lies inside this interval."""
+        return self.first_run <= run <= self.last_run
+
+    def overlaps(self, other: "IOV") -> bool:
+        """True if the two intervals share at least one run."""
+        return (self.first_run <= other.last_run
+                and other.first_run <= self.last_run)
+
+    @property
+    def is_open_ended(self) -> bool:
+        """True if this interval never expires."""
+        return self.last_run == INFINITE_RUN
+
+    def to_dict(self) -> dict:
+        """Serialise for snapshot files."""
+        return {"first_run": self.first_run, "last_run": self.last_run}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "IOV":
+        """Inverse of :meth:`to_dict`."""
+        return cls(int(record["first_run"]), int(record["last_run"]))
+
+    def __str__(self) -> str:
+        last = "inf" if self.is_open_ended else str(self.last_run)
+        return f"[{self.first_run}, {last}]"

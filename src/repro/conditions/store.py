@@ -1,0 +1,176 @@
+"""The tagged, IOV-versioned conditions store.
+
+Layout follows the COOL-style model the LHC experiments use:
+
+- a *folder* holds one kind of payload (``"ecal/energy_scale"``),
+- within a folder, a *tag* names one calibration version,
+- within a tag, payloads are attached to non-overlapping :class:`IOV`\\ s,
+- a :class:`GlobalTag` maps every folder to the tag reconstruction should
+  use, so one string pins the entire conditions configuration of a
+  processing campaign — which is precisely what a preservation record
+  needs to capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conditions.iov import IOV
+from repro.errors import ConditionsError, IOVError
+
+
+@dataclass(frozen=True)
+class _TaggedPayload:
+    iov: IOV
+    payload: dict
+
+
+@dataclass(frozen=True)
+class GlobalTag:
+    """A named, frozen mapping of folder -> tag."""
+
+    name: str
+    folder_tags: tuple[tuple[str, str], ...]
+
+    @classmethod
+    def from_mapping(cls, name: str, mapping: dict[str, str]) -> "GlobalTag":
+        """Build from a plain dict, normalising the entry order."""
+        return cls(name=name, folder_tags=tuple(sorted(mapping.items())))
+
+    def tag_for(self, folder: str) -> str:
+        """The tag assigned to ``folder``; raises if unmapped."""
+        for known_folder, tag in self.folder_tags:
+            if known_folder == folder:
+                return tag
+        raise ConditionsError(
+            f"global tag {self.name!r} has no entry for folder {folder!r}"
+        )
+
+    def folders(self) -> list[str]:
+        """All folders this global tag covers."""
+        return [folder for folder, _ in self.folder_tags]
+
+    def to_dict(self) -> dict:
+        """Serialise for provenance records."""
+        return {"name": self.name, "folders": dict(self.folder_tags)}
+
+
+class ConditionsStore:
+    """In-memory conditions database with COOL-style semantics."""
+
+    def __init__(self, name: str = "conditions") -> None:
+        self.name = name
+        self._folders: dict[str, dict[str, list[_TaggedPayload]]] = {}
+        self._global_tags: dict[str, GlobalTag] = {}
+        self._access_log: list[tuple[str, str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def create_folder(self, folder: str) -> None:
+        """Create an empty folder; idempotent."""
+        self._folders.setdefault(folder, {})
+
+    def add_payload(self, folder: str, tag: str, iov: IOV,
+                    payload: dict) -> None:
+        """Attach a payload to ``(folder, tag, iov)``.
+
+        Overlapping IOVs within the same tag are rejected — a tag must give
+        an unambiguous answer for every run.
+        """
+        self.create_folder(folder)
+        entries = self._folders[folder].setdefault(tag, [])
+        for existing in entries:
+            if existing.iov.overlaps(iov):
+                raise IOVError(
+                    f"{folder}/{tag}: IOV {iov} overlaps existing "
+                    f"{existing.iov}"
+                )
+        entries.append(_TaggedPayload(iov=iov, payload=dict(payload)))
+        entries.sort(key=lambda entry: entry.iov.first_run)
+
+    def register_global_tag(self, global_tag: GlobalTag) -> None:
+        """Register a global tag, checking every folder/tag exists."""
+        for folder, tag in global_tag.folder_tags:
+            if folder not in self._folders:
+                raise ConditionsError(
+                    f"global tag {global_tag.name!r} references unknown "
+                    f"folder {folder!r}"
+                )
+            if tag not in self._folders[folder]:
+                raise ConditionsError(
+                    f"global tag {global_tag.name!r} references unknown tag "
+                    f"{folder}/{tag}"
+                )
+        self._global_tags[global_tag.name] = global_tag
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def folders(self) -> list[str]:
+        """All folder names, sorted."""
+        return sorted(self._folders)
+
+    def tags(self, folder: str) -> list[str]:
+        """All tags in a folder, sorted."""
+        if folder not in self._folders:
+            raise ConditionsError(f"unknown folder {folder!r}")
+        return sorted(self._folders[folder])
+
+    def global_tag(self, name: str) -> GlobalTag:
+        """Look up a registered global tag."""
+        try:
+            return self._global_tags[name]
+        except KeyError:
+            raise ConditionsError(f"unknown global tag {name!r}") from None
+
+    def payload(self, folder: str, tag: str, run: int) -> dict:
+        """The payload valid for ``run`` under ``(folder, tag)``.
+
+        Raises :class:`IOVError` when no interval covers the run — an IOV
+        *gap*, which is a real operational failure mode.
+        """
+        if folder not in self._folders:
+            raise ConditionsError(f"unknown folder {folder!r}")
+        if tag not in self._folders[folder]:
+            raise ConditionsError(f"unknown tag {folder}/{tag}")
+        self._access_log.append((folder, tag, run))
+        for entry in self._folders[folder][tag]:
+            if entry.iov.contains(run):
+                return dict(entry.payload)
+        raise IOVError(f"{folder}/{tag}: no IOV covers run {run}")
+
+    def payload_for_global_tag(self, folder: str, global_tag_name: str,
+                               run: int) -> dict:
+        """Resolve a folder through a global tag and fetch the payload."""
+        global_tag = self.global_tag(global_tag_name)
+        return self.payload(folder, global_tag.tag_for(folder), run)
+
+    def iovs(self, folder: str, tag: str) -> list[IOV]:
+        """The IOV list for ``(folder, tag)``, in run order."""
+        if folder not in self._folders or tag not in self._folders[folder]:
+            raise ConditionsError(f"unknown {folder}/{tag}")
+        return [entry.iov for entry in self._folders[folder][tag]]
+
+    # ------------------------------------------------------------------
+    # Dependency accounting (the preservation hook)
+    # ------------------------------------------------------------------
+
+    @property
+    def access_log(self) -> list[tuple[str, str, int]]:
+        """Every ``(folder, tag, run)`` read since construction.
+
+        The workflow layer uses this to *enumerate external dependencies*:
+        the set of conditions payloads a processing step actually consumed.
+        """
+        return list(self._access_log)
+
+    def clear_access_log(self) -> None:
+        """Reset the access log (e.g. between workflow steps)."""
+        self._access_log.clear()
+
+    def accessed_payload_keys(self) -> set[tuple[str, str]]:
+        """Distinct ``(folder, tag)`` pairs that were read."""
+        return {(folder, tag) for folder, tag, _ in self._access_log}

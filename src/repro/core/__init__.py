@@ -1,0 +1,114 @@
+"""The DASPOS preservation framework — the library's core contribution.
+
+Ties the substrates together into the preservation architecture the
+workshop set out to scope:
+
+- :mod:`repro.core.levels` — the DPHEP Level 1-4 taxonomy and a
+  classifier for every artifact kind in this library (workshop goal i/ii);
+- :mod:`repro.core.metadata` — the preliminary preservation metadata set
+  (workshop goal iii);
+- :mod:`repro.core.archive` + :mod:`repro.core.package` — a
+  content-addressed, fixity-checked archive with OAIS-style
+  SIP -> AIP -> DIP packaging;
+- :mod:`repro.core.describe` + :mod:`repro.core.analysisdb` — the Les
+  Houches Recommendation 1a/1b analysis descriptions and the common
+  analysis database;
+- :mod:`repro.core.validate` — re-execution validation of preserved
+  analyses against archived inputs and outputs;
+- :mod:`repro.core.migrate` — platform-migration simulation and
+  re-validation, quantifying the maintenance cost the paper attributes
+  to full-stack (RECAST-style) preservation.
+"""
+
+from repro.core.levels import (
+    DPHEPLevel,
+    classify_artifact,
+    classify_tier,
+    level_description,
+    required_level,
+    supports_use_case,
+    use_cases,
+)
+from repro.core.metadata import MetadataBlock, PreservationMetadata
+from repro.core.archive import ArchiveEntry, PreservationArchive
+from repro.core.package import (
+    ArchivalPackage,
+    DisseminationPackage,
+    SubmissionPackage,
+    disseminate,
+    ingest,
+)
+from repro.core.describe import (
+    AnalysisDescription,
+    EfficiencyFunction,
+    EventSelection,
+    KinematicVariable,
+    ObjectDefinition,
+)
+from repro.core.analysisdb import AnalysisDatabase
+from repro.core.validate import (
+    PreservedAnalysisBundle,
+    ValidationOutcome,
+    revalidate,
+)
+from repro.core.capture import (
+    ReexecutionOutcome,
+    ScriptCapture,
+    environment_spec,
+)
+from repro.core.inventory import (
+    ArchiveInventory,
+    LevelInventory,
+    take_inventory,
+)
+from repro.core.suite import SuiteReport, run_validation_suite
+from repro.core.migrate import (
+    DropAuxiliaryMigration,
+    FieldRenameMigration,
+    LosslessMigration,
+    Migration,
+    PrecisionLossMigration,
+    apply_migration,
+)
+
+__all__ = [
+    "DPHEPLevel",
+    "classify_artifact",
+    "classify_tier",
+    "level_description",
+    "required_level",
+    "supports_use_case",
+    "use_cases",
+    "MetadataBlock",
+    "PreservationMetadata",
+    "ArchiveEntry",
+    "PreservationArchive",
+    "SubmissionPackage",
+    "ArchivalPackage",
+    "DisseminationPackage",
+    "ingest",
+    "disseminate",
+    "ObjectDefinition",
+    "EventSelection",
+    "KinematicVariable",
+    "EfficiencyFunction",
+    "AnalysisDescription",
+    "AnalysisDatabase",
+    "PreservedAnalysisBundle",
+    "ValidationOutcome",
+    "revalidate",
+    "ScriptCapture",
+    "ReexecutionOutcome",
+    "environment_spec",
+    "ArchiveInventory",
+    "LevelInventory",
+    "take_inventory",
+    "SuiteReport",
+    "run_validation_suite",
+    "Migration",
+    "LosslessMigration",
+    "FieldRenameMigration",
+    "PrecisionLossMigration",
+    "DropAuxiliaryMigration",
+    "apply_migration",
+]

@@ -1,0 +1,224 @@
+"""Direct code preservation of final analysis steps.
+
+Section 3.2: "The final steps to produce publication-quality plots and
+the final results are sufficiently varied that direct preservation
+(i.e., capturing an executable, or the entire source/script code) is
+likely the only way to insure that these final operations are
+preserved."
+
+A :class:`ScriptCapture` freezes an analyst's final-step function as
+*source code* together with an environment specification and the digest
+of its input data, and can re-execute it later in a controlled namespace
+to check that the preserved code still reproduces the preserved result.
+This is the code-preservation counterpart of the declarative
+:class:`~repro.core.validate.PreservedAnalysisBundle` — the two
+preservation modes the paper contrasts.
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+import platform
+import textwrap
+from dataclasses import dataclass, field
+
+from repro.core.archive import canonical_json, sha256_digest
+from repro.errors import PreservationError, ValidationError
+
+#: Names available to re-executed scripts. The namespace is small and
+#: explicit: a preserved script may use basic Python plus ``math`` —
+#: anything else must arrive through its inputs.
+_SCRIPT_GLOBALS = {
+    "__builtins__": {
+        "abs": abs, "min": min, "max": max, "sum": sum, "len": len,
+        "range": range, "enumerate": enumerate, "zip": zip,
+        "sorted": sorted, "map": map, "filter": filter, "round": round,
+        "float": float, "int": int, "str": str, "bool": bool,
+        "list": list, "dict": dict, "tuple": tuple, "set": set,
+        "any": any, "all": all, "reversed": reversed,
+        "ValueError": ValueError, "ZeroDivisionError": ZeroDivisionError,
+    },
+    "math": math,
+}
+
+
+def environment_spec() -> dict:
+    """The platform fingerprint stored alongside captured code."""
+    return {
+        "python_version": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine() or "unknown",
+    }
+
+
+@dataclass
+class ScriptCapture:
+    """A preserved final-analysis script with its inputs and outputs.
+
+    ``source`` must define a function named ``final_analysis(events)``
+    taking a list of JSON-like records and returning a JSON-serialisable
+    result. ``input_digest``/``expected_digest`` pin the archived inputs
+    and the result the original run produced.
+    """
+
+    capture_id: str
+    source: str
+    input_records: list[dict]
+    expected_result: dict | list | float | int | str
+    environment: dict = field(default_factory=environment_spec)
+
+    ENTRY_POINT = "final_analysis"
+
+    @classmethod
+    def create(cls, capture_id: str, function,
+               input_records: list[dict]) -> "ScriptCapture":
+        """Capture a live function: extract source, run it, freeze both.
+
+        The function must be named ``final_analysis`` (or is renamed in
+        the stored source) and must only use the restricted namespace —
+        :meth:`reexecute` on the fresh capture verifies this
+        immediately, so an uncapturable script fails at capture time,
+        not years later.
+        """
+        try:
+            source = textwrap.dedent(inspect.getsource(function))
+        except (OSError, TypeError) as exc:
+            raise PreservationError(
+                f"cannot extract source of {function!r}: {exc}"
+            ) from exc
+        if function.__name__ != cls.ENTRY_POINT:
+            source = source.replace(f"def {function.__name__}(",
+                                    f"def {cls.ENTRY_POINT}(", 1)
+        # Run on a deep copy: the capture-time execution must not be
+        # able to mutate the records being archived.
+        import copy
+
+        expected = function(copy.deepcopy(list(input_records)))
+        capture = cls(
+            capture_id=capture_id,
+            source=source,
+            input_records=copy.deepcopy(list(input_records)),
+            expected_result=expected,
+        )
+        # Fail fast if the source does not survive the sandbox.
+        outcome = capture.reexecute()
+        if not outcome.passed:
+            raise PreservationError(
+                f"capture {capture_id!r} is not self-reproducing: "
+                f"{outcome.detail}"
+            )
+        return capture
+
+    @property
+    def input_digest(self) -> str:
+        """Content digest of the archived inputs."""
+        return sha256_digest(canonical_json({"r": self.input_records}))
+
+    @property
+    def expected_digest(self) -> str:
+        """Content digest of the archived result."""
+        return sha256_digest(canonical_json({"r": self.expected_result}))
+
+    def reexecute(self) -> "ReexecutionOutcome":
+        """Run the preserved source on the preserved inputs and compare."""
+        namespace = dict(_SCRIPT_GLOBALS)
+        try:
+            exec(compile(self.source, f"<capture {self.capture_id}>",
+                         "exec"), namespace)
+        except Exception as exc:
+            return ReexecutionOutcome(
+                capture_id=self.capture_id, passed=False,
+                detail=f"source no longer compiles/executes: {exc}",
+            )
+        entry = namespace.get(self.ENTRY_POINT)
+        if not callable(entry):
+            return ReexecutionOutcome(
+                capture_id=self.capture_id, passed=False,
+                detail=f"no callable {self.ENTRY_POINT!r} in source",
+            )
+        try:
+            # Deep-ish copy through JSON so the script cannot mutate
+            # the archived inputs.
+            import json
+
+            inputs = json.loads(canonical_json(
+                {"r": self.input_records}
+            ).decode("utf-8"))["r"]
+            result = entry(inputs)
+        except Exception as exc:
+            return ReexecutionOutcome(
+                capture_id=self.capture_id, passed=False,
+                detail=f"re-execution raised: {exc}",
+            )
+        actual_digest = sha256_digest(canonical_json({"r": result}))
+        if actual_digest != self.expected_digest:
+            return ReexecutionOutcome(
+                capture_id=self.capture_id, passed=False,
+                detail=(f"result drifted: {result!r} != "
+                        f"{self.expected_result!r}"),
+            )
+        return ReexecutionOutcome(capture_id=self.capture_id,
+                                  passed=True, detail="")
+
+    def to_dict(self) -> dict:
+        """Serialise for archive storage.
+
+        Deep-copies the mutable members so the archived capture cannot
+        be altered through the returned structure.
+        """
+        import copy
+
+        return {
+            "format": "repro-script-capture",
+            "capture_id": self.capture_id,
+            "source": self.source,
+            "input_records": copy.deepcopy(self.input_records),
+            "expected_result": copy.deepcopy(self.expected_result),
+            "environment": dict(self.environment),
+            "input_digest": self.input_digest,
+            "expected_digest": self.expected_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ScriptCapture":
+        """Inverse of :meth:`to_dict`, verifying the stored digests."""
+        if record.get("format") != "repro-script-capture":
+            raise PreservationError(
+                f"not a script capture: format={record.get('format')!r}"
+            )
+        capture = cls(
+            capture_id=str(record["capture_id"]),
+            source=str(record["source"]),
+            input_records=list(record["input_records"]),
+            expected_result=record["expected_result"],
+            environment=dict(record.get("environment", {})),
+        )
+        stored_input = record.get("input_digest")
+        if stored_input and stored_input != capture.input_digest:
+            raise ValidationError(
+                f"capture {capture.capture_id!r}: archived inputs fail "
+                f"their digest"
+            )
+        stored_expected = record.get("expected_digest")
+        if stored_expected and stored_expected != capture.expected_digest:
+            raise ValidationError(
+                f"capture {capture.capture_id!r}: archived result fails "
+                f"its digest"
+            )
+        return capture
+
+
+@dataclass(frozen=True)
+class ReexecutionOutcome:
+    """The verdict of re-running a preserved script."""
+
+    capture_id: str
+    passed: bool
+    detail: str
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        status = "PASS" if self.passed else "FAIL"
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"{self.capture_id}: {status}{detail}"

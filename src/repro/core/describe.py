@@ -1,0 +1,294 @@
+"""Les Houches Recommendation 1a: structured analysis descriptions.
+
+"Provide a clear, explicit description of the analysis in publications.
+In particular, the most crucial information such as basic object
+definitions and event selection should be clearly displayed ...
+preferably in tabular form, and kinematic variables utilized should be
+unambiguously defined."
+
+An :class:`AnalysisDescription` is that description as data: object
+definitions, an ordered event selection, kinematic-variable definitions,
+and encapsulated efficiency functions — all serialisable, all executable
+against AOD events without any analyst code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datamodel.event import AODEvent
+from repro.datamodel.skimslim import (
+    AndCut,
+    CountCut,
+    SelectionCut,
+    SkimSpec,
+    cut_from_dict,
+)
+from repro.errors import PreservationError
+
+
+@dataclass(frozen=True)
+class ObjectDefinition:
+    """A basic object definition: what counts as an electron/muon/jet."""
+
+    object_type: str
+    min_pt: float
+    max_abs_eta: float
+    max_isolation: float | None = None
+    extra_requirements: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.object_type not in ("electron", "muon", "photon", "jet"):
+            raise PreservationError(
+                f"unknown object type {self.object_type!r}"
+            )
+
+    def selects(self, candidate) -> bool:
+        """Apply the definition to a candidate physics object."""
+        if candidate.p4.pt < self.min_pt:
+            return False
+        if abs(candidate.p4.eta) > self.max_abs_eta:
+            return False
+        if self.max_isolation is not None:
+            isolation = getattr(candidate, "isolation", 0.0)
+            if isolation > self.max_isolation:
+                return False
+        return True
+
+    def to_dict(self) -> dict:
+        """Serialise for the analysis database."""
+        record = {
+            "object_type": self.object_type,
+            "min_pt": self.min_pt,
+            "max_abs_eta": self.max_abs_eta,
+            "extra_requirements": list(self.extra_requirements),
+        }
+        if self.max_isolation is not None:
+            record["max_isolation"] = self.max_isolation
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ObjectDefinition":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            object_type=str(record["object_type"]),
+            min_pt=float(record["min_pt"]),
+            max_abs_eta=float(record["max_abs_eta"]),
+            max_isolation=(float(record["max_isolation"])
+                           if "max_isolation" in record else None),
+            extra_requirements=tuple(
+                str(r) for r in record.get("extra_requirements", [])
+            ),
+        )
+
+    def render_row(self) -> str:
+        """One row of the publication-style object table."""
+        isolation = (f", iso < {self.max_isolation}"
+                     if self.max_isolation is not None else "")
+        return (f"{self.object_type}: pt > {self.min_pt} GeV, "
+                f"|eta| < {self.max_abs_eta}{isolation}")
+
+
+@dataclass(frozen=True)
+class KinematicVariable:
+    """An unambiguous kinematic-variable definition."""
+
+    name: str
+    definition: str
+    units: str
+
+    def to_dict(self) -> dict:
+        """Serialise for the analysis database."""
+        return {"name": self.name, "definition": self.definition,
+                "units": self.units}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "KinematicVariable":
+        """Inverse of :meth:`to_dict`."""
+        return cls(str(record["name"]), str(record["definition"]),
+                   str(record["units"]))
+
+
+@dataclass(frozen=True)
+class EventSelection:
+    """An ordered, named cut flow."""
+
+    #: (cut name, cut) pairs in application order.
+    cuts: tuple[tuple[str, SelectionCut], ...]
+
+    def passes(self, event: AODEvent) -> bool:
+        """Apply every cut in order."""
+        return all(cut.passes(event) for _, cut in self.cuts)
+
+    def cutflow(self, events: list[AODEvent]) -> list[tuple[str, int]]:
+        """Sequential surviving-event counts — the publication cut table."""
+        survivors = list(events)
+        flow = [("all", len(survivors))]
+        for name, cut in self.cuts:
+            survivors = [event for event in survivors if cut.passes(event)]
+            flow.append((name, len(survivors)))
+        return flow
+
+    def to_skim_spec(self, name: str) -> SkimSpec:
+        """The selection as a single preservable skim."""
+        return SkimSpec(name=name,
+                        cut=AndCut(tuple(cut for _, cut in self.cuts)))
+
+    def to_dict(self) -> dict:
+        """Serialise for the analysis database."""
+        return {"cuts": [{"name": name, "cut": cut.to_dict()}
+                         for name, cut in self.cuts]}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "EventSelection":
+        """Inverse of :meth:`to_dict`."""
+        return cls(cuts=tuple(
+            (str(item["name"]), cut_from_dict(item["cut"]))
+            for item in record.get("cuts", [])
+        ))
+
+
+@dataclass
+class EfficiencyFunction:
+    """A "well-encapsulated function": a binned 1-D efficiency lookup.
+
+    Evaluation clamps to the first/last bin outside the range, which is
+    the conventional reading of published efficiency tables.
+    """
+
+    name: str
+    variable: str
+    edges: list[float]
+    values: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.edges) != len(self.values) + 1:
+            raise PreservationError(
+                f"efficiency {self.name!r}: {len(self.edges)} edges need "
+                f"{len(self.edges) - 1} values, got {len(self.values)}"
+            )
+        if any(not 0.0 <= v <= 1.0 for v in self.values):
+            raise PreservationError(
+                f"efficiency {self.name!r} has values outside [0, 1]"
+            )
+
+    def __call__(self, x: float) -> float:
+        """Evaluate the efficiency at ``x``."""
+        index = int(np.searchsorted(self.edges, x, side="right")) - 1
+        index = min(max(index, 0), len(self.values) - 1)
+        return self.values[index]
+
+    def to_dict(self) -> dict:
+        """Serialise for the analysis database."""
+        return {
+            "name": self.name,
+            "variable": self.variable,
+            "edges": list(self.edges),
+            "values": list(self.values),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "EfficiencyFunction":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(record["name"]),
+            variable=str(record["variable"]),
+            edges=[float(e) for e in record["edges"]],
+            values=[float(v) for v in record["values"]],
+        )
+
+
+@dataclass
+class AnalysisDescription:
+    """The complete Recommendation-1a description of one analysis."""
+
+    analysis_id: str
+    title: str
+    experiment: str
+    inspire_id: str = ""
+    final_state: str = ""
+    objects: list[ObjectDefinition] = field(default_factory=list)
+    selection: EventSelection = field(
+        default_factory=lambda: EventSelection(cuts=())
+    )
+    variables: list[KinematicVariable] = field(default_factory=list)
+    efficiencies: list[EfficiencyFunction] = field(default_factory=list)
+
+    def render_tables(self) -> str:
+        """The publication-style tabular rendering (Rec. 1a's "preferably
+        in tabular form")."""
+        lines = [f"Analysis: {self.title} ({self.analysis_id})",
+                 "", "Object definitions:"]
+        for definition in self.objects:
+            lines.append(f"  - {definition.render_row()}")
+        lines.append("")
+        lines.append("Event selection:")
+        for name, cut in self.selection.cuts:
+            lines.append(f"  {name}: {cut.describe()}")
+        if self.variables:
+            lines.append("")
+            lines.append("Kinematic variables:")
+            for variable in self.variables:
+                lines.append(
+                    f"  {variable.name} [{variable.units}] = "
+                    f"{variable.definition}"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Serialise for the analysis database and archives."""
+        return {
+            "format": "repro-analysis-description",
+            "analysis_id": self.analysis_id,
+            "title": self.title,
+            "experiment": self.experiment,
+            "inspire_id": self.inspire_id,
+            "final_state": self.final_state,
+            "objects": [o.to_dict() for o in self.objects],
+            "selection": self.selection.to_dict(),
+            "variables": [v.to_dict() for v in self.variables],
+            "efficiencies": [e.to_dict() for e in self.efficiencies],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "AnalysisDescription":
+        """Inverse of :meth:`to_dict`."""
+        if record.get("format") != "repro-analysis-description":
+            raise PreservationError(
+                f"not an analysis description: "
+                f"format={record.get('format')!r}"
+            )
+        return cls(
+            analysis_id=str(record["analysis_id"]),
+            title=str(record["title"]),
+            experiment=str(record["experiment"]),
+            inspire_id=str(record.get("inspire_id", "")),
+            final_state=str(record.get("final_state", "")),
+            objects=[ObjectDefinition.from_dict(o)
+                     for o in record.get("objects", [])],
+            selection=EventSelection.from_dict(
+                record.get("selection", {"cuts": []})
+            ),
+            variables=[KinematicVariable.from_dict(v)
+                       for v in record.get("variables", [])],
+            efficiencies=[EfficiencyFunction.from_dict(e)
+                          for e in record.get("efficiencies", [])],
+        )
+
+    def object_count_cuts(self) -> list[CountCut]:
+        """Derive per-object count cuts from the object definitions.
+
+        Convenience for building selections that require "at least one
+        object passing each definition".
+        """
+        return [
+            CountCut(
+                collection=f"{definition.object_type}s",
+                min_count=1,
+                min_pt=definition.min_pt,
+                max_abs_eta=definition.max_abs_eta,
+            )
+            for definition in self.objects
+        ]

@@ -1,0 +1,100 @@
+"""Curator's archive inventory by DPHEP preservation level.
+
+Workshop goal (i) asks which data tiers the use cases need; a curator's
+first question of an existing archive is the converse: *what do we hold,
+at which level, and which use cases does that support?* This module
+answers it from an archive's catalogue alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.archive import PreservationArchive
+from repro.core.levels import (
+    DPHEPLevel,
+    classify_artifact,
+    supports_use_case,
+    use_cases,
+)
+from repro.kinematics.units import human_bytes
+
+
+@dataclass
+class LevelInventory:
+    """Holdings at one DPHEP level."""
+
+    level: DPHEPLevel
+    n_artifacts: int = 0
+    total_bytes: int = 0
+    kinds: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ArchiveInventory:
+    """The per-level breakdown of an archive plus use-case coverage."""
+
+    archive_name: str
+    levels: dict[DPHEPLevel, LevelInventory]
+    unclassified: int = 0
+
+    @property
+    def highest_level_held(self) -> DPHEPLevel | None:
+        """The most complete preservation level with any holdings."""
+        held = [level for level, inventory in self.levels.items()
+                if inventory.n_artifacts > 0]
+        return max(held) if held else None
+
+    def supported_use_cases(self) -> list[str]:
+        """Use cases the archive's holdings can serve."""
+        highest = self.highest_level_held
+        if highest is None:
+            return []
+        return [use_case for use_case in use_cases()
+                if supports_use_case(highest, use_case)]
+
+    def render(self) -> str:
+        """Plain-text curator report."""
+        lines = [f"Archive inventory — {self.archive_name}", ""]
+        for level in sorted(self.levels, reverse=True):
+            inventory = self.levels[level]
+            kinds = ", ".join(
+                f"{kind}({count})"
+                for kind, count in sorted(inventory.kinds.items())
+            ) or "-"
+            lines.append(
+                f"  Level {int(level)} ({level.name.lower():12s}): "
+                f"{inventory.n_artifacts:4d} artifacts, "
+                f"{human_bytes(inventory.total_bytes):>10s}  [{kinds}]"
+            )
+        if self.unclassified:
+            lines.append(f"  unclassified: {self.unclassified}")
+        supported = self.supported_use_cases()
+        lines.append("")
+        lines.append("Supported use cases: "
+                     + (", ".join(supported) if supported else "none"))
+        return "\n".join(lines)
+
+
+def take_inventory(archive: PreservationArchive) -> ArchiveInventory:
+    """Classify every archived artifact onto its DPHEP level."""
+    levels = {level: LevelInventory(level=level) for level in DPHEPLevel}
+    unclassified = 0
+    for digest in archive.digests():
+        entry = archive.entry(digest)
+        try:
+            level = classify_artifact(entry.kind)
+        except Exception:
+            unclassified += 1
+            continue
+        inventory = levels[level]
+        inventory.n_artifacts += 1
+        inventory.total_bytes += entry.size_bytes
+        inventory.kinds[entry.kind] = (
+            inventory.kinds.get(entry.kind, 0) + 1
+        )
+    return ArchiveInventory(
+        archive_name=archive.name,
+        levels=levels,
+        unclassified=unclassified,
+    )

@@ -1,0 +1,120 @@
+"""The DPHEP preservation-level taxonomy."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.datamodel.tiers import DataTier
+from repro.errors import PreservationError
+
+
+class DPHEPLevel(enum.IntEnum):
+    """DPHEP data-preservation levels (low number = most abstract)."""
+
+    #: Additional documentation and data associated with publications.
+    PUBLICATION = 1
+    #: Simplified formats for outreach and simple re-analysis.
+    SIMPLIFIED = 2
+    #: Reconstructed data plus the analysis-level software.
+    ANALYSIS = 3
+    #: Raw data plus full reconstruction/simulation capability.
+    FULL = 4
+
+
+_LEVEL_DESCRIPTIONS = {
+    DPHEPLevel.PUBLICATION: (
+        "Publication-level products: result tables, cut descriptions, "
+        "efficiency grids, and other additional data attached to papers "
+        "(HepData records, analysis descriptions)."
+    ),
+    DPHEPLevel.SIMPLIFIED: (
+        "Simplified-format data and encapsulated analyses usable without "
+        "experiment software: outreach files, event-display records, "
+        "truth-level (RIVET-style) analysis code."
+    ),
+    DPHEPLevel.ANALYSIS: (
+        "Analysis-level reconstructed data (AOD, ntuples) together with "
+        "the software needed to analyse it."
+    ),
+    DPHEPLevel.FULL: (
+        "Raw data and the complete processing capability: simulation, "
+        "digitisation, reconstruction, conditions."
+    ),
+}
+
+#: Artifact-kind names accepted by :func:`classify_artifact`.
+_ARTIFACT_LEVELS = {
+    "hepdata_record": DPHEPLevel.PUBLICATION,
+    "analysis_description": DPHEPLevel.PUBLICATION,
+    "data_table": DPHEPLevel.PUBLICATION,
+    "efficiency_grid": DPHEPLevel.PUBLICATION,
+    "level2_file": DPHEPLevel.SIMPLIFIED,
+    "display_record": DPHEPLevel.SIMPLIFIED,
+    "rivet_analysis": DPHEPLevel.SIMPLIFIED,
+    "reference_data": DPHEPLevel.SIMPLIFIED,
+    "aod_dataset": DPHEPLevel.ANALYSIS,
+    "ntuple_dataset": DPHEPLevel.ANALYSIS,
+    "skim_spec": DPHEPLevel.ANALYSIS,
+    "slim_spec": DPHEPLevel.ANALYSIS,
+    "raw_dataset": DPHEPLevel.FULL,
+    "conditions_snapshot": DPHEPLevel.FULL,
+    "recast_backend": DPHEPLevel.FULL,
+    "workflow_chain": DPHEPLevel.FULL,
+}
+
+#: What each re-use use case minimally requires.
+_USE_CASE_LEVELS = {
+    "outreach": DPHEPLevel.SIMPLIFIED,
+    "generator_validation": DPHEPLevel.SIMPLIFIED,
+    "phenomenology_reinterpretation": DPHEPLevel.PUBLICATION,
+    "full_reinterpretation": DPHEPLevel.FULL,
+    "internal_reanalysis": DPHEPLevel.ANALYSIS,
+    "future_comparison": DPHEPLevel.ANALYSIS,
+    "reprocessing": DPHEPLevel.FULL,
+}
+
+
+def level_description(level: DPHEPLevel) -> str:
+    """Human-readable description of a level."""
+    return _LEVEL_DESCRIPTIONS[level]
+
+
+def classify_tier(tier: DataTier) -> DPHEPLevel:
+    """The preservation level a data tier belongs to."""
+    return DPHEPLevel(tier.dphep_level)
+
+
+def classify_artifact(kind: str) -> DPHEPLevel:
+    """The preservation level of a named artifact kind."""
+    try:
+        return _ARTIFACT_LEVELS[kind]
+    except KeyError:
+        raise PreservationError(
+            f"unknown artifact kind {kind!r}; known: "
+            f"{sorted(_ARTIFACT_LEVELS)}"
+        ) from None
+
+
+def required_level(use_case: str) -> DPHEPLevel:
+    """The minimum preservation level a use case requires."""
+    try:
+        return _USE_CASE_LEVELS[use_case]
+    except KeyError:
+        raise PreservationError(
+            f"unknown use case {use_case!r}; known: "
+            f"{sorted(_USE_CASE_LEVELS)}"
+        ) from None
+
+
+def supports_use_case(available_level: DPHEPLevel, use_case: str) -> bool:
+    """True when data preserved at ``available_level`` serves a use case.
+
+    Higher levels subsume lower ones: Level 4 supports everything,
+    Level 1 only publication-based work.
+    """
+    return available_level >= required_level(use_case)
+
+
+def use_cases() -> list[str]:
+    """All known use cases, sorted."""
+    return sorted(_USE_CASE_LEVELS)

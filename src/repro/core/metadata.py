@@ -1,0 +1,155 @@
+"""The preliminary preservation metadata set (workshop goal iii).
+
+Four blocks, modelled on library-science practice:
+
+- **descriptive** — what the artifact is and who made it;
+- **provenance** — how it was produced (links into the provenance graph);
+- **technical** — how to read it (format, size, checksum);
+- **rights** — who may access it, and when (embargo/licensing).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import MetadataError
+
+
+class MetadataBlock(enum.Enum):
+    """The four metadata blocks."""
+
+    DESCRIPTIVE = "descriptive"
+    PROVENANCE = "provenance"
+    TECHNICAL = "technical"
+    RIGHTS = "rights"
+
+
+#: Required fields per block.
+_REQUIRED: dict[MetadataBlock, tuple[str, ...]] = {
+    MetadataBlock.DESCRIPTIVE: ("title", "creator", "experiment",
+                                "created"),
+    MetadataBlock.PROVENANCE: ("producer", "parents"),
+    MetadataBlock.TECHNICAL: ("format", "size_bytes", "checksum"),
+    MetadataBlock.RIGHTS: ("access_policy",),
+}
+
+#: Recognised access policies, most to least open.
+ACCESS_POLICIES = ("public", "registered", "collaboration", "embargoed")
+
+
+@dataclass
+class PreservationMetadata:
+    """Metadata for one preserved artifact, organised in blocks."""
+
+    blocks: dict[MetadataBlock, dict] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        title: str,
+        creator: str,
+        experiment: str,
+        created: str,
+        artifact_format: str,
+        size_bytes: int,
+        checksum: str,
+        producer: str = "unknown",
+        parents: list[str] | None = None,
+        access_policy: str = "collaboration",
+        **extra: str,
+    ) -> "PreservationMetadata":
+        """Convenience constructor covering every required field."""
+        metadata = cls(blocks={
+            MetadataBlock.DESCRIPTIVE: {
+                "title": title,
+                "creator": creator,
+                "experiment": experiment,
+                "created": created,
+            },
+            MetadataBlock.PROVENANCE: {
+                "producer": producer,
+                "parents": list(parents) if parents else [],
+            },
+            MetadataBlock.TECHNICAL: {
+                "format": artifact_format,
+                "size_bytes": size_bytes,
+                "checksum": checksum,
+            },
+            MetadataBlock.RIGHTS: {
+                "access_policy": access_policy,
+            },
+        })
+        for key, value in extra.items():
+            metadata.blocks[MetadataBlock.DESCRIPTIVE][key] = value
+        metadata.validate()
+        return metadata
+
+    def validate(self) -> None:
+        """Check block completeness; raises :class:`MetadataError`."""
+        problems = []
+        for block, required_fields in _REQUIRED.items():
+            block_content = self.blocks.get(block)
+            if block_content is None:
+                problems.append(f"missing block {block.value!r}")
+                continue
+            for field_name in required_fields:
+                if field_name not in block_content:
+                    problems.append(
+                        f"block {block.value!r} missing field "
+                        f"{field_name!r}"
+                    )
+        rights = self.blocks.get(MetadataBlock.RIGHTS, {})
+        policy = rights.get("access_policy")
+        if policy is not None and policy not in ACCESS_POLICIES:
+            problems.append(
+                f"unknown access policy {policy!r}; known: "
+                f"{ACCESS_POLICIES}"
+            )
+        if problems:
+            raise MetadataError("; ".join(problems))
+
+    def get(self, block: MetadataBlock, field_name: str):
+        """Fetch one field from one block."""
+        try:
+            return self.blocks[block][field_name]
+        except KeyError:
+            raise MetadataError(
+                f"no field {field_name!r} in block {block.value!r}"
+            ) from None
+
+    @property
+    def title(self) -> str:
+        """The descriptive title."""
+        return str(self.get(MetadataBlock.DESCRIPTIVE, "title"))
+
+    @property
+    def checksum(self) -> str:
+        """The technical checksum."""
+        return str(self.get(MetadataBlock.TECHNICAL, "checksum"))
+
+    @property
+    def access_policy(self) -> str:
+        """The rights access policy."""
+        return str(self.get(MetadataBlock.RIGHTS, "access_policy"))
+
+    def to_dict(self) -> dict:
+        """Serialise for archive storage."""
+        return {block.value: dict(content)
+                for block, content in self.blocks.items()}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "PreservationMetadata":
+        """Inverse of :meth:`to_dict` (validates on load)."""
+        blocks = {}
+        for block_name, content in record.items():
+            try:
+                block = MetadataBlock(block_name)
+            except ValueError:
+                raise MetadataError(
+                    f"unknown metadata block {block_name!r}"
+                ) from None
+            blocks[block] = dict(content)
+        metadata = cls(blocks=blocks)
+        metadata.validate()
+        return metadata

@@ -1,0 +1,148 @@
+"""Platform-migration simulation.
+
+"The full experimental code base must be migrated to new computing
+platforms when such transitions become necessary. The entire set of
+processes must be kept functioning in order for the RECAST framework to
+produce appropriate results." Migration risk is *the* operational cost
+of full-stack preservation; this module lets benchmarks quantify it by
+applying realistic lossy transformations to preserved bundles and
+measuring how many still re-validate.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.validate import PreservedAnalysisBundle
+from repro.errors import MigrationError
+
+
+class Migration(abc.ABC):
+    """A platform transition applied to a preserved-analysis bundle."""
+
+    #: Human-readable migration name.
+    name: str = "migration"
+
+    @abc.abstractmethod
+    def apply(self, bundle_record: dict) -> dict:
+        """Transform a serialised bundle; must return a new dict."""
+
+    def describe(self) -> str:
+        """One-line description for migration logs."""
+        return self.name
+
+
+class LosslessMigration(Migration):
+    """A faithful migration: byte-identical content on a new platform."""
+
+    name = "lossless-replatform"
+
+    def apply(self, bundle_record: dict) -> dict:
+        import copy
+
+        return copy.deepcopy(bundle_record)
+
+
+class PrecisionLossMigration(Migration):
+    """A migration that truncates floating-point precision.
+
+    Models a format conversion (e.g. double -> float) during a platform
+    move. Small analyses survive; anything sensitive beyond ``digits``
+    significant digits fails re-validation.
+    """
+
+    name = "precision-loss"
+
+    def __init__(self, digits: int = 4) -> None:
+        if digits <= 0:
+            raise MigrationError("digits must be positive")
+        self.digits = digits
+
+    def _truncate(self, value):
+        if isinstance(value, float):
+            return float(f"%.{self.digits}g" % value)
+        if isinstance(value, list):
+            return [self._truncate(item) for item in value]
+        if isinstance(value, dict):
+            return {key: self._truncate(item)
+                    for key, item in value.items()}
+        return value
+
+    def apply(self, bundle_record: dict) -> dict:
+        record = self._truncate(bundle_record)
+        return record
+
+
+class FieldRenameMigration(Migration):
+    """A migration that renames a record field (schema drift).
+
+    Models the classic failure where a new software stack writes the
+    same information under a different key, silently breaking old
+    readers.
+    """
+
+    name = "field-rename"
+
+    def __init__(self, old_field: str = "met",
+                 new_field: str = "missing_et") -> None:
+        self.old_field = old_field
+        self.new_field = new_field
+
+    def _rename(self, value):
+        if isinstance(value, dict):
+            renamed = {}
+            for key, item in value.items():
+                new_key = self.new_field if key == self.old_field else key
+                renamed[new_key] = self._rename(item)
+            return renamed
+        if isinstance(value, list):
+            return [self._rename(item) for item in value]
+        return value
+
+    def apply(self, bundle_record: dict) -> dict:
+        return self._rename(bundle_record)
+
+
+class DropAuxiliaryMigration(Migration):
+    """A migration that loses part of the payload (storage pruning).
+
+    Drops a fraction of the archived input events — the "we only kept
+    the important files" failure mode.
+    """
+
+    name = "drop-auxiliary"
+
+    def __init__(self, keep_fraction: float = 0.9) -> None:
+        if not 0.0 < keep_fraction <= 1.0:
+            raise MigrationError(
+                f"keep_fraction must be in (0, 1], got {keep_fraction}"
+            )
+        self.keep_fraction = keep_fraction
+
+    def apply(self, bundle_record: dict) -> dict:
+        import copy
+
+        record = copy.deepcopy(bundle_record)
+        events = record.get("input_events", [])
+        keep = max(1, int(len(events) * self.keep_fraction))
+        record["input_events"] = events[:keep]
+        return record
+
+
+def apply_migration(bundle: PreservedAnalysisBundle,
+                    migration: Migration) -> PreservedAnalysisBundle:
+    """Migrate a bundle; returns the post-migration bundle.
+
+    A migration that structurally destroys the bundle raises
+    :class:`MigrationError` (the migration visibly failed); one that
+    merely corrupts content returns a bundle that will fail
+    re-validation (the migration *silently* failed — the dangerous case).
+    """
+    record = migration.apply(bundle.to_dict())
+    try:
+        return PreservedAnalysisBundle.from_dict(record)
+    except Exception as exc:
+        raise MigrationError(
+            f"migration {migration.name!r} destroyed bundle "
+            f"{bundle.bundle_id!r}: {exc}"
+        ) from exc

@@ -1,0 +1,184 @@
+"""OAIS-style packaging: SIP -> AIP -> DIP.
+
+A producer assembles a :class:`SubmissionPackage` (SIP) of named
+payloads; :func:`ingest` validates it and stores every payload in the
+archive, producing an :class:`ArchivalPackage` (AIP) manifest;
+:func:`disseminate` extracts a :class:`DisseminationPackage` (DIP)
+filtered by the consumer's access level — e.g. an outreach DIP contains
+only the Level-2 payloads of a full AIP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.archive import ArchiveEntry, PreservationArchive
+from repro.core.levels import DPHEPLevel, classify_artifact
+from repro.core.metadata import PreservationMetadata
+from repro.errors import PreservationError
+
+
+@dataclass
+class SubmissionPackage:
+    """A SIP: named payloads plus shared descriptive context."""
+
+    title: str
+    creator: str
+    experiment: str
+    created: str
+    access_policy: str = "collaboration"
+    #: name -> (kind, payload dict)
+    payloads: dict[str, tuple[str, dict]] = field(default_factory=dict)
+
+    def add(self, name: str, kind: str, payload: dict) -> None:
+        """Attach one payload; kinds must be classifiable."""
+        if name in self.payloads:
+            raise PreservationError(
+                f"SIP {self.title!r} already has payload {name!r}"
+            )
+        classify_artifact(kind)  # validates the kind
+        self.payloads[name] = (kind, dict(payload))
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+
+@dataclass
+class ArchivalPackage:
+    """An AIP: the ingest manifest mapping payload names to digests."""
+
+    package_id: str
+    title: str
+    experiment: str
+    #: name -> (kind, digest)
+    members: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    def digest_for(self, name: str) -> str:
+        """The archive digest of one member."""
+        try:
+            return self.members[name][1]
+        except KeyError:
+            raise PreservationError(
+                f"AIP {self.package_id!r} has no member {name!r}; "
+                f"members: {sorted(self.members)}"
+            ) from None
+
+    def members_at_level(self, maximum_level: DPHEPLevel
+                         ) -> dict[str, tuple[str, str]]:
+        """Members whose kind classifies at or below a level."""
+        return {
+            name: (kind, digest)
+            for name, (kind, digest) in self.members.items()
+            if classify_artifact(kind) <= maximum_level
+        }
+
+    def to_dict(self) -> dict:
+        """Serialise the manifest (itself archivable)."""
+        return {
+            "package_id": self.package_id,
+            "title": self.title,
+            "experiment": self.experiment,
+            "members": {name: list(member)
+                        for name, member in self.members.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ArchivalPackage":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            package_id=str(record["package_id"]),
+            title=str(record["title"]),
+            experiment=str(record["experiment"]),
+            members={name: (str(member[0]), str(member[1]))
+                     for name, member in record.get("members", {}).items()},
+        )
+
+
+@dataclass
+class DisseminationPackage:
+    """A DIP: retrieved payloads for one consumer profile."""
+
+    package_id: str
+    profile: str
+    #: name -> payload dict (fixity-verified at extraction).
+    payloads: dict[str, dict] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+
+def ingest(sip: SubmissionPackage, archive: PreservationArchive,
+           package_id: str) -> ArchivalPackage:
+    """Validate and store a SIP; returns the AIP manifest.
+
+    Every payload gets its own metadata record derived from the SIP's
+    shared context; the manifest itself is stored too, so the AIP is
+    discoverable from the archive alone.
+    """
+    if not sip.payloads:
+        raise PreservationError(f"SIP {sip.title!r} is empty")
+    aip = ArchivalPackage(
+        package_id=package_id,
+        title=sip.title,
+        experiment=sip.experiment,
+    )
+    for name, (kind, payload) in sorted(sip.payloads.items()):
+        metadata = PreservationMetadata.build(
+            title=f"{sip.title} / {name}",
+            creator=sip.creator,
+            experiment=sip.experiment,
+            created=sip.created,
+            artifact_format=kind,
+            size_bytes=0,  # overwritten at store time
+            checksum="",   # overwritten at store time
+            producer="sip-ingest",
+            parents=[],
+            access_policy=sip.access_policy,
+        )
+        entry: ArchiveEntry = archive.store(payload, kind, metadata)
+        aip.members[name] = (kind, entry.digest)
+    manifest_metadata = PreservationMetadata.build(
+        title=f"{sip.title} / manifest",
+        creator=sip.creator,
+        experiment=sip.experiment,
+        created=sip.created,
+        artifact_format="aip-manifest",
+        size_bytes=0,
+        checksum="",
+        producer="sip-ingest",
+        access_policy=sip.access_policy,
+    )
+    archive.store(aip.to_dict(), "hepdata_record", manifest_metadata)
+    return aip
+
+
+#: Consumer profiles and the maximum level their DIPs include.
+_PROFILES = {
+    "outreach": DPHEPLevel.SIMPLIFIED,
+    "phenomenologist": DPHEPLevel.SIMPLIFIED,
+    "collaborator": DPHEPLevel.ANALYSIS,
+    "archivist": DPHEPLevel.FULL,
+}
+
+
+def disseminate(archive: PreservationArchive, aip: ArchivalPackage,
+                profile: str) -> DisseminationPackage:
+    """Extract the payloads a consumer profile may receive."""
+    try:
+        maximum_level = _PROFILES[profile]
+    except KeyError:
+        raise PreservationError(
+            f"unknown dissemination profile {profile!r}; known: "
+            f"{sorted(_PROFILES)}"
+        ) from None
+    dip = DisseminationPackage(package_id=aip.package_id, profile=profile)
+    for name, (_, digest) in sorted(
+        aip.members_at_level(maximum_level).items()
+    ):
+        dip.payloads[name] = archive.retrieve(digest)
+    return dip
+
+
+def dissemination_profiles() -> list[str]:
+    """All known consumer profiles, sorted."""
+    return sorted(_PROFILES)

@@ -1,0 +1,108 @@
+"""Batch re-validation of everything an archive preserves.
+
+Operationally, this is an archive's nightly job: walk the catalogue,
+re-execute every preserved-analysis bundle and script capture, fixity-
+check every blob, and produce one curator report. It turns the paper's
+"the analysis can be re-run at any time … for validation purposes" from
+a capability into a routine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.archive import PreservationArchive
+from repro.core.capture import ScriptCapture
+from repro.core.validate import PreservedAnalysisBundle, revalidate
+
+
+@dataclass
+class SuiteReport:
+    """The outcome of one archive-wide validation sweep."""
+
+    archive_name: str
+    n_artifacts: int = 0
+    n_fixity_checked: int = 0
+    n_fixity_failed: int = 0
+    n_bundles: int = 0
+    n_bundles_passed: int = 0
+    n_captures: int = 0
+    n_captures_passed: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """True when everything checked out."""
+        return not self.failures and self.n_fixity_failed == 0
+
+    def render(self) -> str:
+        """Plain-text curator report."""
+        lines = [
+            f"Validation sweep — {self.archive_name}",
+            "",
+            f"  artifacts:        {self.n_artifacts}",
+            f"  fixity checked:   {self.n_fixity_checked} "
+            f"({self.n_fixity_failed} failed)",
+            f"  bundles re-run:   {self.n_bundles} "
+            f"({self.n_bundles_passed} passed)",
+            f"  captures re-run:  {self.n_captures} "
+            f"({self.n_captures_passed} passed)",
+            f"  verdict:          "
+            f"{'HEALTHY' if self.healthy else 'ATTENTION NEEDED'}",
+        ]
+        for failure in self.failures:
+            lines.append(f"    ! {failure}")
+        return "\n".join(lines)
+
+
+def run_validation_suite(archive: PreservationArchive) -> SuiteReport:
+    """Fixity-check every blob and re-run every preserved analysis."""
+    report = SuiteReport(archive_name=archive.name,
+                         n_artifacts=len(archive))
+    for digest in archive.digests():
+        report.n_fixity_checked += 1
+        if not archive.verify(digest):
+            report.n_fixity_failed += 1
+            report.failures.append(
+                f"fixity failure on {digest[:12]}..."
+            )
+            continue
+        payload = archive.retrieve(digest)
+        if not isinstance(payload, dict):
+            continue
+        format_tag = payload.get("format")
+        if format_tag == "repro-preserved-analysis":
+            report.n_bundles += 1
+            try:
+                outcome = revalidate(
+                    PreservedAnalysisBundle.from_dict(payload)
+                )
+            except Exception as exc:
+                report.failures.append(
+                    f"bundle {digest[:12]}... unreadable: {exc}"
+                )
+                continue
+            if outcome.passed:
+                report.n_bundles_passed += 1
+            else:
+                report.failures.append(
+                    f"bundle {outcome.bundle_id} failed: "
+                    f"{outcome.mismatches[0] if outcome.mismatches else ''}"
+                )
+        elif format_tag == "repro-script-capture":
+            report.n_captures += 1
+            try:
+                outcome = ScriptCapture.from_dict(payload).reexecute()
+            except Exception as exc:
+                report.failures.append(
+                    f"capture {digest[:12]}... unreadable: {exc}"
+                )
+                continue
+            if outcome.passed:
+                report.n_captures_passed += 1
+            else:
+                report.failures.append(
+                    f"capture {outcome.capture_id} failed: "
+                    f"{outcome.detail}"
+                )
+    return report

@@ -1,0 +1,74 @@
+"""Event data model: tiers, containers, skim/slim, and persistent formats.
+
+Implements the nested data-tier taxonomy of Section 3 of the paper —
+GEN/SIM/RAW/RECO/AOD/NTUPLE — with explicit, *logical* skimming and
+slimming descriptions ("each processing step between the final
+centrally-processed format and some reduced format can be reduced to a
+logical skimming/slimming description"), and a self-documenting
+JSON-lines file format whose header carries both schema and provenance.
+"""
+
+from repro.datamodel.tiers import DataTier, TIER_ORDER, tier_description
+from repro.datamodel.event import AODEvent, NtupleRow, make_aod
+from repro.datamodel.skimslim import (
+    AndCut,
+    CountCut,
+    HtCut,
+    MassWindowCut,
+    MetCut,
+    NotCut,
+    OrCut,
+    SelectionCut,
+    SkimSpec,
+    SlimSpec,
+    TriggerCut,
+    available_derived_columns,
+    cut_from_dict,
+)
+from repro.datamodel.io import (
+    DatasetHeader,
+    DatasetReader,
+    DatasetWriter,
+    read_dataset,
+    write_dataset,
+)
+from repro.datamodel.luminosity import (
+    GoodRunList,
+    RunRecord,
+    RunRegistry,
+    certify_good_runs,
+)
+from repro.datamodel.schema import field_documentation, validate_record
+
+__all__ = [
+    "DataTier",
+    "TIER_ORDER",
+    "tier_description",
+    "AODEvent",
+    "NtupleRow",
+    "make_aod",
+    "SelectionCut",
+    "CountCut",
+    "MetCut",
+    "HtCut",
+    "MassWindowCut",
+    "AndCut",
+    "OrCut",
+    "NotCut",
+    "SkimSpec",
+    "SlimSpec",
+    "TriggerCut",
+    "available_derived_columns",
+    "cut_from_dict",
+    "DatasetHeader",
+    "DatasetWriter",
+    "DatasetReader",
+    "write_dataset",
+    "read_dataset",
+    "field_documentation",
+    "validate_record",
+    "RunRecord",
+    "RunRegistry",
+    "GoodRunList",
+    "certify_good_runs",
+]

@@ -1,0 +1,111 @@
+"""Schema documentation and validation for the persistent tiers.
+
+A recurring paper theme is the *self-documenting* data format (Table 1
+asks each experiment whether its outreach format is self-documenting).
+Every dataset file written by :mod:`repro.datamodel.io` embeds the field
+documentation returned by :func:`field_documentation`, so a file alone is
+enough to understand its contents.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.tiers import DataTier
+from repro.errors import SchemaError
+
+_FIELD_DOCS: dict[DataTier, dict[str, str]] = {
+    DataTier.GEN: {
+        "event_number": "sequential event index within the run",
+        "process_id": "integer id of the generating physics process",
+        "process_name": "name of the generating physics process",
+        "sqrt_s": "centre-of-mass energy in GeV",
+        "weight": "event weight (1.0 for unweighted generation)",
+        "particles": "list of generated particles; each has index, "
+                     "pdg_id, p4=[E,px,py,pz] in GeV, status "
+                     "(1=final, 2=decayed, 3=hard), parents, children, "
+                     "and optional prod_vtx/decay_vtx in mm",
+    },
+    DataTier.RAW: {
+        "run": "run number (keys the conditions database)",
+        "event": "event number within the run",
+        "bx": "bunch-crossing counter",
+        "tracker_hits": "anonymous tracker space points: layer, r [mm], "
+                        "phi [rad], z [mm]",
+        "calo_hits": "calorimeter cells above threshold: sub, ieta, "
+                     "iphi, e [GeV]",
+        "muon_hits": "muon-chamber segments: station, eta, phi",
+    },
+    DataTier.RECO: {
+        "run": "run number",
+        "event": "event number within the run",
+        "tracks": "fitted tracks: pt [GeV], eta, phi, q, d0 [mm], "
+                  "z0 [mm], chi2, nhits",
+        "ecal_clusters": "ECAL clusters: e [GeV], eta, phi, ncells",
+        "hcal_clusters": "HCAL clusters: e [GeV], eta, phi, ncells",
+        "electrons": "electron candidates: p4, q, eop, iso",
+        "muons": "muon candidates: p4, q, stations, iso",
+        "photons": "photon candidates: p4",
+        "jets": "cone jets: p4, ncon, emf",
+        "met": "missing transverse momentum: met [GeV], phi",
+    },
+    DataTier.AOD: {
+        "run": "run number",
+        "event": "event number within the run",
+        "electrons": "electron candidates: p4, q, eop, iso",
+        "muons": "muon candidates: p4, q, stations, iso",
+        "photons": "photon candidates: p4",
+        "jets": "cone jets: p4, ncon, emf",
+        "met": "missing transverse momentum: met [GeV], phi",
+        "triggers": "names of trigger paths that fired",
+        "ntracks": "number of reconstructed tracks (summary only)",
+    },
+    DataTier.NTUPLE: {
+        "run": "run number",
+        "event": "event number within the run",
+        "cols": "flat derived columns; names are analysis-defined from "
+                "the fixed slim vocabulary",
+    },
+    DataTier.LEVEL2: {
+        "run": "run number",
+        "event": "event number within the run",
+        "collision_energy_tev": "centre-of-mass energy in TeV",
+        "particles": "simplified particle list: type (electron, muon, "
+                     "photon, jet), E [GeV], pt [GeV], eta, phi, charge",
+        "met": "missing transverse momentum: value [GeV], phi",
+        "display": "optional event-display payload: tracks and towers",
+    },
+    DataTier.SIM: {
+        "event_number": "sequential event index",
+        "primary_vertex": "smeared beam-spot vertex [mm]",
+        "traversals": "charged particles crossing the tracker",
+        "deposits": "calorimeter energy deposits",
+    },
+}
+
+#: Fields that must be present for a record to be minimally valid.
+_REQUIRED_FIELDS: dict[DataTier, tuple[str, ...]] = {
+    DataTier.GEN: ("event_number", "process_name", "particles"),
+    DataTier.SIM: ("event_number",),
+    DataTier.RAW: ("run", "event", "tracker_hits", "calo_hits"),
+    DataTier.RECO: ("run", "event", "tracks", "met"),
+    DataTier.AOD: ("run", "event", "met", "triggers"),
+    DataTier.NTUPLE: ("run", "event", "cols"),
+    DataTier.LEVEL2: ("run", "event", "particles"),
+}
+
+
+def field_documentation(tier: DataTier) -> dict[str, str]:
+    """Per-field documentation for a tier's records."""
+    return dict(_FIELD_DOCS[tier])
+
+
+def validate_record(record: dict, tier: DataTier) -> None:
+    """Check that a record has the tier's required fields.
+
+    Raises :class:`SchemaError` naming every missing field.
+    """
+    missing = [name for name in _REQUIRED_FIELDS[tier]
+               if name not in record]
+    if missing:
+        raise SchemaError(
+            f"{tier.value} record missing required fields: {missing}"
+        )

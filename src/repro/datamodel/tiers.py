@@ -1,0 +1,113 @@
+"""The data-tier taxonomy and its mapping onto DPHEP preservation levels."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import TierError
+
+
+class DataTier(enum.Enum):
+    """The nested processing tiers of a HEP experiment."""
+
+    GEN = "GEN"
+    SIM = "SIM"
+    RAW = "RAW"
+    RECO = "RECO"
+    AOD = "AOD"
+    NTUPLE = "NTUPLE"
+    LEVEL2 = "LEVEL2"
+
+    @property
+    def dphep_level(self) -> int:
+        """The DPHEP preservation level this tier's data belongs to.
+
+        Level 1: published results and additional publication data;
+        Level 2: simplified formats for outreach and simple re-analysis;
+        Level 3: analysis-level reconstructed data plus software;
+        Level 4: raw data and full reconstruction capability.
+        """
+        return _DPHEP_LEVEL[self]
+
+
+_DPHEP_LEVEL = {
+    DataTier.GEN: 4,
+    DataTier.SIM: 4,
+    DataTier.RAW: 4,
+    DataTier.RECO: 3,
+    DataTier.AOD: 3,
+    DataTier.NTUPLE: 3,
+    DataTier.LEVEL2: 2,
+}
+
+#: The production ordering of tiers; each is derived from its predecessor
+#: (LEVEL2 branches off AOD rather than NTUPLE, see ``derived_from``).
+TIER_ORDER = (
+    DataTier.GEN,
+    DataTier.SIM,
+    DataTier.RAW,
+    DataTier.RECO,
+    DataTier.AOD,
+    DataTier.NTUPLE,
+)
+
+_DESCRIPTIONS = {
+    DataTier.GEN: (
+        "Generator truth: HepMC-style particle records with parentage "
+        "and decay vertices."
+    ),
+    DataTier.SIM: (
+        "Simulation output: particle traversals and calorimeter deposits "
+        "with truth links."
+    ),
+    DataTier.RAW: (
+        "Detector signals only: tracker space points, calorimeter cell "
+        "energies, muon segments. No truth, no interpretation."
+    ),
+    DataTier.RECO: (
+        "Full reconstruction output: tracks and clusters plus candidate "
+        "physics objects (electrons, muons, photons, jets, MET)."
+    ),
+    DataTier.AOD: (
+        "Analysis Object Data: candidate physics objects and event "
+        "summary only; the basis for physics analysis."
+    ),
+    DataTier.NTUPLE: (
+        "Flat analysis-group format: derived per-event quantities after "
+        "skimming and slimming."
+    ),
+    DataTier.LEVEL2: (
+        "Simplified self-documenting format for outreach and high-level "
+        "re-analysis; converted from AOD by a thin layer."
+    ),
+}
+
+_DERIVED_FROM = {
+    DataTier.GEN: None,
+    DataTier.SIM: DataTier.GEN,
+    DataTier.RAW: DataTier.SIM,
+    DataTier.RECO: DataTier.RAW,
+    DataTier.AOD: DataTier.RECO,
+    DataTier.NTUPLE: DataTier.AOD,
+    DataTier.LEVEL2: DataTier.AOD,
+}
+
+
+def tier_description(tier: DataTier) -> str:
+    """Human-readable description of a tier's content."""
+    return _DESCRIPTIONS[tier]
+
+
+def parent_tier(tier: DataTier) -> DataTier | None:
+    """The tier this one is derived from (None for GEN)."""
+    return _DERIVED_FROM[tier]
+
+
+def check_derivation(parent: DataTier, child: DataTier) -> None:
+    """Raise :class:`TierError` unless ``child`` is derived from ``parent``."""
+    if _DERIVED_FROM[child] is not parent:
+        raise TierError(
+            f"{child.value} is not derived from {parent.value}; it is "
+            f"derived from "
+            f"{_DERIVED_FROM[child].value if _DERIVED_FROM[child] else None}"
+        )

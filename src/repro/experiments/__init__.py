@@ -1,0 +1,53 @@
+"""Experiment profiles: the workshop's empirical inputs as data.
+
+The workshop collected, for each experiment, its outreach technology
+stack (Table 1), its processing/analysis workflow, its constants-handling
+strategy, and its data-policy status. This package encodes those findings
+as structured profiles so the benchmarks can *regenerate* the paper's
+tables and quantify its comparative claims (workflow similarity, the
+ALICE constants outlier, post-AOD divergence).
+"""
+
+from repro.experiments.profiles import (
+    DataPolicy,
+    ExperimentProfile,
+    OutreachProfile,
+)
+from repro.experiments.registry import (
+    all_experiments,
+    get_experiment,
+    lhc_experiments,
+)
+from repro.experiments.workflows import (
+    WorkflowGraph,
+    build_workflow,
+    post_aod_subgraph,
+    pre_aod_subgraph,
+    similarity_matrix,
+    workflow_similarity,
+)
+from repro.experiments.outreach_matrix import (
+    diversity_report,
+    outreach_feature_matrix,
+    render_table1,
+    verify_outreach_capabilities,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "OutreachProfile",
+    "DataPolicy",
+    "all_experiments",
+    "lhc_experiments",
+    "get_experiment",
+    "WorkflowGraph",
+    "build_workflow",
+    "workflow_similarity",
+    "similarity_matrix",
+    "pre_aod_subgraph",
+    "post_aod_subgraph",
+    "diversity_report",
+    "outreach_feature_matrix",
+    "render_table1",
+    "verify_outreach_capabilities",
+]

@@ -1,0 +1,138 @@
+"""Regeneration of Table 1: the outreach feature matrix.
+
+The matrix is emitted from the experiment profiles, and — because this
+library actually *implements* a common outreach stack — each capability
+row can be cross-checked against running code via
+:func:`verify_outreach_capabilities`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.experiments.profiles import ExperimentProfile
+
+#: Table 1 row labels in the paper's order.
+TABLE1_ROWS = (
+    "Event Display(s)",
+    "display technology",
+    "format of Geometry description",
+    "Data Browser/Histogrammer",
+    "Data Format(s)",
+    "self-documenting?",
+    "Master Class uses",
+    "Comments",
+)
+
+
+def _row_value(profile: ExperimentProfile, row: str) -> str:
+    outreach = profile.outreach
+    if outreach is None:
+        raise ExperimentError(
+            f"{profile.name} has no outreach profile (not in Table 1)"
+        )
+    if row == "Event Display(s)":
+        return ", ".join(outreach.event_displays)
+    if row == "display technology":
+        return outreach.display_technology
+    if row == "format of Geometry description":
+        return outreach.geometry_format
+    if row == "Data Browser/Histogrammer":
+        return ", ".join(outreach.browser_tools)
+    if row == "Data Format(s)":
+        return ", ".join(outreach.data_formats)
+    if row == "self-documenting?":
+        return outreach.self_documenting
+    if row == "Master Class uses":
+        return ", ".join(outreach.masterclass_uses)
+    if row == "Comments":
+        return outreach.comments
+    raise ExperimentError(f"unknown Table 1 row {row!r}")
+
+
+def outreach_feature_matrix(
+    profiles: list[ExperimentProfile],
+) -> dict[str, dict[str, str]]:
+    """The Table 1 matrix: row label -> {experiment -> value}."""
+    matrix: dict[str, dict[str, str]] = {}
+    for row in TABLE1_ROWS:
+        matrix[row] = {profile.name: _row_value(profile, row)
+                       for profile in profiles}
+    return matrix
+
+
+def render_table1(profiles: list[ExperimentProfile],
+                  column_width: int = 26) -> str:
+    """Plain-text rendering of Table 1."""
+    matrix = outreach_feature_matrix(profiles)
+    names = [profile.name for profile in profiles]
+    header = "".ljust(column_width) + "".join(
+        name.ljust(column_width) for name in names
+    )
+    lines = [header, "-" * len(header)]
+    for row in TABLE1_ROWS:
+        cells = [matrix[row][name][:column_width - 2].ljust(column_width)
+                 for name in names]
+        lines.append(row[:column_width - 2].ljust(column_width)
+                     + "".join(cells))
+    return "\n".join(lines)
+
+
+def diversity_report(profiles: list[ExperimentProfile]) -> dict:
+    """Quantifies the "no common formats" conclusion.
+
+    Counts distinct values per Table 1 row; a row with one distinct value
+    would indicate a de-facto standard — the paper found none.
+    """
+    matrix = outreach_feature_matrix(profiles)
+    report = {}
+    for row in ("display technology", "format of Geometry description",
+                "Data Format(s)"):
+        values = set(matrix[row].values())
+        report[row] = {
+            "n_distinct": len(values),
+            "n_experiments": len(profiles),
+            "values": sorted(values),
+        }
+    report["any_common_format"] = any(
+        entry["n_distinct"] == 1
+        for key, entry in report.items()
+        if isinstance(entry, dict)
+    )
+    return report
+
+
+def verify_outreach_capabilities(profile: ExperimentProfile) -> dict:
+    """Cross-check a profile's Table 1 claims against this library.
+
+    For every master-class use the profile lists, report whether the
+    repro outreach stack implements an equivalent exercise; likewise for
+    display and format capabilities. This is the "common infrastructure"
+    counter-demonstration: one stack covering all four columns.
+    """
+    implemented_exercises = {
+        "W": "WPathExercise",
+        "Z": "ZPathExercise",
+        "Higgs": "HiggsHuntExercise",
+        "D lifetime": "DLifetimeExercise",
+        "V0": "V0Exercise",
+    }
+    coverage = {}
+    outreach = profile.outreach
+    if outreach is None:
+        raise ExperimentError(f"{profile.name} has no outreach profile")
+    for use in outreach.masterclass_uses:
+        matched = None
+        for keyword, exercise in implemented_exercises.items():
+            if keyword.lower() in use.lower():
+                matched = exercise
+                break
+        coverage[use] = matched
+    return {
+        "experiment": profile.name,
+        "masterclass_coverage": coverage,
+        "n_covered": sum(1 for v in coverage.values() if v),
+        "n_uses": len(coverage),
+        "display_supported": True,   # EventDisplayRecord + lego renderer
+        "self_documenting_format": True,  # Level-2 format embeds its docs
+        "geometry_export": "JSON",
+    }

@@ -1,0 +1,91 @@
+"""Structured experiment profiles."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+
+
+class ConstantsHandling(enum.Enum):
+    """How an experiment ships calibration constants to jobs."""
+
+    DATABASE = "database"
+    TEXT_FILES = "text files"
+
+
+class PostAODCommonality(enum.Enum):
+    """How uniform the post-AOD analysis formats are across groups."""
+
+    HIGH = "high"
+    MEDIUM = "medium"
+    LOW = "low"
+
+
+class DataPolicyStatus(enum.Enum):
+    """Status of the public data-release policy (Section 4)."""
+
+    APPROVED = "approved"
+    UNDER_DISCUSSION = "under discussion"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class DataPolicy:
+    """Public-data-release policy of one experiment."""
+
+    status: DataPolicyStatus
+    year: int | None = None
+
+    def describe(self) -> str:
+        """One-line rendering for the Section 4 listing."""
+        if self.status == DataPolicyStatus.APPROVED:
+            return f"approved in {self.year}"
+        if self.status == DataPolicyStatus.UNDER_DISCUSSION:
+            return f"under discussion ({self.year})"
+        return "no public policy"
+
+
+@dataclass(frozen=True)
+class OutreachProfile:
+    """The Table 1 row-set for one experiment."""
+
+    event_displays: tuple[str, ...]
+    display_technology: str
+    geometry_format: str
+    browser_tools: tuple[str, ...]
+    data_formats: tuple[str, ...]
+    self_documenting: str  # "yes", "partial", "no", or "unknown"
+    masterclass_uses: tuple[str, ...]
+    comments: str = ""
+
+    def __post_init__(self) -> None:
+        if self.self_documenting not in ("yes", "partial", "no", "unknown"):
+            raise ExperimentError(
+                f"self_documenting must be yes/partial/no/unknown, got "
+                f"{self.self_documenting!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Everything the workshop recorded about one experiment."""
+
+    name: str
+    collider: str
+    detector_type: str  # "general-purpose", "forward", "b-factory", ...
+    is_lhc: bool
+    outreach: OutreachProfile | None
+    constants_handling: ConstantsHandling
+    post_aod_commonality: PostAODCommonality
+    data_policy: DataPolicy
+    #: Named analysis-group derivation formats (the post-AOD variety).
+    group_formats: tuple[str, ...] = ()
+    #: Interview evidence used by the maturity assessment (booleans and
+    #: small scalars keyed by evidence name).
+    interview_evidence: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExperimentError("experiment name must be non-empty")

@@ -1,0 +1,212 @@
+"""The experiment registry: Table 1 plus workflow/interview context.
+
+Outreach rows transcribe Table 1 of the workshop report (updated 2014);
+constants handling, post-AOD commonality, and data policies come from
+Sections 3.2 and 4; the interview evidence encodes plausible Appendix-A
+answers used to *compute* the maturity ratings rather than assert them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.experiments.profiles import (
+    ConstantsHandling,
+    DataPolicy,
+    DataPolicyStatus,
+    ExperimentProfile,
+    OutreachProfile,
+    PostAODCommonality,
+)
+
+_ALICE = ExperimentProfile(
+    name="ALICE",
+    collider="LHC",
+    detector_type="heavy-ion",
+    is_lhc=True,
+    outreach=OutreachProfile(
+        event_displays=("Root-based display", "simplified display"),
+        display_technology="ROOT",
+        geometry_format="ROOT",
+        browser_tools=("X/Root-based browser",),
+        data_formats=("Root",),
+        self_documenting="unknown",
+        masterclass_uses=("V0 analyses", "general track analyses"),
+        comments="Root too heavy for classroom use",
+    ),
+    constants_handling=ConstantsHandling.TEXT_FILES,
+    post_aod_commonality=PostAODCommonality.MEDIUM,
+    data_policy=DataPolicy(DataPolicyStatus.UNDER_DISCUSSION, 2014),
+    group_formats=("AnalysisTrains",),
+    interview_evidence={
+        "has_backup": True, "has_security": True, "has_dr_plan": False,
+        "dr_procedures": False, "dr_tested": False,
+        "metadata_understood": True, "uses_standard_formats": True,
+        "data_labeled": False, "outsider_usable": False,
+        "preservation_planned": True, "repositories_in_place": False,
+        "preservation_effective": False,
+        "access_systems": True, "access_controlled": True,
+        "sharing_supported": False, "sharing_culture": False,
+    },
+)
+
+_ATLAS = ExperimentProfile(
+    name="ATLAS",
+    collider="LHC",
+    detector_type="general-purpose",
+    is_lhc=True,
+    outreach=OutreachProfile(
+        event_displays=("ATLANTIS", "VP1"),
+        display_technology="Java",
+        geometry_format="XML (full geometry)",
+        browser_tools=("MINERVA", "HYPATIA", "LPPP", "CAMELIA", "OPloT"),
+        data_formats=("Jive-XML", "Root", "Full EDM", "AOD", "xAOD"),
+        self_documenting="partial",
+        masterclass_uses=("W", "Z", "Higgs",
+                          "large MC samples and data"),
+        comments="XML format is self-documenting",
+    ),
+    constants_handling=ConstantsHandling.DATABASE,
+    post_aod_commonality=PostAODCommonality.LOW,
+    data_policy=DataPolicy(DataPolicyStatus.UNDER_DISCUSSION, 2014),
+    group_formats=("D3PD-SM", "D3PD-Top", "D3PD-Exotics", "D3PD-Higgs",
+                   "D3PD-SUSY", "D3PD-BPhys"),
+    interview_evidence={
+        "has_backup": True, "has_security": True, "has_dr_plan": True,
+        "dr_procedures": True, "dr_tested": False,
+        "metadata_understood": True, "uses_standard_formats": True,
+        "data_labeled": True, "outsider_usable": False,
+        "preservation_planned": True, "repositories_in_place": False,
+        "preservation_effective": False,
+        "access_systems": True, "access_controlled": True,
+        "sharing_supported": True, "sharing_culture": False,
+    },
+)
+
+_CMS = ExperimentProfile(
+    name="CMS",
+    collider="LHC",
+    detector_type="general-purpose",
+    is_lhc=True,
+    outreach=OutreachProfile(
+        event_displays=("iSpy",),
+        display_technology="browser (WebGL/JS)",
+        geometry_format="XML/JSON",
+        browser_tools=("JavaScript-based tools",),
+        data_formats=("ig",),
+        self_documenting="yes",
+        masterclass_uses=("W", "Z", "Higgs", "different datasets",
+                          "not so much MC"),
+        comments="ig format spec published",
+    ),
+    constants_handling=ConstantsHandling.DATABASE,
+    post_aod_commonality=PostAODCommonality.HIGH,
+    data_policy=DataPolicy(DataPolicyStatus.APPROVED, 2013),
+    group_formats=("PAT-common",),
+    interview_evidence={
+        "has_backup": True, "has_security": True, "has_dr_plan": True,
+        "dr_procedures": True, "dr_tested": True,
+        "metadata_understood": True, "uses_standard_formats": True,
+        "data_labeled": True, "outsider_usable": True,
+        "preservation_planned": True, "repositories_in_place": True,
+        "preservation_effective": False,
+        "access_systems": True, "access_controlled": True,
+        "sharing_supported": True, "sharing_culture": True,
+    },
+)
+
+_LHCB = ExperimentProfile(
+    name="LHCb",
+    collider="LHC",
+    detector_type="forward",
+    is_lhc=True,
+    outreach=OutreachProfile(
+        event_displays=("Panoramix",),
+        display_technology="OpenInventor",
+        geometry_format="XML",
+        browser_tools=("X-based tools",),
+        data_formats=("Root",),
+        self_documenting="unknown",
+        masterclass_uses=("D lifetime",),
+    ),
+    constants_handling=ConstantsHandling.DATABASE,
+    post_aod_commonality=PostAODCommonality.MEDIUM,
+    data_policy=DataPolicy(DataPolicyStatus.APPROVED, 2013),
+    group_formats=("Stripping-lines",),
+    interview_evidence={
+        "has_backup": True, "has_security": True, "has_dr_plan": True,
+        "dr_procedures": False, "dr_tested": False,
+        "metadata_understood": True, "uses_standard_formats": True,
+        "data_labeled": True, "outsider_usable": False,
+        "preservation_planned": True, "repositories_in_place": True,
+        "preservation_effective": False,
+        "access_systems": True, "access_controlled": True,
+        "sharing_supported": True, "sharing_culture": False,
+    },
+)
+
+_BABAR = ExperimentProfile(
+    name="BaBar",
+    collider="PEP-II",
+    detector_type="b-factory",
+    is_lhc=False,
+    outreach=None,
+    constants_handling=ConstantsHandling.DATABASE,
+    post_aod_commonality=PostAODCommonality.HIGH,
+    data_policy=DataPolicy(DataPolicyStatus.NONE),
+    group_formats=("BtaCandidates",),
+    interview_evidence={
+        "has_backup": True, "has_security": True, "has_dr_plan": True,
+        "dr_procedures": True, "dr_tested": True,
+        "metadata_understood": True, "uses_standard_formats": True,
+        "data_labeled": True, "outsider_usable": False,
+        "preservation_planned": True, "repositories_in_place": True,
+        "preservation_effective": True,
+        "access_systems": True, "access_controlled": True,
+        "sharing_supported": False, "sharing_culture": False,
+    },
+)
+
+_CDF = ExperimentProfile(
+    name="CDF",
+    collider="Tevatron",
+    detector_type="general-purpose",
+    is_lhc=False,
+    outreach=None,
+    constants_handling=ConstantsHandling.DATABASE,
+    post_aod_commonality=PostAODCommonality.MEDIUM,
+    data_policy=DataPolicy(DataPolicyStatus.NONE),
+    group_formats=("Stntuple",),
+    interview_evidence={
+        "has_backup": True, "has_security": True, "has_dr_plan": True,
+        "dr_procedures": False, "dr_tested": False,
+        "metadata_understood": True, "uses_standard_formats": False,
+        "data_labeled": True, "outsider_usable": False,
+        "preservation_planned": True, "repositories_in_place": False,
+        "preservation_effective": False,
+        "access_systems": True, "access_controlled": False,
+        "sharing_supported": False, "sharing_culture": False,
+    },
+)
+
+_PROFILES = {profile.name: profile
+             for profile in (_ALICE, _ATLAS, _CMS, _LHCB, _BABAR, _CDF)}
+
+
+def all_experiments() -> list[ExperimentProfile]:
+    """Every profiled experiment, name-sorted."""
+    return [profile for _, profile in sorted(_PROFILES.items())]
+
+
+def lhc_experiments() -> list[ExperimentProfile]:
+    """The four LHC experiments in Table 1's column order."""
+    return [_ALICE, _ATLAS, _CMS, _LHCB]
+
+
+def get_experiment(name: str) -> ExperimentProfile:
+    """Look up one experiment profile by name (case-sensitive)."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known: {sorted(_PROFILES)}"
+        ) from None

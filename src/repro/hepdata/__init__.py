@@ -1,0 +1,31 @@
+"""A HepData-analogue reactions database.
+
+Models the Durham HepData archive of Section 2.3: a repository of
+publication-level numerical results — cross-section tables, efficiency
+grids, and (stretching its original intent, as the paper observes of the
+ATLAS search example) arbitrary auxiliary payloads needed to replicate a
+search. Records link back to an INSPIRE-style literature catalogue.
+"""
+
+from repro.hepdata.tables import DataTable, DependentVariable
+from repro.hepdata.records import HepDataRecord, Reaction
+from repro.hepdata.database import HepDataArchive
+from repro.hepdata.query import (
+    find_by_keyword,
+    find_by_observable,
+    find_by_reaction,
+)
+from repro.hepdata.inspire import InspireCatalog, InspireEntry
+
+__all__ = [
+    "DataTable",
+    "DependentVariable",
+    "HepDataRecord",
+    "Reaction",
+    "HepDataArchive",
+    "find_by_keyword",
+    "find_by_observable",
+    "find_by_reaction",
+    "InspireCatalog",
+    "InspireEntry",
+]

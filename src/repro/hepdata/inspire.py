@@ -1,0 +1,87 @@
+"""A minimal INSPIRE-style literature catalogue.
+
+"INSPIRE entries often contain links to entries and additional
+information in the HepData archive." This module provides that linkage:
+publication entries that point at archive records, so a literature search
+resolves to reusable numerical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HepDataError
+from repro.hepdata.database import HepDataArchive
+from repro.hepdata.records import HepDataRecord
+
+
+@dataclass
+class InspireEntry:
+    """One publication in the literature catalogue."""
+
+    inspire_id: str
+    title: str
+    authors: tuple[str, ...]
+    year: int
+    journal: str = ""
+    hepdata_record_ids: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Serialise for catalogue exports."""
+        return {
+            "inspire_id": self.inspire_id,
+            "title": self.title,
+            "authors": list(self.authors),
+            "year": self.year,
+            "journal": self.journal,
+            "hepdata_record_ids": list(self.hepdata_record_ids),
+        }
+
+
+class InspireCatalog:
+    """Registry of publications with HepData cross-links."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, InspireEntry] = {}
+
+    def register(self, entry: InspireEntry) -> None:
+        """Add a publication entry."""
+        if entry.inspire_id in self._entries:
+            raise HepDataError(
+                f"INSPIRE entry {entry.inspire_id!r} already registered"
+            )
+        self._entries[entry.inspire_id] = entry
+
+    def get(self, inspire_id: str) -> InspireEntry:
+        """Look up a publication."""
+        try:
+            return self._entries[inspire_id]
+        except KeyError:
+            raise HepDataError(
+                f"unknown INSPIRE entry {inspire_id!r}"
+            ) from None
+
+    def __contains__(self, inspire_id: str) -> bool:
+        return inspire_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def link_record(self, inspire_id: str, record_id: str) -> None:
+        """Attach a HepData record id to a publication."""
+        entry = self.get(inspire_id)
+        if record_id not in entry.hepdata_record_ids:
+            entry.hepdata_record_ids.append(record_id)
+
+    def resolve_data(self, inspire_id: str,
+                     archive: HepDataArchive) -> list[HepDataRecord]:
+        """Follow a publication's links into the archive."""
+        entry = self.get(inspire_id)
+        return [archive.get(record_id)
+                for record_id in entry.hepdata_record_ids
+                if record_id in archive]
+
+    def publications_with_data(self) -> list[InspireEntry]:
+        """Entries that link to at least one archive record."""
+        return [entry for _, entry in sorted(self._entries.items())
+                if entry.hepdata_record_ids]

@@ -1,0 +1,58 @@
+"""Search helpers over a HepData archive."""
+
+from __future__ import annotations
+
+from repro.hepdata.database import HepDataArchive
+from repro.hepdata.records import HepDataRecord
+
+
+def find_by_keyword(archive: HepDataArchive,
+                    keyword: str) -> list[HepDataRecord]:
+    """Latest-version records carrying a keyword (case-insensitive)."""
+    wanted = keyword.lower()
+    return [record for record in archive.all_latest()
+            if any(wanted == k.lower() for k in record.keywords)]
+
+
+def find_by_reaction(archive: HepDataArchive, final_state: str,
+                     sqrt_s_gev: float | None = None) -> list[HepDataRecord]:
+    """Records measuring a given final state (optionally at one energy)."""
+    matches = []
+    for record in archive.all_latest():
+        for reaction in record.reactions:
+            if reaction.final_state != final_state:
+                continue
+            if (sqrt_s_gev is not None
+                    and abs(reaction.sqrt_s_gev - sqrt_s_gev) > 1e-6):
+                continue
+            matches.append(record)
+            break
+    return matches
+
+
+def find_by_observable(archive: HepDataArchive,
+                       observable_name: str) -> list[HepDataRecord]:
+    """Records with a table whose dependent column matches a name."""
+    matches = []
+    for record in archive.all_latest():
+        for table in record.tables:
+            if any(dep.name == observable_name for dep in table.dependents):
+                matches.append(record)
+                break
+    return matches
+
+
+def find_with_auxiliary_format(archive: HepDataArchive,
+                               format_tag: str) -> list[HepDataRecord]:
+    """Records carrying an auxiliary payload of a given format.
+
+    This is how a phenomenologist finds the searches that uploaded enough
+    information (cut flows, efficiency grids) to be replicated.
+    """
+    matches = []
+    for record in archive.all_latest():
+        if any(format_tag in (payload.get("format"),
+                              payload.get("type"))
+               for payload in record.auxiliary.values()):
+            matches.append(record)
+    return matches

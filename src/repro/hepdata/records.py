@@ -1,0 +1,145 @@
+"""HepData records and reactions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HepDataError
+from repro.hepdata.tables import DataTable
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """A reactions-database entry: initial state -> final state.
+
+    The "Reactions Database" is HepData's main repository; observables
+    attach to reactions like ``P P --> Z0 X``.
+    """
+
+    initial_state: str
+    final_state: str
+    sqrt_s_gev: float
+
+    def __post_init__(self) -> None:
+        if self.sqrt_s_gev <= 0.0:
+            raise HepDataError("sqrt_s must be positive")
+
+    def label(self) -> str:
+        """The conventional reaction string."""
+        return f"{self.initial_state} --> {self.final_state}"
+
+    def to_dict(self) -> dict:
+        """Serialise for archive payloads."""
+        return {
+            "initial_state": self.initial_state,
+            "final_state": self.final_state,
+            "sqrt_s_gev": self.sqrt_s_gev,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Reaction":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            initial_state=str(record["initial_state"]),
+            final_state=str(record["final_state"]),
+            sqrt_s_gev=float(record["sqrt_s_gev"]),
+        )
+
+
+@dataclass
+class HepDataRecord:
+    """One archived publication's numerical content.
+
+    ``tables`` hold the conventional cross-section-style results;
+    ``auxiliary`` holds the "many formats" payloads — efficiency grids,
+    cut-flow tables, likelihood inputs — that the ATLAS search example
+    demonstrated the archive can absorb. Each auxiliary entry is a dict
+    carrying its own ``format`` tag.
+    """
+
+    record_id: str
+    title: str
+    experiment: str
+    inspire_id: str = ""
+    abstract: str = ""
+    keywords: tuple[str, ...] = ()
+    reactions: list[Reaction] = field(default_factory=list)
+    tables: list[DataTable] = field(default_factory=list)
+    auxiliary: dict[str, dict] = field(default_factory=dict)
+    version: int = 1
+
+    def add_table(self, table: DataTable) -> None:
+        """Attach a data table; names must be unique within the record."""
+        if any(existing.name == table.name for existing in self.tables):
+            raise HepDataError(
+                f"record {self.record_id!r} already has table "
+                f"{table.name!r}"
+            )
+        self.tables.append(table)
+
+    def table(self, name: str) -> DataTable:
+        """Look up a table by name."""
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise HepDataError(
+            f"record {self.record_id!r} has no table {name!r}; "
+            f"available: {[t.name for t in self.tables]}"
+        )
+
+    def add_auxiliary(self, key: str, payload: dict) -> None:
+        """Attach an arbitrary-format auxiliary payload.
+
+        The payload must declare its own ``format`` (or ``type``) tag so
+        future readers can interpret it.
+        """
+        if "format" not in payload and "type" not in payload:
+            raise HepDataError(
+                f"auxiliary payload {key!r} must declare a 'format' or "
+                f"'type' tag"
+            )
+        if key in self.auxiliary:
+            raise HepDataError(
+                f"record {self.record_id!r} already has auxiliary {key!r}"
+            )
+        self.auxiliary[key] = dict(payload)
+
+    def payload_size_bytes(self) -> int:
+        """Approximate serialised size (the 'large payload' metric)."""
+        import json
+
+        return len(json.dumps(self.to_dict()).encode("utf-8"))
+
+    def to_dict(self) -> dict:
+        """Serialise for the archive."""
+        return {
+            "record_id": self.record_id,
+            "title": self.title,
+            "experiment": self.experiment,
+            "inspire_id": self.inspire_id,
+            "abstract": self.abstract,
+            "keywords": list(self.keywords),
+            "reactions": [r.to_dict() for r in self.reactions],
+            "tables": [t.to_dict() for t in self.tables],
+            "auxiliary": {k: dict(v) for k, v in self.auxiliary.items()},
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "HepDataRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            record_id=str(record["record_id"]),
+            title=str(record["title"]),
+            experiment=str(record["experiment"]),
+            inspire_id=str(record.get("inspire_id", "")),
+            abstract=str(record.get("abstract", "")),
+            keywords=tuple(str(k) for k in record.get("keywords", [])),
+            reactions=[Reaction.from_dict(r)
+                       for r in record.get("reactions", [])],
+            tables=[DataTable.from_dict(t)
+                    for t in record.get("tables", [])],
+            auxiliary={k: dict(v)
+                       for k, v in record.get("auxiliary", {}).items()},
+            version=int(record.get("version", 1)),
+        )

@@ -1,0 +1,149 @@
+"""Publication-style data tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import HepDataError
+from repro.stats.histogram import Histogram1D
+
+
+@dataclass
+class DependentVariable:
+    """One measured column of a table: values with symmetric errors."""
+
+    name: str
+    units: str
+    values: list[float]
+    errors: list[float]
+    qualifiers: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.errors):
+            raise HepDataError(
+                f"column {self.name!r}: {len(self.values)} values but "
+                f"{len(self.errors)} errors"
+            )
+
+    def to_dict(self) -> dict:
+        """Serialise for archive payloads."""
+        return {
+            "name": self.name,
+            "units": self.units,
+            "values": list(self.values),
+            "errors": list(self.errors),
+            "qualifiers": dict(self.qualifiers),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "DependentVariable":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(record["name"]),
+            units=str(record.get("units", "")),
+            values=[float(v) for v in record["values"]],
+            errors=[float(e) for e in record["errors"]],
+            qualifiers=dict(record.get("qualifiers", {})),
+        )
+
+
+@dataclass
+class DataTable:
+    """An independent variable binned against dependent measurements."""
+
+    name: str
+    independent_name: str
+    independent_units: str
+    bin_edges: list[float]
+    dependents: list[DependentVariable] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.bin_edges) < 2:
+            raise HepDataError(
+                f"table {self.name!r} needs at least one bin"
+            )
+        for dependent in self.dependents:
+            self._check_dependent(dependent)
+
+    def _check_dependent(self, dependent: DependentVariable) -> None:
+        expected = len(self.bin_edges) - 1
+        if len(dependent.values) != expected:
+            raise HepDataError(
+                f"table {self.name!r}: column {dependent.name!r} has "
+                f"{len(dependent.values)} values for {expected} bins"
+            )
+
+    def add_dependent(self, dependent: DependentVariable) -> None:
+        """Attach a measured column."""
+        self._check_dependent(dependent)
+        self.dependents.append(dependent)
+
+    @property
+    def n_bins(self) -> int:
+        """Number of bins of the independent variable."""
+        return len(self.bin_edges) - 1
+
+    @classmethod
+    def from_histogram(cls, table_name: str, histogram: Histogram1D,
+                       independent_name: str, independent_units: str,
+                       dependent_name: str, dependent_units: str,
+                       description: str = "") -> "DataTable":
+        """Build a table from a filled histogram (values + errors)."""
+        table = cls(
+            name=table_name,
+            independent_name=independent_name,
+            independent_units=independent_units,
+            bin_edges=[float(e) for e in histogram.edges],
+            description=description,
+        )
+        table.add_dependent(DependentVariable(
+            name=dependent_name,
+            units=dependent_units,
+            values=[float(v) for v in histogram.values()],
+            errors=[float(e) for e in histogram.errors()],
+        ))
+        return table
+
+    def to_histogram(self, column: int = 0) -> Histogram1D:
+        """Rebuild a histogram from one measured column."""
+        if not 0 <= column < len(self.dependents):
+            raise HepDataError(
+                f"table {self.name!r} has no column {column}"
+            )
+        dependent = self.dependents[column]
+        histogram = Histogram1D(f"{self.name}/{dependent.name}",
+                                edges=self.bin_edges)
+        histogram._sumw = np.asarray(dependent.values, dtype=float)
+        histogram._sumw2 = np.asarray(dependent.errors, dtype=float) ** 2
+        histogram.n_entries = self.n_bins
+        return histogram
+
+    def to_dict(self) -> dict:
+        """Serialise for archive payloads."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "independent": {
+                "name": self.independent_name,
+                "units": self.independent_units,
+                "bin_edges": list(self.bin_edges),
+            },
+            "dependents": [d.to_dict() for d in self.dependents],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "DataTable":
+        """Inverse of :meth:`to_dict`."""
+        independent = record["independent"]
+        return cls(
+            name=str(record["name"]),
+            independent_name=str(independent["name"]),
+            independent_units=str(independent.get("units", "")),
+            bin_edges=[float(e) for e in independent["bin_edges"]],
+            dependents=[DependentVariable.from_dict(d)
+                        for d in record.get("dependents", [])],
+            description=str(record.get("description", "")),
+        )

@@ -1,0 +1,58 @@
+"""The Data Interview Template toolkit (Appendix A).
+
+Machine-readable implementation of the workshop's data/software interview
+instrument: the question template itself, the four maturity-rating
+rubrics, the Data Sharing Grid, and report generation. Ratings are
+*computed from evidence answers* (backups exist, plans are tested, ...)
+rather than transcribed, so the maturity tables the benchmarks emit are
+outputs of running code.
+"""
+
+from repro.interview.template import (
+    InterviewQuestion,
+    InterviewSection,
+    InterviewTemplate,
+)
+from repro.interview.maturity import (
+    MaturityScale,
+    all_scales,
+    assess_experiment,
+    rate_from_evidence,
+)
+from repro.interview.sharing import DataSharingGrid, SharingEntry
+from repro.interview.responses import (
+    InterviewResponse,
+    response_for_experiment,
+)
+from repro.interview.gap import (
+    MaturityGap,
+    gap_analysis,
+    gap_for_scale,
+    render_gap_report,
+)
+from repro.interview.report import (
+    interview_report,
+    maturity_table,
+    sharing_grid_table,
+)
+
+__all__ = [
+    "InterviewQuestion",
+    "InterviewSection",
+    "InterviewTemplate",
+    "MaturityScale",
+    "all_scales",
+    "rate_from_evidence",
+    "assess_experiment",
+    "DataSharingGrid",
+    "SharingEntry",
+    "InterviewResponse",
+    "response_for_experiment",
+    "MaturityGap",
+    "gap_analysis",
+    "gap_for_scale",
+    "render_gap_report",
+    "interview_report",
+    "maturity_table",
+    "sharing_grid_table",
+]

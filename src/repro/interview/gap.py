@@ -1,0 +1,121 @@
+"""Maturity gap analysis: what would raise an experiment's rating.
+
+The maturity rubrics become actionable when inverted: for each scale,
+which evidence rung is the *next* one missing, and what does the rubric
+promise at the next level? This is the advice a curation consultant
+would write after conducting the Appendix A interview.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.profiles import ExperimentProfile
+from repro.interview.maturity import (
+    MaturityScale,
+    all_scales,
+    rate_from_evidence,
+)
+
+#: Human-readable actions per evidence key.
+_ACTIONS = {
+    "has_backup": "establish routine backups of all data tiers",
+    "has_dr_plan": "write a disaster recovery plan",
+    "dr_procedures": "attach concrete procedures to the recovery plan",
+    "dr_tested": "exercise the recovery plan and record the outcome",
+    "metadata_understood": "introduce metadata practice and guidance",
+    "uses_standard_formats": "adopt standard formats at every "
+                             "lifecycle stage",
+    "data_labeled": "label and systematically organize datasets",
+    "outsider_usable": "document data well enough for outsiders",
+    "preservation_planned": "plan preservation explicitly (selection, "
+                            "responsibilities)",
+    "repositories_in_place": "stand up preservation repositories",
+    "preservation_effective": "operate and monitor preservation "
+                              "infrastructure routinely",
+    "access_systems": "provide managed data-access systems",
+    "sharing_supported": "support sharing with training and "
+                         "infrastructure",
+    "access_controlled": "control access systematically (rights, "
+                         "authentication)",
+    "sharing_culture": "build a culture of openness others copy",
+}
+
+
+@dataclass(frozen=True)
+class MaturityGap:
+    """One scale's current standing and the next step."""
+
+    scale_id: str
+    scale_title: str
+    current_rating: int
+    next_rung: str | None
+    action: str | None
+    next_level_description: str | None
+
+    @property
+    def at_ceiling(self) -> bool:
+        """True when the scale is already at 5."""
+        return self.next_rung is None
+
+    def summary(self) -> str:
+        """One-line recommendation."""
+        if self.at_ceiling:
+            return (f"{self.scale_id} {self.scale_title}: rating 5 — "
+                    f"at ceiling")
+        return (f"{self.scale_id} {self.scale_title}: rating "
+                f"{self.current_rating} -> {self.current_rating + 1} "
+                f"by: {self.action}")
+
+
+def gap_for_scale(scale: MaturityScale,
+                  evidence: dict) -> MaturityGap:
+    """The gap analysis for one scale."""
+    rating = rate_from_evidence(scale, evidence)
+    next_rung = None
+    for key in scale.evidence_ladder:
+        if not evidence.get(key, False):
+            next_rung = key
+            break
+    if next_rung is None:
+        return MaturityGap(
+            scale_id=scale.scale_id,
+            scale_title=scale.title,
+            current_rating=rating,
+            next_rung=None,
+            action=None,
+            next_level_description=None,
+        )
+    return MaturityGap(
+        scale_id=scale.scale_id,
+        scale_title=scale.title,
+        current_rating=rating,
+        next_rung=next_rung,
+        action=_ACTIONS.get(next_rung, next_rung),
+        next_level_description=scale.describe_level(
+            min(5, rating + 1)
+        ),
+    )
+
+
+def gap_analysis(profile: ExperimentProfile) -> list[MaturityGap]:
+    """Gap analysis across all four scales for one experiment."""
+    return [gap_for_scale(scale, profile.interview_evidence)
+            for scale in all_scales()]
+
+
+def render_gap_report(profile: ExperimentProfile) -> str:
+    """The consultant's one-page recommendation list."""
+    gaps = gap_analysis(profile)
+    lines = [f"Maturity gap analysis — {profile.name}", ""]
+    for gap in gaps:
+        lines.append(f"  {gap.summary()}")
+        if not gap.at_ceiling:
+            lines.append(
+                f"      next level promises: "
+                f"{gap.next_level_description}"
+            )
+    total = sum(gap.current_rating for gap in gaps)
+    lines.append("")
+    lines.append(f"  combined maturity: {total}/20")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""The four maturity-rating rubrics and evidence-based rating.
+
+Appendix A embeds 1-5 rubric tables for data management/disaster
+recovery (Q5F), data description (Q6D), preservation (Q8E), and
+sharing/access (Q9F). Each scale here carries the rubric text *and* an
+evidence ladder: an ordered list of evidence keys such that the rating
+is 1 plus the number of consecutive rungs the experiment satisfies —
+so the ratings in the benchmark tables are computed, not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MaturityError
+from repro.experiments.profiles import ExperimentProfile
+
+
+@dataclass(frozen=True)
+class MaturityScale:
+    """One 1-5 rubric with its evidence ladder."""
+
+    scale_id: str
+    title: str
+    #: Rubric text for levels 1..5 (index 0 = level 1).
+    level_descriptions: tuple[str, str, str, str, str]
+    #: Evidence keys; satisfying the first k consecutive keys gives 1+k.
+    evidence_ladder: tuple[str, str, str, str]
+
+    def describe_level(self, level: int) -> str:
+        """The rubric text for a level."""
+        if not 1 <= level <= 5:
+            raise MaturityError(f"maturity level must be 1-5, got {level}")
+        return self.level_descriptions[level - 1]
+
+
+DATA_MANAGEMENT_SCALE = MaturityScale(
+    scale_id="5F",
+    title="Data Management and Disaster Recovery",
+    level_descriptions=(
+        "Data management activities focus on the day-to-day",
+        "Some awareness of potential risks but few take preventative "
+        "action",
+        "Policies and plans are in place for disaster recovery and "
+        "long-term sustainability",
+        "Disaster recovery plans are accompanied by procedures for "
+        "implementation; data loss or loss of access is unlikely",
+        "Disaster recovery plans are routinely tested and shown to be "
+        "effective; succession plans are in place to safeguard data",
+    ),
+    evidence_ladder=("has_backup", "has_dr_plan", "dr_procedures",
+                     "dr_tested"),
+)
+
+DATA_DESCRIPTION_SCALE = MaturityScale(
+    scale_id="6D",
+    title="Data Description",
+    level_descriptions=(
+        "Metadata is an unfamiliar concept; low engagement with the "
+        "need to document data",
+        "Metadata and data description practices vary by individual",
+        "Metadata is well understood and guidance is provided to "
+        "support the use of standards",
+        "Data are well labeled, annotated and systematically organized",
+        "Data can be understood by other researchers",
+    ),
+    evidence_ladder=("metadata_understood", "uses_standard_formats",
+                     "data_labeled", "outsider_usable"),
+)
+
+PRESERVATION_SCALE = MaturityScale(
+    scale_id="8E",
+    title="Preservation",
+    level_descriptions=(
+        "Low awareness of requirements to preserve data",
+        "Data may remain available but mostly due to chance, not active "
+        "preservation practice",
+        "Preservation is understood and well-planned",
+        "High levels of awareness and engagement; data are selected for "
+        "preservation and repositories are in place",
+        "Data are efficiently and effectively preserved; the "
+        "infrastructure functions well and is widely used",
+    ),
+    evidence_ladder=("has_backup", "preservation_planned",
+                     "repositories_in_place", "preservation_effective"),
+)
+
+SHARING_ACCESS_SCALE = MaturityScale(
+    scale_id="9F",
+    title="Sharing/Access",
+    level_descriptions=(
+        "Individuals store data and manage access requests; low "
+        "awareness of data sharing requirements",
+        "Guidance and services exist but are poorly used; ad hoc data "
+        "sharing occurs",
+        "A mix of systems meets different access needs; sharing is "
+        "supported with training and infrastructure",
+        "Access is systematically controlled; data are shared where "
+        "legally and ethically possible",
+        "Systems meet all user needs and security is maintained; there "
+        "is a culture of openness copied by others",
+    ),
+    evidence_ladder=("access_systems", "sharing_supported",
+                     "access_controlled", "sharing_culture"),
+)
+
+
+def all_scales() -> list[MaturityScale]:
+    """The four Appendix A scales, in questionnaire order."""
+    return [DATA_MANAGEMENT_SCALE, DATA_DESCRIPTION_SCALE,
+            PRESERVATION_SCALE, SHARING_ACCESS_SCALE]
+
+
+def rate_from_evidence(scale: MaturityScale, evidence: dict) -> int:
+    """Compute a rating: 1 plus consecutive satisfied ladder rungs."""
+    rating = 1
+    for key in scale.evidence_ladder:
+        if not evidence.get(key, False):
+            break
+        rating += 1
+    return rating
+
+
+def assess_experiment(profile: ExperimentProfile) -> dict[str, int]:
+    """All four computed ratings for one experiment profile."""
+    return {
+        scale.scale_id: rate_from_evidence(scale,
+                                           profile.interview_evidence)
+        for scale in all_scales()
+    }

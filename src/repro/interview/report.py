@@ -1,0 +1,109 @@
+"""Interview reporting: per-experiment reports and aggregate tables."""
+
+from __future__ import annotations
+
+from repro.errors import InterviewError
+from repro.experiments.profiles import ExperimentProfile
+from repro.interview.maturity import all_scales, assess_experiment
+from repro.interview.responses import InterviewResponse
+from repro.interview.sharing import SHARING_STAGES
+from repro.interview.template import InterviewTemplate
+
+
+def interview_report(response: InterviewResponse,
+                     template: InterviewTemplate | None = None) -> str:
+    """Render one experiment's full interview as plain text."""
+    if template is None:
+        template = InterviewTemplate.standard()
+    missing = response.validate(template)
+    if missing:
+        raise InterviewError(
+            f"response for {response.experiment} is incomplete: {missing}"
+        )
+    lines = [f"Data/Software Interview — {response.experiment}", ""]
+    for section in template.sections:
+        lines.append(f"Section {section.section_id}: {section.title}")
+        for question in section.questions:
+            if question.question_id == "9A":
+                lines.append("  9A. Data Sharing Grid:")
+                grid = response.sharing_grid
+                for entry in grid.entries:
+                    lines.append(
+                        f"      {entry.stage}: {entry.audience} "
+                        f"({entry.when}; {entry.conditions})"
+                    )
+                continue
+            if question.question_id not in response.answers:
+                continue
+            answer = response.answers[question.question_id]
+            if isinstance(answer, list):
+                lines.append(f"  {question.question_id}. "
+                             f"{question.prompt}:")
+                for item in answer:
+                    lines.append(f"      - {item}")
+            else:
+                lines.append(f"  {question.question_id}. "
+                             f"{question.prompt}: {answer}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def maturity_table(profiles: list[ExperimentProfile]) -> dict:
+    """The aggregate maturity table: scale -> {experiment -> rating}.
+
+    Also includes each scale's rubric so the emitted table reproduces
+    the Appendix A rubric rows alongside the computed ratings.
+    """
+    table = {"scales": {}, "ratings": {}}
+    for scale in all_scales():
+        table["scales"][scale.scale_id] = {
+            "title": scale.title,
+            "levels": list(scale.level_descriptions),
+        }
+    for profile in profiles:
+        table["ratings"][profile.name] = assess_experiment(profile)
+    return table
+
+
+def render_maturity_table(profiles: list[ExperimentProfile]) -> str:
+    """Plain-text maturity table."""
+    table = maturity_table(profiles)
+    names = [profile.name for profile in profiles]
+    header = "scale".ljust(40) + "".join(name.ljust(8) for name in names)
+    lines = [header, "-" * len(header)]
+    for scale in all_scales():
+        row = f"{scale.scale_id} {scale.title}"[:38].ljust(40)
+        for name in names:
+            row += str(table["ratings"][name][scale.scale_id]).ljust(8)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def sharing_grid_table(responses: list[InterviewResponse]) -> dict:
+    """Aggregate sharing grid: stage -> {experiment -> audience}."""
+    table: dict[str, dict[str, str]] = {stage: {}
+                                        for stage in SHARING_STAGES}
+    for response in responses:
+        if response.sharing_grid is None:
+            raise InterviewError(
+                f"{response.experiment} has no sharing grid"
+            )
+        for entry in response.sharing_grid.entries:
+            table[entry.stage][response.experiment] = entry.audience
+    return table
+
+
+def render_sharing_grid(responses: list[InterviewResponse]) -> str:
+    """Plain-text aggregate sharing grid."""
+    table = sharing_grid_table(responses)
+    names = [response.experiment for response in responses]
+    width = 24
+    header = "stage".ljust(14) + "".join(name.ljust(width)
+                                         for name in names)
+    lines = [header, "-" * len(header)]
+    for stage in SHARING_STAGES:
+        row = stage.ljust(14)
+        for name in names:
+            row += table[stage].get(name, "-")[:width - 2].ljust(width)
+        lines.append(row)
+    return "\n".join(lines)

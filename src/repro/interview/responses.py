@@ -1,0 +1,167 @@
+"""Interview responses and the stock response corpus.
+
+:func:`response_for_experiment` synthesises a complete, validated
+response from an experiment profile: the free-text answers follow the
+workflow facts (tiers, tools, constants handling), the ratings come from
+the evidence ladder, and the sharing grid follows the experiment's data
+policy — so the corpus is consistent with everything else the library
+knows about each experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InterviewError
+from repro.experiments.profiles import (
+    DataPolicyStatus,
+    ExperimentProfile,
+)
+from repro.interview.maturity import all_scales, rate_from_evidence
+from repro.interview.sharing import DataSharingGrid, SharingEntry
+from repro.interview.template import InterviewTemplate
+
+
+@dataclass
+class InterviewResponse:
+    """One experiment's answers to the template."""
+
+    experiment: str
+    answers: dict[str, object] = field(default_factory=dict)
+    sharing_grid: DataSharingGrid | None = None
+
+    def answer(self, question_id: str):
+        """Fetch one answer."""
+        try:
+            return self.answers[question_id]
+        except KeyError:
+            raise InterviewError(
+                f"{self.experiment}: no answer to question "
+                f"{question_id!r}"
+            ) from None
+
+    def validate(self, template: InterviewTemplate) -> list[str]:
+        """Missing required question ids (empty list = complete)."""
+        missing = []
+        for question_id in template.required_ids():
+            if question_id == "9A":
+                if self.sharing_grid is None:
+                    missing.append(question_id)
+                continue
+            if question_id not in self.answers:
+                missing.append(question_id)
+        # Rating answers must be in range.
+        for question_id, value in self.answers.items():
+            question = template.question(question_id)
+            if question.answer_kind == "rating":
+                if not isinstance(value, int) or not 1 <= value <= 5:
+                    raise InterviewError(
+                        f"{self.experiment}: rating {question_id} must "
+                        f"be an integer 1-5, got {value!r}"
+                    )
+        return missing
+
+
+def _sharing_grid_for(profile: ExperimentProfile) -> DataSharingGrid:
+    grid = DataSharingGrid(experiment=profile.name)
+    grid.add(SharingEntry("collection", "project collaborators",
+                          "always", "collaboration membership"))
+    grid.add(SharingEntry("processing", "project collaborators",
+                          "always", "collaboration membership"))
+    grid.add(SharingEntry("analysis", "project collaborators",
+                          "always", "collaboration membership"))
+    grid.add(SharingEntry("publication", "whole world",
+                          "at publication", "citation requested"))
+    if profile.data_policy.status == DataPolicyStatus.APPROVED:
+        grid.add(SharingEntry(
+            "preservation", "whole world",
+            "after embargo period", "per approved public data policy",
+        ))
+    elif profile.data_policy.status == DataPolicyStatus.UNDER_DISCUSSION:
+        grid.add(SharingEntry(
+            "preservation", "others in the field",
+            "case by case", "policy under discussion",
+        ))
+    else:
+        grid.add(SharingEntry(
+            "preservation", "project collaborators",
+            "on request", "no public policy",
+        ))
+    return grid
+
+
+def response_for_experiment(
+    profile: ExperimentProfile,
+    template: InterviewTemplate | None = None,
+) -> InterviewResponse:
+    """Build the stock, fully validated response for one experiment."""
+    if template is None:
+        template = InterviewTemplate.standard()
+    evidence = profile.interview_evidence
+    ratings = {scale.scale_id: rate_from_evidence(scale, evidence)
+               for scale in all_scales()}
+    constants = profile.constants_handling.value
+    response = InterviewResponse(experiment=profile.name)
+    response.answers = {
+        "1A": (f"{profile.collider} collision data recorded by the "
+               f"{profile.name} {profile.detector_type} detector"),
+        "1B": 1_000_000,
+        "1C": 2_000_000_000,
+        "1D": ["RAW", "RECO", "AOD"] + list(profile.group_formats),
+        "2": [
+            "collection: RAW files from the detector",
+            "processing: RECO then AOD via central production",
+            "analysis: group-format skims and ntuples",
+            "publication: summary tables and ancillary information",
+            "preservation: AOD + software + documentation",
+        ],
+        "3A": ["DAQ", "trigger farm", "central production system"],
+        "3B": ["ROOT", "experiment framework", f"conditions via "
+               f"{constants}", "GRID middleware"],
+        "3C": ("ROOT and GRID tools are community standards; the "
+               "experiment framework is collaboration-specific"),
+        "4A": [
+            "collection: internal DAQ + external databases",
+            f"processing: internal framework + external {constants}",
+            "analysis: internal framework + external ROOT",
+        ],
+        "4B": ["production releases per processing campaign"],
+        "5A": "tape archive with disk caches at Tier-0/Tier-1 centres",
+        "5B": bool(evidence.get("has_backup", False)),
+        "5C": bool(evidence.get("has_security", False)),
+        "5D": bool(evidence.get("has_dr_plan", False)),
+        "5E": True,
+        "5F": ratings["5F"],
+        "6A": ("datasets organised by run period and processing "
+               "version; documented in the experiment's data catalogue"),
+        "6B": bool(evidence.get("uses_standard_formats", False)),
+        "6C": ("sufficient for collaborators; outsiders need the "
+               "framework documentation"),
+        "6D": ratings["6D"],
+        "7A": ("central code repository with work packages per "
+               "subsystem"),
+        "7B": True,
+        "7C": ["release tags recorded per dataset"],
+        "7D": ("insiders: yes; outsiders: only with significant "
+               "effort"),
+        "8A": ["AOD", "analysis software", "conditions",
+               "documentation"],
+        "8B": ("decades: future comparisons, reinterpretation, and "
+               "history of science"),
+        "8C": ["reconstruction framework", "analysis framework",
+               "ROOT"],
+        "8D": bool(evidence.get("preservation_planned", False)),
+        "8E": ratings["8E"],
+        "9B": "publication-level results immediately; data per policy",
+        "9C": "acknowledgement and citation",
+        "9D": ("enable reinterpretation and education; agencies "
+               "increasingly require it"),
+        "9F": ratings["9F"],
+    }
+    response.sharing_grid = _sharing_grid_for(profile)
+    missing = response.validate(template)
+    if missing:
+        raise InterviewError(
+            f"stock response for {profile.name} is incomplete: {missing}"
+        )
+    return response

@@ -1,0 +1,109 @@
+"""The Data Sharing Grid (Appendix A, Section 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InterviewError
+
+#: Research stages the grid covers.
+SHARING_STAGES = ("collection", "processing", "analysis", "publication",
+                  "preservation")
+
+#: Recognised audiences, in increasing openness.
+AUDIENCES = ("no one", "project collaborators", "host institution",
+             "others in the field", "whole world")
+
+
+@dataclass(frozen=True)
+class SharingEntry:
+    """One cell row of the grid: who gets the data at one stage, when."""
+
+    stage: str
+    audience: str
+    when: str
+    conditions: str = ""
+
+    def __post_init__(self) -> None:
+        if self.stage not in SHARING_STAGES:
+            raise InterviewError(
+                f"unknown sharing stage {self.stage!r}; known: "
+                f"{SHARING_STAGES}"
+            )
+        if self.audience not in AUDIENCES:
+            raise InterviewError(
+                f"unknown audience {self.audience!r}; known: {AUDIENCES}"
+            )
+
+    @property
+    def openness(self) -> int:
+        """0 (no one) .. 4 (whole world)."""
+        return AUDIENCES.index(self.audience)
+
+    def to_dict(self) -> dict:
+        """Serialise for interview responses."""
+        return {
+            "stage": self.stage,
+            "audience": self.audience,
+            "when": self.when,
+            "conditions": self.conditions,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SharingEntry":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            stage=str(record["stage"]),
+            audience=str(record["audience"]),
+            when=str(record["when"]),
+            conditions=str(record.get("conditions", "")),
+        )
+
+
+@dataclass
+class DataSharingGrid:
+    """The per-experiment grid: one entry per stage."""
+
+    experiment: str
+    entries: list[SharingEntry] = field(default_factory=list)
+
+    def add(self, entry: SharingEntry) -> None:
+        """Attach one stage's entry; a stage may appear once."""
+        if any(existing.stage == entry.stage for existing in self.entries):
+            raise InterviewError(
+                f"{self.experiment}: stage {entry.stage!r} already in grid"
+            )
+        self.entries.append(entry)
+
+    def entry_for(self, stage: str) -> SharingEntry:
+        """The entry of one stage."""
+        for entry in self.entries:
+            if entry.stage == stage:
+                return entry
+        raise InterviewError(
+            f"{self.experiment}: no grid entry for stage {stage!r}"
+        )
+
+    def is_complete(self) -> bool:
+        """True when every stage has an entry."""
+        covered = {entry.stage for entry in self.entries}
+        return covered == set(SHARING_STAGES)
+
+    def openness_profile(self) -> dict[str, int]:
+        """Stage -> openness score (for cross-experiment comparison)."""
+        return {entry.stage: entry.openness for entry in self.entries}
+
+    def to_dict(self) -> dict:
+        """Serialise for interview responses."""
+        return {
+            "experiment": self.experiment,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "DataSharingGrid":
+        """Inverse of :meth:`to_dict`."""
+        grid = cls(experiment=str(record["experiment"]))
+        for entry_record in record.get("entries", []):
+            grid.add(SharingEntry.from_dict(entry_record))
+        return grid

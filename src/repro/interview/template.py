@@ -1,0 +1,152 @@
+"""The Data Interview Template structure (Appendix A, verbatim topics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InterviewError
+
+#: Answer kinds a question may declare.
+ANSWER_KINDS = ("text", "number", "boolean", "list", "rating", "grid")
+
+
+@dataclass(frozen=True)
+class InterviewQuestion:
+    """One question of the template."""
+
+    question_id: str
+    prompt: str
+    answer_kind: str = "text"
+    required: bool = True
+
+    def __post_init__(self) -> None:
+        if self.answer_kind not in ANSWER_KINDS:
+            raise InterviewError(
+                f"question {self.question_id!r}: unknown answer kind "
+                f"{self.answer_kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class InterviewSection:
+    """A numbered section of the template."""
+
+    section_id: str
+    title: str
+    questions: tuple[InterviewQuestion, ...]
+
+
+@dataclass
+class InterviewTemplate:
+    """The full interview instrument."""
+
+    sections: list[InterviewSection] = field(default_factory=list)
+
+    def question(self, question_id: str) -> InterviewQuestion:
+        """Look a question up by id."""
+        for section in self.sections:
+            for question in section.questions:
+                if question.question_id == question_id:
+                    return question
+        raise InterviewError(f"no question {question_id!r} in template")
+
+    def question_ids(self) -> list[str]:
+        """Every question id, in template order."""
+        return [question.question_id
+                for section in self.sections
+                for question in section.questions]
+
+    def required_ids(self) -> list[str]:
+        """Ids of required questions, in template order."""
+        return [question.question_id
+                for section in self.sections
+                for question in section.questions
+                if question.required]
+
+    @classmethod
+    def standard(cls) -> "InterviewTemplate":
+        """The Appendix A template."""
+        return cls(sections=[
+            InterviewSection("1", "Type and Extent", (
+                InterviewQuestion("1A", "Description of data"),
+                InterviewQuestion("1B", "Approximate number of files",
+                                  "number"),
+                InterviewQuestion("1C", "Average file size (bytes)",
+                                  "number"),
+                InterviewQuestion("1D", "File format(s)", "list"),
+            )),
+            InterviewSection("2", "Data Lifecycle", (
+                InterviewQuestion(
+                    "2", "Stages the data goes through, with size/"
+                         "number/format changes per stage", "list"),
+            )),
+            InterviewSection("3", "Tools (Hardware/Software)", (
+                InterviewQuestion("3A", "Tools used in generating/"
+                                        "collecting/processing", "list"),
+                InterviewQuestion("3B", "Tools required to analyze",
+                                  "list"),
+                InterviewQuestion("3C", "Are the tools widely used / "
+                                        "proprietary / alternatives?"),
+            )),
+            InterviewSection("4", "Software Lifecycle", (
+                InterviewQuestion("4A", "External vs internal software "
+                                        "per stage", "list"),
+                InterviewQuestion("4B", "Software versions per stage",
+                                  "list", required=False),
+            )),
+            InterviewSection("5", "Storage, Backup, Disaster Recovery", (
+                InterviewQuestion("5A", "Primary data maintenance"),
+                InterviewQuestion("5B", "Backups made?", "boolean"),
+                InterviewQuestion("5C", "Security measures?", "boolean"),
+                InterviewQuestion("5D", "Disaster recovery plan?",
+                                  "boolean"),
+                InterviewQuestion("5E", "Funding agency requires data "
+                                        "management plan?", "boolean"),
+                InterviewQuestion("5F", "Data management / disaster "
+                                        "recovery maturity (1-5)",
+                                  "rating"),
+            )),
+            InterviewSection("6", "Data Organization/Description", (
+                InterviewQuestion("6A", "Data organization and its "
+                                        "documentation"),
+                InterviewQuestion("6B", "Standard formats used per "
+                                        "stage?", "boolean"),
+                InterviewQuestion("6C", "Sufficient for insiders? "
+                                        "outsiders?"),
+                InterviewQuestion("6D", "Data description maturity "
+                                        "(1-5)", "rating"),
+            )),
+            InterviewSection("7", "Software Organization/Description", (
+                InterviewQuestion("7A", "Software organization and "
+                                        "documentation"),
+                InterviewQuestion("7B", "Versioned in a controlled "
+                                        "manner?", "boolean"),
+                InterviewQuestion("7C", "Versions per lifecycle stage",
+                                  "list", required=False),
+                InterviewQuestion("7D", "Sufficient for insiders? "
+                                        "outsiders?"),
+            )),
+            InterviewSection("8", "Data/Software Curation/Preservation", (
+                InterviewQuestion("8A", "Most important parts to "
+                                        "preserve", "list"),
+                InterviewQuestion("8B", "Useful lifetime and future "
+                                        "uses"),
+                InterviewQuestion("8C", "Software that must be "
+                                        "preserved", "list"),
+                InterviewQuestion("8D", "Generation process documented, "
+                                        "preserved, reproducible?",
+                                  "boolean"),
+                InterviewQuestion("8E", "Preservation maturity (1-5)",
+                                  "rating"),
+            )),
+            InterviewSection("9", "Data Access and Sharing", (
+                InterviewQuestion("9A", "Sharing targets per lifecycle "
+                                        "stage", "grid"),
+                InterviewQuestion("9B", "When willing to share?"),
+                InterviewQuestion("9C", "Conditions on use?",
+                                  required=False),
+                InterviewQuestion("9D", "Goals for sharing data"),
+                InterviewQuestion("9F", "Sharing/access maturity (1-5)",
+                                  "rating"),
+            )),
+        ])

@@ -1,0 +1,33 @@
+"""Relativistic kinematics substrate: units, four-vectors, particle data.
+
+This is the lowest layer of the library. Everything above it — event
+generation, detector simulation, reconstruction, RIVET-style projections —
+manipulates :class:`FourVector` instances and consults the
+:class:`ParticleTable` for masses, charges, widths, and lifetimes.
+"""
+
+from repro.kinematics.fourvector import (
+    FourVector,
+    delta_phi,
+    invariant_mass,
+    transverse_mass,
+    wrap_phi,
+)
+from repro.kinematics.particles import (
+    Particle,
+    ParticleTable,
+    default_particle_table,
+)
+from repro.kinematics import units
+
+__all__ = [
+    "FourVector",
+    "delta_phi",
+    "invariant_mass",
+    "transverse_mass",
+    "wrap_phi",
+    "Particle",
+    "ParticleTable",
+    "default_particle_table",
+    "units",
+]

@@ -1,0 +1,182 @@
+"""A PDG-style particle data table.
+
+The table carries the subset of the Particle Data Group listing that the toy
+generator, detector simulation, and analysis layers need: masses, charges,
+widths/lifetimes, and coarse classification flags. PDG Monte Carlo numbering
+is used for ids (electron 11, muon 13, Z 23, ...), with negative ids for
+antiparticles as usual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import UnknownParticleError
+from repro.kinematics.units import width_to_lifetime_ns
+
+
+@dataclass(frozen=True, slots=True)
+class Particle:
+    """Static properties of one particle species.
+
+    ``lifetime_ns`` is the mean proper lifetime; stable particles carry
+    ``float('inf')``. ``charge`` is in units of the proton charge.
+    """
+
+    pdg_id: int
+    name: str
+    mass: float
+    charge: float
+    width: float = 0.0
+    is_lepton: bool = False
+    is_neutrino: bool = False
+    is_quark: bool = False
+    is_boson: bool = False
+    is_hadron: bool = False
+
+    @property
+    def lifetime_ns(self) -> float:
+        """Mean proper lifetime derived from the width."""
+        return width_to_lifetime_ns(self.width)
+
+    @property
+    def is_charged(self) -> bool:
+        """True if the particle carries electric charge."""
+        return self.charge != 0.0
+
+    @property
+    def is_invisible(self) -> bool:
+        """True if the particle escapes a collider detector unseen."""
+        return self.is_neutrino or self.pdg_id in _INVISIBLE_EXOTICS
+
+    def antiparticle(self) -> "Particle":
+        """Return the charge-conjugate species."""
+        if self.pdg_id in _SELF_CONJUGATE:
+            return self
+        name = self.name
+        if name.endswith("+"):
+            name = name[:-1] + "-"
+        elif name.endswith("-"):
+            name = name[:-1] + "+"
+        elif name.startswith("anti-"):
+            name = name[len("anti-"):]
+        else:
+            name = "anti-" + name
+        return replace(self, pdg_id=-self.pdg_id, name=name,
+                       charge=-self.charge)
+
+
+# Species whose antiparticle is itself (or is treated as such here).
+_SELF_CONJUGATE = {21, 22, 23, 25, 111}
+
+# Exotic ids the toy BSM models use for invisible decay products.
+_INVISIBLE_EXOTICS = {1000022, -1000022}
+
+
+@dataclass
+class ParticleTable:
+    """Lookup of :class:`Particle` records by PDG id or by name.
+
+    The default table (see :func:`default_particle_table`) covers the species
+    the generator produces; user code can :meth:`register` additional exotics
+    (e.g. a Z' for a RECAST re-analysis request).
+    """
+
+    _by_id: dict[int, Particle] = field(default_factory=dict)
+    _by_name: dict[str, Particle] = field(default_factory=dict)
+
+    def register(self, particle: Particle) -> None:
+        """Add a species and its antiparticle to the table."""
+        self._by_id[particle.pdg_id] = particle
+        self._by_name[particle.name] = particle
+        anti = particle.antiparticle()
+        if anti.pdg_id != particle.pdg_id:
+            self._by_id[anti.pdg_id] = anti
+            self._by_name[anti.name] = anti
+
+    def by_id(self, pdg_id: int) -> Particle:
+        """Look a species up by PDG id; raises :class:`UnknownParticleError`."""
+        try:
+            return self._by_id[pdg_id]
+        except KeyError:
+            raise UnknownParticleError(f"unknown PDG id {pdg_id}") from None
+
+    def by_name(self, name: str) -> Particle:
+        """Look a species up by name; raises :class:`UnknownParticleError`."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownParticleError(f"unknown particle name {name!r}") from None
+
+    def __contains__(self, pdg_id: int) -> bool:
+        return pdg_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def ids(self) -> list[int]:
+        """All registered PDG ids, sorted."""
+        return sorted(self._by_id)
+
+    def mass(self, pdg_id: int) -> float:
+        """Convenience accessor for a species mass."""
+        return self.by_id(pdg_id).mass
+
+    def charge(self, pdg_id: int) -> float:
+        """Convenience accessor for a species charge."""
+        return self.by_id(pdg_id).charge
+
+
+def _standard_particles() -> list[Particle]:
+    """The species list for the default table (PDG 2014-ish values, GeV)."""
+    return [
+        # Leptons.
+        Particle(11, "e-", 0.000511, -1.0, is_lepton=True),
+        Particle(13, "mu-", 0.10566, -1.0, width=3.0e-19, is_lepton=True),
+        Particle(15, "tau-", 1.77686, -1.0, width=2.27e-12, is_lepton=True),
+        Particle(12, "nu_e", 0.0, 0.0, is_lepton=True, is_neutrino=True),
+        Particle(14, "nu_mu", 0.0, 0.0, is_lepton=True, is_neutrino=True),
+        Particle(16, "nu_tau", 0.0, 0.0, is_lepton=True, is_neutrino=True),
+        # Quarks (current masses; only used for labelling jets).
+        Particle(1, "d", 0.0047, -1.0 / 3.0, is_quark=True),
+        Particle(2, "u", 0.0022, 2.0 / 3.0, is_quark=True),
+        Particle(3, "s", 0.095, -1.0 / 3.0, is_quark=True),
+        Particle(4, "c", 1.275, 2.0 / 3.0, is_quark=True),
+        Particle(5, "b", 4.18, -1.0 / 3.0, is_quark=True),
+        Particle(6, "t", 173.0, 2.0 / 3.0, width=1.42, is_quark=True),
+        # Gauge and Higgs bosons.
+        Particle(21, "g", 0.0, 0.0, is_boson=True),
+        Particle(22, "gamma", 0.0, 0.0, is_boson=True),
+        Particle(23, "Z", 91.1876, 0.0, width=2.4952, is_boson=True),
+        Particle(24, "W+", 80.385, 1.0, width=2.085, is_boson=True),
+        Particle(25, "H", 125.0, 0.0, width=0.00407, is_boson=True),
+        # Hadrons the toy generator produces as visible final states.
+        Particle(211, "pi+", 0.13957, 1.0, width=2.5284e-17, is_hadron=True),
+        Particle(111, "pi0", 0.13498, 0.0, width=7.81e-9, is_hadron=True),
+        Particle(321, "K+", 0.49368, 1.0, width=5.317e-17, is_hadron=True),
+        Particle(130, "K0_L", 0.49761, 0.0, width=1.287e-17, is_hadron=True),
+        # K0_S: ctau = 2.68 cm -> the classic V0 signature.
+        Particle(310, "K0_S", 0.49761, 0.0, width=7.351e-15,
+                 is_hadron=True),
+        Particle(3122, "Lambda", 1.11568, 0.0, width=2.501e-15,
+                 is_hadron=True),
+        Particle(2212, "p", 0.93827, 1.0, is_hadron=True),
+        Particle(2112, "n", 0.93957, 0.0, width=7.485e-28, is_hadron=True),
+        # Charm hadron for the LHCb D-lifetime master class.
+        Particle(421, "D0", 1.86484, 0.0, width=1.605e-12, is_hadron=True),
+        Particle(411, "D+", 1.86962, 1.0, width=6.33e-13, is_hadron=True),
+        # J/psi for dimuon spectra.
+        Particle(443, "J/psi", 3.0969, 0.0, width=9.29e-5, is_hadron=True),
+    ]
+
+
+def default_particle_table() -> ParticleTable:
+    """Build a fresh table containing the standard species set.
+
+    A fresh instance is returned each call so tests and RECAST requests can
+    register exotics without contaminating a shared global.
+    """
+    table = ParticleTable()
+    for particle in _standard_particles():
+        table.register(particle)
+    return table

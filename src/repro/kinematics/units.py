@@ -1,0 +1,87 @@
+"""Natural-unit constants used throughout the library.
+
+The library works in HEP natural units: energies, momenta, and masses are in
+GeV; lengths in millimetres; times in nanoseconds unless a function's
+docstring says otherwise. These constants make conversions explicit at call
+sites instead of burying magic numbers in formulas.
+"""
+
+from __future__ import annotations
+
+# Energy scale factors relative to GeV.
+KEV = 1.0e-6
+MEV = 1.0e-3
+GEV = 1.0
+TEV = 1.0e3
+
+# Length scale factors relative to millimetres.
+UM = 1.0e-3
+MM = 1.0
+CM = 10.0
+M = 1000.0
+
+# Time scale factors relative to nanoseconds.
+PS = 1.0e-3
+NS = 1.0
+US = 1.0e3
+
+#: Speed of light in mm/ns — handy because a relativistic particle travels
+#: about 30 cm per nanosecond, which sets detector timing windows.
+SPEED_OF_LIGHT_MM_PER_NS = 299.792458
+
+#: Reduced Planck constant times c, in GeV * mm. Used to convert particle
+#: widths (GeV) to lifetimes (ns) and decay lengths (mm).
+HBARC_GEV_MM = 1.973269804e-13
+
+#: hbar in GeV * ns, for Gamma (GeV) -> tau (ns) conversions.
+HBAR_GEV_NS = 6.582119569e-16
+
+#: Conversion from barns to the inverse-GeV^2 natural cross-section unit.
+GEV2_TO_MILLIBARN = 0.3893793721
+
+# Storage sizes, used by the data-model and preservation layers when
+# reporting tier volumes the way the Data Interview Template asks for them.
+BYTE = 1
+KB = 1000
+MB = 1000**2
+GB = 1000**3
+TB = 1000**4
+PB = 1000**5
+
+
+def width_to_lifetime_ns(width_gev: float) -> float:
+    """Convert a resonance width in GeV to a mean lifetime in nanoseconds.
+
+    A zero or negative width denotes a stable particle and maps to
+    ``float('inf')``.
+    """
+    if width_gev <= 0.0:
+        return float("inf")
+    return HBAR_GEV_NS / width_gev
+
+
+def lifetime_to_width_gev(lifetime_ns: float) -> float:
+    """Convert a mean lifetime in nanoseconds to a width in GeV.
+
+    An infinite (or non-positive) lifetime denotes a stable particle and maps
+    to a width of zero.
+    """
+    if lifetime_ns <= 0.0 or lifetime_ns == float("inf"):
+        return 0.0
+    return HBAR_GEV_NS / lifetime_ns
+
+
+def human_bytes(n_bytes: float) -> str:
+    """Render a byte count with a binary-free, SI-style suffix.
+
+    >>> human_bytes(1536)
+    '1.54 kB'
+    """
+    magnitude = float(n_bytes)
+    for suffix in ("B", "kB", "MB", "GB", "TB", "PB"):
+        if magnitude < 1000.0 or suffix == "PB":
+            if suffix == "B":
+                return f"{int(magnitude)} {suffix}"
+            return f"{magnitude:.2f} {suffix}"
+        magnitude /= 1000.0
+    raise AssertionError("unreachable")

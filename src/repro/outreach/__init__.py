@@ -1,0 +1,66 @@
+"""Level-2 outreach tooling: simplified formats, displays, master classes.
+
+Implements Section 2.1's ecosystem as one coherent stack instead of the
+four divergent ones in Table 1:
+
+- a *simplified, self-documenting event format* (:mod:`format`),
+- a *thin converter* from AOD into it (:mod:`converter`) — the
+  architecture of the Finland/CMS public-data project the paper
+  describes,
+- *event-display records* consuming the same geometry export the
+  detector publishes (:mod:`display`),
+- four *master classes* mirroring the Table 1 rows — Z path, W path,
+  Higgs hunt, and the LHCb D-lifetime measurement (:mod:`masterclass`),
+- an *analysis portal* for browsing and histogramming without any
+  experiment software (:mod:`portal`).
+"""
+
+from repro.outreach.format import Level2Event, SimplifiedParticle
+from repro.outreach.converter import ConversionStats, Level2Converter
+from repro.outreach.display import (
+    DisplayTower,
+    DisplayTrack,
+    EventDisplayRecord,
+    render_lego_ascii,
+)
+from repro.outreach.masterclass import (
+    DLifetimeExercise,
+    HiggsHuntExercise,
+    MasterClassExercise,
+    V0Exercise,
+    WPathExercise,
+    ZPathExercise,
+    build_d0_candidates,
+    build_v0_candidates,
+)
+from repro.outreach.portal import OutreachPortal
+from repro.outreach.svg import render_event_svg
+from repro.outreach.web import (
+    export_portal_html,
+    histogram_svg,
+    write_portal_html,
+)
+
+__all__ = [
+    "SimplifiedParticle",
+    "Level2Event",
+    "Level2Converter",
+    "ConversionStats",
+    "DisplayTrack",
+    "DisplayTower",
+    "EventDisplayRecord",
+    "render_lego_ascii",
+    "MasterClassExercise",
+    "ZPathExercise",
+    "WPathExercise",
+    "HiggsHuntExercise",
+    "DLifetimeExercise",
+    "V0Exercise",
+    "build_d0_candidates",
+    "build_v0_candidates",
+    "OutreachPortal",
+    "render_event_svg",
+    "export_portal_html",
+    "histogram_svg",
+    "write_portal_html",
+]

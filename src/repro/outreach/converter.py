@@ -1,0 +1,113 @@
+"""The thin AOD -> Level-2 converter.
+
+"Here, a thin layer of software will convert data in a relatively
+low-level format (called AOD ...) into a simplified representation that
+can be used for further analysis or visualization using an event display
+that consumes this simplified format."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datamodel.event import AODEvent
+from repro.errors import ConversionError
+from repro.outreach.display import build_display_payload
+from repro.outreach.format import Level2Event, SimplifiedParticle
+
+
+@dataclass(frozen=True)
+class ConverterConfig:
+    """What the converter keeps."""
+
+    min_lepton_pt: float = 5.0
+    min_photon_pt: float = 5.0
+    min_jet_pt: float = 15.0
+    include_display: bool = False
+
+
+@dataclass
+class ConversionStats:
+    """Volume accounting for one conversion pass."""
+
+    n_events: int = 0
+    input_bytes: int = 0
+    output_bytes: int = 0
+
+    @property
+    def reduction_factor(self) -> float:
+        """Input size over output size (> 1 means the output is smaller)."""
+        if self.output_bytes == 0:
+            return float("inf")
+        return self.input_bytes / self.output_bytes
+
+
+class Level2Converter:
+    """Converts AOD events into the simplified Level-2 format."""
+
+    def __init__(self, collision_energy_tev: float = 8.0,
+                 config: ConverterConfig | None = None) -> None:
+        if collision_energy_tev <= 0.0:
+            raise ConversionError("collision energy must be positive")
+        self.collision_energy_tev = collision_energy_tev
+        self.config = config if config is not None else ConverterConfig()
+        self.stats = ConversionStats()
+
+    def convert(self, aod: AODEvent,
+                candidates: list[dict] | None = None) -> Level2Event:
+        """Convert one AOD event; optional composite candidates ride along."""
+        config = self.config
+        particles = []
+        for electron in aod.electrons:
+            if electron.p4.pt >= config.min_lepton_pt:
+                particles.append(SimplifiedParticle(
+                    "electron", electron.p4.e, electron.p4.pt,
+                    electron.p4.eta, electron.p4.phi, electron.charge,
+                ))
+        for muon in aod.muons:
+            if muon.p4.pt >= config.min_lepton_pt:
+                particles.append(SimplifiedParticle(
+                    "muon", muon.p4.e, muon.p4.pt, muon.p4.eta,
+                    muon.p4.phi, muon.charge,
+                ))
+        for photon in aod.photons:
+            if photon.p4.pt >= config.min_photon_pt:
+                particles.append(SimplifiedParticle(
+                    "photon", photon.p4.e, photon.p4.pt, photon.p4.eta,
+                    photon.p4.phi, 0,
+                ))
+        for jet in aod.jets:
+            if jet.p4.pt >= config.min_jet_pt:
+                particles.append(SimplifiedParticle(
+                    "jet", jet.p4.e, jet.p4.pt, jet.p4.eta, jet.p4.phi, 0,
+                ))
+        level2 = Level2Event(
+            run_number=aod.run_number,
+            event_number=aod.event_number,
+            collision_energy_tev=self.collision_energy_tev,
+            particles=particles,
+            met=aod.met.met,
+            met_phi=aod.met.phi,
+            candidates=list(candidates) if candidates else [],
+        )
+        if config.include_display:
+            level2.display = build_display_payload(level2)
+        self.stats.n_events += 1
+        self.stats.input_bytes += aod.approximate_size_bytes()
+        self.stats.output_bytes += level2.approximate_size_bytes()
+        return level2
+
+    def convert_many(self, aods: list[AODEvent]) -> list[Level2Event]:
+        """Convert a list of AOD events in order."""
+        return [self.convert(aod) for aod in aods]
+
+    def describe(self) -> dict:
+        """Provenance description of the converter configuration."""
+        return {
+            "converter": "repro-level2-converter",
+            "version": "1.0.0",
+            "collision_energy_tev": self.collision_energy_tev,
+            "min_lepton_pt": self.config.min_lepton_pt,
+            "min_jet_pt": self.config.min_jet_pt,
+            "include_display": self.config.include_display,
+        }

@@ -1,0 +1,184 @@
+"""Event-display records and a terminal renderer.
+
+The displays of Table 1 consume (a) a geometry description and (b)
+per-event payloads of tracks and calorimeter towers. Here the geometry
+comes from :meth:`DetectorGeometry.to_display_dict`, the event payload
+from :func:`build_display_payload`, and :func:`render_lego_ascii` draws
+an eta-phi "lego plot" in plain text — a display that genuinely runs on
+any platform, which was the whole point of the common-format discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.detector.geometry import DetectorGeometry
+from repro.errors import OutreachError
+
+# Imported lazily at type level to avoid a converter <-> display cycle:
+# build_display_payload takes any object with .particles/.met attributes.
+
+
+@dataclass(frozen=True)
+class DisplayTrack:
+    """A drawable charged-particle trajectory (polyline in r-phi)."""
+
+    pt: float
+    eta: float
+    phi: float
+    charge: int
+    points_xy_mm: tuple[tuple[float, float], ...]
+
+    def to_dict(self) -> dict:
+        """Serialise for the display payload."""
+        return {
+            "pt": self.pt, "eta": self.eta, "phi": self.phi,
+            "charge": self.charge,
+            "points": [list(point) for point in self.points_xy_mm],
+        }
+
+
+@dataclass(frozen=True)
+class DisplayTower:
+    """A drawable calorimeter tower in eta-phi."""
+
+    kind: str
+    eta: float
+    phi: float
+    energy: float
+
+    def to_dict(self) -> dict:
+        """Serialise for the display payload."""
+        return {"kind": self.kind, "eta": self.eta, "phi": self.phi,
+                "energy": self.energy}
+
+
+def _helix_points(pt: float, phi: float, charge: int,
+                  bfield_tesla: float, max_radius_mm: float,
+                  n_points: int = 12) -> tuple[tuple[float, float], ...]:
+    """Sample (x, y) points along the transverse helix for drawing."""
+    if pt <= 0.0:
+        raise OutreachError("cannot draw a zero-pt track")
+    curvature = -charge * 0.0003 * bfield_tesla / (2.0 * pt)
+    points = []
+    for step in range(1, n_points + 1):
+        radius = max_radius_mm * step / n_points
+        azimuth = phi + curvature * radius
+        points.append((radius * math.cos(azimuth),
+                       radius * math.sin(azimuth)))
+    return tuple(points)
+
+
+def build_display_payload(level2_event, bfield_tesla: float = 2.0,
+                          max_radius_mm: float = 1100.0) -> dict:
+    """Build the tracks + towers display payload for a Level-2 event."""
+    tracks = []
+    towers = []
+    for particle in level2_event.particles:
+        if particle.particle_type in ("electron", "muon"):
+            tracks.append(DisplayTrack(
+                pt=particle.pt,
+                eta=particle.eta,
+                phi=particle.phi,
+                charge=particle.charge,
+                points_xy_mm=_helix_points(
+                    particle.pt, particle.phi, particle.charge,
+                    bfield_tesla, max_radius_mm,
+                ),
+            ))
+        kind = {"electron": "ecal", "photon": "ecal",
+                "muon": "muon", "jet": "hcal"}[particle.particle_type]
+        towers.append(DisplayTower(
+            kind=kind, eta=particle.eta, phi=particle.phi,
+            energy=particle.energy,
+        ))
+    return {
+        "tracks": [track.to_dict() for track in tracks],
+        "towers": [tower.to_dict() for tower in towers],
+        "met": {"value": level2_event.met, "phi": level2_event.met_phi},
+    }
+
+
+@dataclass(frozen=True)
+class EventDisplayRecord:
+    """A complete, standalone display record: geometry + event payload."""
+
+    geometry: dict
+    event_payload: dict
+    run_number: int
+    event_number: int
+
+    @classmethod
+    def build(cls, geometry: DetectorGeometry,
+              level2_event) -> "EventDisplayRecord":
+        """Pair a geometry export with a Level-2 event."""
+        payload = (level2_event.display
+                   if level2_event.display is not None
+                   else build_display_payload(
+                       level2_event, geometry.bfield_tesla
+                   ))
+        return cls(
+            geometry=geometry.to_display_dict(),
+            event_payload=payload,
+            run_number=level2_event.run_number,
+            event_number=level2_event.event_number,
+        )
+
+    def to_dict(self) -> dict:
+        """Serialise the full standalone record."""
+        return {
+            "format": "repro-event-display",
+            "run": self.run_number,
+            "event": self.event_number,
+            "geometry": dict(self.geometry),
+            "payload": dict(self.event_payload),
+        }
+
+
+_LEGO_CHARS = " .:-=+*#%@"
+
+
+def render_lego_ascii(level2_event, eta_range: float = 3.0,
+                      n_eta: int = 24, n_phi: int = 48) -> str:
+    """Render an eta-phi energy lego plot as ASCII art.
+
+    Rows are phi (top = +pi), columns are eta; brightness encodes the
+    energy deposited by the event's particles. Leptons are overdrawn
+    with their symbols (e/m) so students can spot them.
+    """
+    if n_eta <= 0 or n_phi <= 0:
+        raise OutreachError("grid dimensions must be positive")
+    grid = [[0.0] * n_eta for _ in range(n_phi)]
+    symbols: dict[tuple[int, int], str] = {}
+    for particle in level2_event.particles:
+        if abs(particle.eta) >= eta_range:
+            continue
+        column = int((particle.eta + eta_range) / (2 * eta_range) * n_eta)
+        column = min(max(column, 0), n_eta - 1)
+        row = int((math.pi - particle.phi) / (2 * math.pi) * n_phi)
+        row = min(max(row, 0), n_phi - 1)
+        grid[row][column] += particle.energy
+        if particle.particle_type == "electron":
+            symbols[(row, column)] = "e"
+        elif particle.particle_type == "muon":
+            symbols[(row, column)] = "m"
+    peak = max((energy for row in grid for energy in row), default=0.0)
+    lines = [f"run {level2_event.run_number} event "
+             f"{level2_event.event_number}   "
+             f"MET = {level2_event.met:.1f} GeV"]
+    for row_index, row in enumerate(grid):
+        rendered = []
+        for column_index, energy in enumerate(row):
+            if (row_index, column_index) in symbols:
+                rendered.append(symbols[(row_index, column_index)])
+            elif peak > 0.0 and energy > 0.0:
+                intensity = int(
+                    (len(_LEGO_CHARS) - 1) * min(1.0, energy / peak)
+                )
+                rendered.append(_LEGO_CHARS[max(1, intensity)])
+            else:
+                rendered.append(" ")
+        lines.append("|" + "".join(rendered) + "|")
+    lines.append("+" + "-" * n_eta + "+  eta ->")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""The outreach analysis portal.
+
+A browser-style interface over Level-2 datasets: counting, histogramming
+of a fixed variable vocabulary, and per-event displays — the
+"Data Browser/Histogrammer/Demonstration analyses" row of Table 1,
+without any experiment software behind it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import OutreachError
+from repro.kinematics import invariant_mass
+from repro.outreach.display import render_lego_ascii
+from repro.outreach.format import Level2Event
+from repro.stats.histogram import Histogram1D
+
+
+def _dilepton_mass(event: Level2Event) -> float | None:
+    leptons = event.leptons()
+    if len(leptons) < 2:
+        return None
+    return invariant_mass([leptons[0].p4(), leptons[1].p4()])
+
+
+def _dimuon_mass(event: Level2Event) -> float | None:
+    muons = event.of_type("muon")
+    if len(muons) < 2:
+        return None
+    return invariant_mass([muons[0].p4(), muons[1].p4()])
+
+
+#: The portal's fixed variable vocabulary: name -> extractor.
+_VARIABLES: dict[str, Callable[[Level2Event], float | None]] = {
+    "met": lambda event: event.met,
+    "n_particles": lambda event: float(len(event.particles)),
+    "n_leptons": lambda event: float(len(event.leptons())),
+    "n_jets": lambda event: float(len(event.of_type("jet"))),
+    "lead_lepton_pt": lambda event: (
+        event.leptons()[0].pt if event.leptons() else None
+    ),
+    "lead_jet_pt": lambda event: (
+        event.of_type("jet")[0].pt if event.of_type("jet") else None
+    ),
+    "dilepton_mass": _dilepton_mass,
+    "dimuon_mass": _dimuon_mass,
+}
+
+
+class OutreachPortal:
+    """Interactive-style access to a Level-2 dataset."""
+
+    def __init__(self, events: list[Level2Event],
+                 dataset_name: str = "outreach-sample") -> None:
+        self.events = list(events)
+        self.dataset_name = dataset_name
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @staticmethod
+    def variables() -> list[str]:
+        """The histogrammable variable names, sorted."""
+        return sorted(_VARIABLES)
+
+    def _extract(self, variable: str,
+                 event: Level2Event) -> float | None:
+        try:
+            extractor = _VARIABLES[variable]
+        except KeyError:
+            raise OutreachError(
+                f"unknown portal variable {variable!r}; available: "
+                f"{self.variables()}"
+            ) from None
+        return extractor(event)
+
+    def histogram(self, variable: str, nbins: int, low: float,
+                  high: float) -> Histogram1D:
+        """Histogram one variable across the dataset."""
+        histogram = Histogram1D(f"{self.dataset_name}/{variable}",
+                                nbins, low, high, label=variable)
+        for event in self.events:
+            value = self._extract(variable, event)
+            if value is not None:
+                histogram.fill(value)
+        return histogram
+
+    def count(self, variable: str, minimum: float) -> int:
+        """Events whose variable value is defined and >= minimum."""
+        total = 0
+        for event in self.events:
+            value = self._extract(variable, event)
+            if value is not None and value >= minimum:
+                total += 1
+        return total
+
+    def event_display(self, index: int) -> str:
+        """ASCII display of one event."""
+        if not 0 <= index < len(self.events):
+            raise OutreachError(
+                f"event index {index} out of range 0..{len(self.events) - 1}"
+            )
+        return render_lego_ascii(self.events[index])
+
+    def summary(self) -> dict:
+        """Dataset overview the portal's landing page would show."""
+        return {
+            "dataset": self.dataset_name,
+            "n_events": len(self.events),
+            "n_with_leptons": sum(1 for event in self.events
+                                  if event.leptons()),
+            "n_with_jets": sum(1 for event in self.events
+                               if event.of_type("jet")),
+            "variables": self.variables(),
+        }

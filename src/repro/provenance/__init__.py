@@ -1,0 +1,29 @@
+"""Provenance: parentage records, lineage graphs, and completeness audits.
+
+Section 3.2 of the paper flags provenance retention as an open issue:
+"Depending on how the processing is done, the parentage and computing
+(producer) description of a given file may not be included. If this is the
+case, and the workflow is to be preserved, an external structure to capture
+that provenance chain will need to be created."
+
+:class:`ProvenanceCapture` is that external structure. The workflow runner
+reports every produced dataset to it; :class:`ProvenanceGraph` answers
+lineage queries; :mod:`repro.provenance.audit` quantifies how much ancestry
+is recoverable with and without the capture structure enabled — the C-PRV
+benchmark.
+"""
+
+from repro.provenance.records import ArtifactRecord, ProducerRecord
+from repro.provenance.graph import ProvenanceGraph
+from repro.provenance.capture import ProvenanceCapture
+from repro.provenance.audit import AuditReport, audit_all, audit_artifact
+
+__all__ = [
+    "ArtifactRecord",
+    "ProducerRecord",
+    "ProvenanceGraph",
+    "ProvenanceCapture",
+    "AuditReport",
+    "audit_all",
+    "audit_artifact",
+]

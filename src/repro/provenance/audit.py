@@ -1,0 +1,74 @@
+"""Provenance completeness audits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.provenance.graph import ProvenanceGraph
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Completeness of one artifact's recoverable history.
+
+    ``ancestry_completeness`` is the fraction of referenced ancestors that
+    are themselves registered (1.0 = full chain recoverable);
+    ``producer_completeness`` is the fraction of registered ancestry (plus
+    the artifact itself) carrying a computing description;
+    ``reproducible`` summarises whether the artifact could in principle be
+    regenerated: full ancestry plus full producer records.
+    """
+
+    artifact_id: str
+    n_ancestors_referenced: int
+    n_ancestors_registered: int
+    n_with_producer: int
+    missing_parents: tuple[str, ...]
+    ancestry_completeness: float
+    producer_completeness: float
+    reproducible: bool
+
+    def summary(self) -> str:
+        """One-line human-readable audit verdict."""
+        status = "REPRODUCIBLE" if self.reproducible else "INCOMPLETE"
+        return (
+            f"{self.artifact_id}: {status} "
+            f"(ancestry {self.ancestry_completeness:.0%}, "
+            f"producers {self.producer_completeness:.0%}, "
+            f"{len(self.missing_parents)} missing parents)"
+        )
+
+
+def audit_artifact(graph: ProvenanceGraph, artifact_id: str) -> AuditReport:
+    """Audit how much of one artifact's history is recoverable."""
+    ancestor_ids = graph.ancestors(artifact_id)
+    registered = [a for a in ancestor_ids if a in graph]
+    missing = tuple(sorted(a for a in ancestor_ids if a not in graph))
+
+    chain = [graph.get(a) for a in registered] + [graph.get(artifact_id)]
+    with_producer = sum(1 for record in chain if record.has_producer)
+
+    n_referenced = len(ancestor_ids)
+    ancestry_completeness = (
+        len(registered) / n_referenced if n_referenced else 1.0
+    )
+    producer_completeness = with_producer / len(chain) if chain else 0.0
+    reproducible = (
+        ancestry_completeness == 1.0 and producer_completeness == 1.0
+    )
+    return AuditReport(
+        artifact_id=artifact_id,
+        n_ancestors_referenced=n_referenced,
+        n_ancestors_registered=len(registered),
+        n_with_producer=with_producer,
+        missing_parents=missing,
+        ancestry_completeness=ancestry_completeness,
+        producer_completeness=producer_completeness,
+        reproducible=reproducible,
+    )
+
+
+def audit_all(graph: ProvenanceGraph) -> list[AuditReport]:
+    """Audit every registered artifact, sorted by id."""
+    return [audit_artifact(graph, artifact_id)
+            for artifact_id in graph.artifact_ids()]

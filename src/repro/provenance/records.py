@@ -1,0 +1,97 @@
+"""Provenance record types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProvenanceError
+
+
+@dataclass(frozen=True)
+class ProducerRecord:
+    """Who/what produced an artifact: the "computing description".
+
+    ``configuration`` holds the producer's parameters (cuts, tags, seeds);
+    it must be JSON-serialisable.
+    """
+
+    name: str
+    version: str
+    configuration: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Serialise for provenance exports."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "configuration": dict(self.configuration),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ProducerRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(record["name"]),
+            version=str(record["version"]),
+            configuration=dict(record.get("configuration", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """One node of the provenance graph: a dataset or file.
+
+    ``parents`` are artifact ids this one was derived from; ``externals``
+    enumerates external resources (conditions folders, global tags, ...)
+    consumed during production — the dependency list the paper asks
+    preservation to capture.
+    """
+
+    artifact_id: str
+    kind: str
+    tier: str
+    parents: tuple[str, ...] = ()
+    producer: ProducerRecord | None = None
+    externals: dict = field(default_factory=dict)
+    attributes: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.artifact_id:
+            raise ProvenanceError("artifact_id must be non-empty")
+        if self.artifact_id in self.parents:
+            raise ProvenanceError(
+                f"artifact {self.artifact_id!r} lists itself as a parent"
+            )
+
+    @property
+    def has_producer(self) -> bool:
+        """True when the computing description survived."""
+        return self.producer is not None
+
+    def to_dict(self) -> dict:
+        """Serialise for provenance exports."""
+        return {
+            "artifact_id": self.artifact_id,
+            "kind": self.kind,
+            "tier": self.tier,
+            "parents": list(self.parents),
+            "producer": (self.producer.to_dict()
+                         if self.producer is not None else None),
+            "externals": dict(self.externals),
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ArtifactRecord":
+        """Inverse of :meth:`to_dict`."""
+        producer_record = record.get("producer")
+        return cls(
+            artifact_id=str(record["artifact_id"]),
+            kind=str(record["kind"]),
+            tier=str(record["tier"]),
+            parents=tuple(str(p) for p in record.get("parents", [])),
+            producer=(ProducerRecord.from_dict(producer_record)
+                      if producer_record else None),
+            externals=dict(record.get("externals", {})),
+            attributes=dict(record.get("attributes", {})),
+        )

@@ -1,0 +1,50 @@
+"""A RECAST-analogue re-analysis framework.
+
+Implements the "closed system" of Section 2.3/2.4:
+
+- a public :class:`RecastFrontend` where outsiders browse the catalogue
+  and submit re-analysis requests for new models;
+- a :class:`RecastAPI` mediating between the front end and the back ends;
+- experiment-controlled :class:`FullChainBackend` processors that run the
+  *entire* preserved chain — generation of the new model, detector
+  simulation, reconstruction, and the preserved event selection — none of
+  which is exposed to the requester;
+- an approval gate: results reach the requester only after the experiment
+  approves them;
+- the :class:`RivetBridgeBackend` (the DASPOS deliverable): any RIVET
+  analysis can serve as a RECAST back end, gaining limit-setting.
+"""
+
+from repro.recast.catalog import AnalysisCatalog, PreservedSearch
+from repro.recast.requests import ModelSpec, RecastRequest, RequestStatus
+from repro.recast.results import RecastResult
+from repro.recast.backend import FullChainBackend, RecastBackend
+from repro.recast.background import (
+    BackgroundEstimate,
+    combine_estimates,
+    estimate_background,
+)
+from repro.recast.api import RecastAPI
+from repro.recast.frontend import RecastFrontend
+from repro.recast.bridge import RivetBridgeBackend
+from repro.recast.scan import ExclusionScan, ScanPoint, run_mass_scan
+
+__all__ = [
+    "AnalysisCatalog",
+    "PreservedSearch",
+    "ModelSpec",
+    "RecastRequest",
+    "RequestStatus",
+    "RecastResult",
+    "RecastBackend",
+    "FullChainBackend",
+    "RecastAPI",
+    "RecastFrontend",
+    "RivetBridgeBackend",
+    "ExclusionScan",
+    "ScanPoint",
+    "run_mass_scan",
+    "BackgroundEstimate",
+    "estimate_background",
+    "combine_estimates",
+]

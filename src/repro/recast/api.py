@@ -1,0 +1,122 @@
+"""The RECAST API: mediation between front end and back ends.
+
+"The RECAST API would mediate between the user interface and various
+capabilities provided by the 'back end' processing installation. ... the
+results, if approved, are returned to the user."
+"""
+
+from __future__ import annotations
+
+from repro.errors import RecastError
+from repro.recast.backend import RecastBackend
+from repro.recast.catalog import AnalysisCatalog
+from repro.recast.requests import ModelSpec, RecastRequest, RequestStatus
+
+
+class RecastAPI:
+    """Owns the request queue, the catalogues, and the back ends."""
+
+    def __init__(self) -> None:
+        self._catalogs: dict[str, AnalysisCatalog] = {}
+        self._backends: dict[str, RecastBackend] = {}
+        self._requests: dict[str, RecastRequest] = {}
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Experiment-side registration
+    # ------------------------------------------------------------------
+
+    def register_experiment(self, catalog: AnalysisCatalog,
+                            backend: RecastBackend) -> None:
+        """Attach an experiment's catalogue and its processing back end."""
+        if catalog.experiment in self._catalogs:
+            raise RecastError(
+                f"experiment {catalog.experiment!r} already registered"
+            )
+        self._catalogs[catalog.experiment] = catalog
+        self._backends[catalog.experiment] = backend
+
+    def experiments(self) -> list[str]:
+        """Registered experiment names, sorted."""
+        return sorted(self._catalogs)
+
+    def _find_search(self, analysis_id: str):
+        for experiment, catalog in self._catalogs.items():
+            if analysis_id in catalog:
+                return experiment, catalog.get(analysis_id)
+        raise RecastError(f"no experiment catalogues analysis "
+                          f"{analysis_id!r}")
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+
+    def submit(self, analysis_id: str, model: ModelSpec,
+               requester: str) -> RecastRequest:
+        """Create a request; validates the analysis exists somewhere."""
+        self._find_search(analysis_id)  # existence check
+        self._sequence += 1
+        request = RecastRequest(
+            request_id=f"req-{self._sequence:05d}",
+            analysis_id=analysis_id,
+            requester=requester,
+            model=model,
+        )
+        self._requests[request.request_id] = request
+        return request
+
+    def get_request(self, request_id: str) -> RecastRequest:
+        """Internal lookup of a request."""
+        try:
+            return self._requests[request_id]
+        except KeyError:
+            raise RecastError(f"unknown request {request_id!r}") from None
+
+    def accept(self, request_id: str, note: str = "") -> None:
+        """Experiment accepts a submitted request for processing."""
+        self.get_request(request_id).transition(RequestStatus.ACCEPTED, note)
+
+    def reject(self, request_id: str, note: str = "") -> None:
+        """Experiment rejects a request (pre- or post-processing)."""
+        self.get_request(request_id).transition(RequestStatus.REJECTED, note)
+
+    def run(self, request_id: str) -> None:
+        """Process an accepted request on its experiment's back end.
+
+        Processing failures are captured into the FAILED state rather than
+        propagating — the requester sees a failure notice, never a stack
+        trace from the experiment's internals.
+        """
+        request = self.get_request(request_id)
+        request.transition(RequestStatus.PROCESSING)
+        experiment, search = self._find_search(request.analysis_id)
+        backend = self._backends[experiment]
+        try:
+            result = backend.process(search, request.model)
+        except Exception as exc:
+            request.failure_reason = str(exc)
+            request.transition(RequestStatus.FAILED, str(exc))
+            return
+        request.result = result
+        request.transition(RequestStatus.PENDING_APPROVAL)
+
+    def approve(self, request_id: str, approver: str) -> None:
+        """Experiment releases the result to the requester."""
+        self.get_request(request_id).transition(
+            RequestStatus.APPROVED, f"approved by {approver}"
+        )
+
+    # ------------------------------------------------------------------
+    # Public queries (delegated to by the front end)
+    # ------------------------------------------------------------------
+
+    def public_catalog(self) -> list[dict]:
+        """Public metadata of all searches across all experiments."""
+        listing = []
+        for experiment in sorted(self._catalogs):
+            listing.extend(self._catalogs[experiment].public_listing())
+        return listing
+
+    def public_status(self, request_id: str) -> dict:
+        """The requester-visible view of a request."""
+        return self.get_request(request_id).public_view()

@@ -1,0 +1,133 @@
+"""The catalogue of preserved searches.
+
+A :class:`PreservedSearch` bundles everything needed to re-interpret a
+published search under a new model: the declarative event selection, the
+background estimate and observed count, the luminosity, and the pointers
+to the processing configuration (geometry, conditions global tag,
+reconstruction version). The *code* is not in the record — it is
+encapsulated in the back end, which is the RECAST control model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datamodel.skimslim import SkimSpec
+from repro.errors import RecastError
+
+
+@dataclass(frozen=True)
+class PreservedSearch:
+    """One preserved search analysis, as catalogued by its experiment."""
+
+    analysis_id: str
+    title: str
+    experiment: str
+    selection: SkimSpec
+    n_observed: int
+    background: float
+    background_uncertainty: float
+    luminosity_ipb: float
+    geometry_name: str = "GPD"
+    global_tag: str = "GT-FINAL"
+    reco_version: str = "1.0.0"
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_observed < 0:
+            raise RecastError("n_observed must be >= 0")
+        if self.background < 0.0 or self.background_uncertainty < 0.0:
+            raise RecastError("background (uncertainty) must be >= 0")
+        if self.luminosity_ipb <= 0.0:
+            raise RecastError("luminosity must be positive")
+
+    def public_metadata(self) -> dict:
+        """What the front end exposes to outsiders.
+
+        The selection internals and processing configuration stay private:
+        "none of this code base would be exposed to the outside world".
+        """
+        return {
+            "analysis_id": self.analysis_id,
+            "title": self.title,
+            "experiment": self.experiment,
+            "luminosity_ipb": self.luminosity_ipb,
+            "notes": self.notes,
+        }
+
+    def to_dict(self) -> dict:
+        """Full (experiment-internal) serialisation."""
+        return {
+            "analysis_id": self.analysis_id,
+            "title": self.title,
+            "experiment": self.experiment,
+            "selection": self.selection.to_dict(),
+            "n_observed": self.n_observed,
+            "background": self.background,
+            "background_uncertainty": self.background_uncertainty,
+            "luminosity_ipb": self.luminosity_ipb,
+            "geometry_name": self.geometry_name,
+            "global_tag": self.global_tag,
+            "reco_version": self.reco_version,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "PreservedSearch":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            analysis_id=str(record["analysis_id"]),
+            title=str(record["title"]),
+            experiment=str(record["experiment"]),
+            selection=SkimSpec.from_dict(record["selection"]),
+            n_observed=int(record["n_observed"]),
+            background=float(record["background"]),
+            background_uncertainty=float(record["background_uncertainty"]),
+            luminosity_ipb=float(record["luminosity_ipb"]),
+            geometry_name=str(record.get("geometry_name", "GPD")),
+            global_tag=str(record.get("global_tag", "GT-FINAL")),
+            reco_version=str(record.get("reco_version", "1.0.0")),
+            notes=str(record.get("notes", "")),
+        )
+
+
+class AnalysisCatalog:
+    """The experiment-side registry of preserved searches."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+        self._searches: dict[str, PreservedSearch] = {}
+
+    def register(self, search: PreservedSearch) -> None:
+        """Catalogue a preserved search for this experiment."""
+        if search.experiment != self.experiment:
+            raise RecastError(
+                f"search {search.analysis_id!r} belongs to "
+                f"{search.experiment!r}, not {self.experiment!r}"
+            )
+        if search.analysis_id in self._searches:
+            raise RecastError(
+                f"analysis {search.analysis_id!r} already catalogued"
+            )
+        self._searches[search.analysis_id] = search
+
+    def get(self, analysis_id: str) -> PreservedSearch:
+        """Internal lookup (back-end use only)."""
+        try:
+            return self._searches[analysis_id]
+        except KeyError:
+            raise RecastError(
+                f"unknown analysis {analysis_id!r} in {self.experiment} "
+                f"catalogue"
+            ) from None
+
+    def __contains__(self, analysis_id: str) -> bool:
+        return analysis_id in self._searches
+
+    def __len__(self) -> int:
+        return len(self._searches)
+
+    def public_listing(self) -> list[dict]:
+        """Public metadata of every catalogued search."""
+        return [self._searches[analysis_id].public_metadata()
+                for analysis_id in sorted(self._searches)]

@@ -1,0 +1,42 @@
+"""The public RECAST front end.
+
+"The RECAST structure includes a 'front end' interface to the outside
+world where those interested in re-using an analysis can submit requests
+and inputs used in the processing." The front end only ever returns
+public views; all internals stay behind the API.
+"""
+
+from __future__ import annotations
+
+from repro.recast.api import RecastAPI
+from repro.recast.requests import ModelSpec
+
+
+class RecastFrontend:
+    """What a theorist (or any outsider) interacts with."""
+
+    def __init__(self, api: RecastAPI) -> None:
+        self._api = api
+
+    def browse_catalog(self) -> list[dict]:
+        """Public metadata of every preserved search."""
+        return self._api.public_catalog()
+
+    def submit_request(self, analysis_id: str, model: ModelSpec,
+                       requester: str) -> str:
+        """Submit a re-analysis request; returns the request id."""
+        request = self._api.submit(analysis_id, model, requester)
+        return request.request_id
+
+    def status(self, request_id: str) -> dict:
+        """The requester-visible state of a request.
+
+        Includes the result payload only once the experiment has approved
+        its release.
+        """
+        return self._api.public_status(request_id)
+
+    def result(self, request_id: str) -> dict | None:
+        """The approved result, or None while unapproved/unfinished."""
+        view = self._api.public_status(request_id)
+        return view.get("result")

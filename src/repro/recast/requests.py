@@ -1,0 +1,130 @@
+"""Re-analysis requests and their state machine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import RecastError, RequestStateError
+from repro.recast.results import RecastResult
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of a RECAST request."""
+
+    SUBMITTED = "submitted"
+    ACCEPTED = "accepted"
+    PROCESSING = "processing"
+    PENDING_APPROVAL = "pending_approval"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+    FAILED = "failed"
+
+
+#: Legal state transitions.
+_TRANSITIONS: dict[RequestStatus, frozenset[RequestStatus]] = {
+    RequestStatus.SUBMITTED: frozenset(
+        {RequestStatus.ACCEPTED, RequestStatus.REJECTED}
+    ),
+    RequestStatus.ACCEPTED: frozenset({RequestStatus.PROCESSING}),
+    RequestStatus.PROCESSING: frozenset(
+        {RequestStatus.PENDING_APPROVAL, RequestStatus.FAILED}
+    ),
+    RequestStatus.PENDING_APPROVAL: frozenset(
+        {RequestStatus.APPROVED, RequestStatus.REJECTED}
+    ),
+    RequestStatus.APPROVED: frozenset(),
+    RequestStatus.REJECTED: frozenset(),
+    RequestStatus.FAILED: frozenset(),
+}
+
+#: Model-spec process names the back ends know how to generate.
+KNOWN_PROCESSES = ("zprime", "drell_yan_z", "w_production", "higgs_4l")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A requester-supplied new-physics model, as pure data.
+
+    Only parameters cross the interface — never code — which is what
+    keeps the RECAST system "closed". ``process`` must be one of
+    :data:`KNOWN_PROCESSES`; ``parameters`` are process-specific (e.g.
+    ``mass``, ``width``, ``cross_section_pb`` for a Z').
+    """
+
+    name: str
+    process: str
+    parameters: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.process not in KNOWN_PROCESSES:
+            raise RecastError(
+                f"unknown model process {self.process!r}; supported: "
+                f"{KNOWN_PROCESSES}"
+            )
+
+    def to_dict(self) -> dict:
+        """Serialise for request records."""
+        return {"name": self.name, "process": self.process,
+                "parameters": dict(self.parameters)}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ModelSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(record["name"]),
+            process=str(record["process"]),
+            parameters=dict(record.get("parameters", {})),
+        )
+
+
+@dataclass
+class RecastRequest:
+    """One re-analysis request moving through the system."""
+
+    request_id: str
+    analysis_id: str
+    requester: str
+    model: ModelSpec
+    status: RequestStatus = RequestStatus.SUBMITTED
+    history: list[str] = field(default_factory=list)
+    result: RecastResult | None = None
+    failure_reason: str = ""
+
+    def transition(self, new_status: RequestStatus, note: str = "") -> None:
+        """Move to a new status; illegal moves raise RequestStateError."""
+        allowed = _TRANSITIONS[self.status]
+        if new_status not in allowed:
+            raise RequestStateError(
+                f"request {self.request_id}: cannot go "
+                f"{self.status.value} -> {new_status.value}; allowed: "
+                f"{sorted(s.value for s in allowed)}"
+            )
+        self.history.append(
+            f"{self.status.value} -> {new_status.value}"
+            + (f" ({note})" if note else "")
+        )
+        self.status = new_status
+
+    @property
+    def is_terminal(self) -> bool:
+        """True when no further transitions are possible."""
+        return not _TRANSITIONS[self.status]
+
+    def public_view(self) -> dict:
+        """What the requester can see.
+
+        The result is only included after experiment approval — the
+        control mechanism the paper highlights.
+        """
+        view = {
+            "request_id": self.request_id,
+            "analysis_id": self.analysis_id,
+            "model": self.model.to_dict(),
+            "status": self.status.value,
+        }
+        if self.status == RequestStatus.APPROVED and self.result is not None:
+            view["result"] = self.result.to_dict()
+        if self.status == RequestStatus.FAILED:
+            view["failure_reason"] = self.failure_reason
+        return view

@@ -1,0 +1,93 @@
+"""Re-analysis result payloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RecastError
+from repro.stats.limits import LimitResult
+
+
+@dataclass(frozen=True)
+class RecastResult:
+    """The outcome of re-running a preserved search on a new model.
+
+    ``signal_efficiency`` is the fraction of generated model events that
+    pass the preserved selection (including detector effects when the
+    back end runs the full chain); ``upper_limit_pb`` the 95% CL CLs limit
+    on the model's cross-section; ``excluded`` whether the requested model
+    cross-section is excluded.
+    """
+
+    analysis_id: str
+    model_name: str
+    n_generated: int
+    n_selected: int
+    signal_efficiency: float
+    efficiency_error: float
+    upper_limit_pb: float
+    model_cross_section_pb: float
+    excluded: bool
+    backend: str
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.signal_efficiency <= 1.0:
+            raise RecastError(
+                f"signal efficiency out of range: {self.signal_efficiency}"
+            )
+        if self.n_selected > self.n_generated:
+            raise RecastError("n_selected exceeds n_generated")
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        verdict = "EXCLUDED" if self.excluded else "ALLOWED"
+        return (
+            f"{self.model_name} vs {self.analysis_id}: eff="
+            f"{self.signal_efficiency:.3f}+-{self.efficiency_error:.3f}, "
+            f"sigma < {self.upper_limit_pb:.4g} pb at 95% CL -> {verdict} "
+            f"(model sigma = {self.model_cross_section_pb:.4g} pb)"
+        )
+
+    def to_dict(self) -> dict:
+        """Serialise for the approved public view."""
+        return {
+            "analysis_id": self.analysis_id,
+            "model_name": self.model_name,
+            "n_generated": self.n_generated,
+            "n_selected": self.n_selected,
+            "signal_efficiency": self.signal_efficiency,
+            "efficiency_error": self.efficiency_error,
+            "upper_limit_pb": self.upper_limit_pb,
+            "model_cross_section_pb": self.model_cross_section_pb,
+            "excluded": self.excluded,
+            "backend": self.backend,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "RecastResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            analysis_id=str(record["analysis_id"]),
+            model_name=str(record["model_name"]),
+            n_generated=int(record["n_generated"]),
+            n_selected=int(record["n_selected"]),
+            signal_efficiency=float(record["signal_efficiency"]),
+            efficiency_error=float(record["efficiency_error"]),
+            upper_limit_pb=float(record["upper_limit_pb"]),
+            model_cross_section_pb=float(record["model_cross_section_pb"]),
+            excluded=bool(record["excluded"]),
+            backend=str(record["backend"]),
+            extra=dict(record.get("extra", {})),
+        )
+
+
+def build_limit_result_extra(limit: LimitResult) -> dict:
+    """Flatten a :class:`LimitResult` into the result's extra block."""
+    return {
+        "confidence_level": limit.confidence_level,
+        "n_observed": limit.n_observed,
+        "background": limit.background,
+        "n_toys": limit.n_toys,
+    }

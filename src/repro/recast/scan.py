@@ -1,0 +1,125 @@
+"""Parameter scans: the exclusion curve a re-interpretation produces.
+
+A single RECAST request answers "is *this* model excluded?"; the product
+phenomenologists actually publish is the scan — the 95% CL cross-section
+limit as a function of the model parameter (here the Z' mass), and the
+mass reach below which a given theory cross-section is excluded. This
+module drives any :class:`RecastBackend` across a parameter grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import RecastError
+from repro.recast.backend import RecastBackend
+from repro.recast.catalog import PreservedSearch
+from repro.recast.requests import ModelSpec
+from repro.recast.results import RecastResult
+
+
+@dataclass(frozen=True)
+class ScanPoint:
+    """One point of the exclusion scan."""
+
+    mass: float
+    result: RecastResult
+
+    @property
+    def limit_pb(self) -> float:
+        """The 95% CL cross-section limit at this mass."""
+        return self.result.upper_limit_pb
+
+    @property
+    def efficiency(self) -> float:
+        """The selection efficiency at this mass."""
+        return self.result.signal_efficiency
+
+
+@dataclass
+class ExclusionScan:
+    """A completed scan with its derived exclusion statements."""
+
+    analysis_id: str
+    model_template: str
+    points: list[ScanPoint] = field(default_factory=list)
+
+    def limits(self) -> list[tuple[float, float]]:
+        """(mass, limit) pairs, mass-ordered."""
+        return [(point.mass, point.limit_pb)
+                for point in sorted(self.points,
+                                    key=lambda p: p.mass)]
+
+    def excluded_masses(self, theory_cross_section_pb: float
+                        ) -> list[float]:
+        """Masses where the theory cross-section exceeds the limit."""
+        return [point.mass
+                for point in sorted(self.points, key=lambda p: p.mass)
+                if (math.isfinite(point.limit_pb)
+                    and theory_cross_section_pb > point.limit_pb)]
+
+    def mass_reach(self, theory_cross_section_pb: float) -> float | None:
+        """The highest contiguously excluded mass from the low edge.
+
+        Returns None when even the lightest scanned mass is allowed.
+        """
+        reach = None
+        for point in sorted(self.points, key=lambda p: p.mass):
+            excluded = (math.isfinite(point.limit_pb)
+                        and theory_cross_section_pb > point.limit_pb)
+            if not excluded:
+                break
+            reach = point.mass
+        return reach
+
+    def render(self, theory_cross_section_pb: float) -> str:
+        """Plain-text exclusion table."""
+        lines = [
+            f"Exclusion scan — {self.analysis_id} vs "
+            f"{self.model_template}",
+            "",
+            f"{'mass [GeV]':>12s}{'efficiency':>12s}"
+            f"{'limit [pb]':>14s}{'verdict':>10s}",
+        ]
+        for point in sorted(self.points, key=lambda p: p.mass):
+            excluded = (math.isfinite(point.limit_pb)
+                        and theory_cross_section_pb > point.limit_pb)
+            limit = (f"{point.limit_pb:.3e}"
+                     if math.isfinite(point.limit_pb) else "inf")
+            lines.append(
+                f"{point.mass:>12.0f}{point.efficiency:>12.3f}"
+                f"{limit:>14s}"
+                f"{'EXCL' if excluded else 'allowed':>10s}"
+            )
+        reach = self.mass_reach(theory_cross_section_pb)
+        lines.append("")
+        lines.append(
+            f"theory sigma = {theory_cross_section_pb} pb -> mass "
+            f"reach: {reach if reach is not None else 'none'} GeV"
+        )
+        return "\n".join(lines)
+
+
+def run_mass_scan(
+    backend: RecastBackend,
+    search: PreservedSearch,
+    masses: list[float],
+    cross_section_pb: float = 0.05,
+    flavour: str = "mu",
+) -> ExclusionScan:
+    """Scan a Z'-style model over a mass grid through one back end."""
+    if not masses:
+        raise RecastError("scan needs at least one mass point")
+    scan = ExclusionScan(analysis_id=search.analysis_id,
+                         model_template="zprime")
+    for mass in masses:
+        model = ModelSpec(
+            name=f"zprime-{int(mass)}",
+            process="zprime",
+            parameters={"mass": float(mass), "flavour": flavour,
+                        "cross_section_pb": cross_section_pb},
+        )
+        result = backend.process(search, model)
+        scan.points.append(ScanPoint(mass=float(mass), result=result))
+    return scan

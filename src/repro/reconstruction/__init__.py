@@ -1,0 +1,50 @@
+"""Reconstruction: RAW detector signals -> candidate physics objects.
+
+This is the paper's "Reconstruction step consisting of mainly the
+application of pattern-recognition and local-maximum-finding algorithms
+that convert the 'raw' binary data ... into recognizable 'objects'".
+
+- :mod:`repro.reconstruction.tracking` finds charged tracks from anonymous
+  tracker space points via road search plus helix fits,
+- :mod:`repro.reconstruction.clustering` finds calorimeter clusters via
+  local-maximum seeding,
+- :mod:`repro.reconstruction.objects` combines them into candidate
+  electrons, muons, photons, and missing energy,
+- :mod:`repro.reconstruction.jets` runs cone jet clustering,
+- :mod:`repro.reconstruction.reconstructor` orchestrates the pass and pulls
+  its calibration constants from a conditions source — the external
+  database dependency the preservation layer must capture.
+"""
+
+from repro.reconstruction.tracking import Track, TrackFinder, two_track_vertex
+from repro.reconstruction.clustering import CaloCluster, CaloClusterer
+from repro.reconstruction.objects import (
+    Electron,
+    Jet,
+    MissingEnergy,
+    Muon,
+    Photon,
+    RecoEvent,
+)
+from repro.reconstruction.reconstructor import (
+    ConditionsSource,
+    GlobalTagView,
+    Reconstructor,
+)
+
+__all__ = [
+    "Track",
+    "TrackFinder",
+    "two_track_vertex",
+    "CaloCluster",
+    "CaloClusterer",
+    "Electron",
+    "Muon",
+    "Photon",
+    "Jet",
+    "MissingEnergy",
+    "RecoEvent",
+    "Reconstructor",
+    "ConditionsSource",
+    "GlobalTagView",
+]

@@ -1,0 +1,152 @@
+"""Calorimeter clustering: local-maximum seeding plus neighbourhood sums."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.detector.digitization import CaloCellHit
+from repro.detector.geometry import DetectorGeometry
+from repro.errors import ReconstructionError
+from repro.kinematics import FourVector
+
+
+@dataclass(frozen=True)
+class CaloCluster:
+    """A reconstructed calorimeter cluster."""
+
+    subdetector: str
+    energy: float
+    eta: float
+    phi: float
+    n_cells: int
+
+    def p4(self) -> FourVector:
+        """Massless four-momentum pointing at the cluster centroid."""
+        pt = self.energy / math.cosh(self.eta)
+        return FourVector.from_ptetaphim(pt, self.eta, self.phi, 0.0)
+
+    def to_dict(self) -> dict:
+        """Serialise for the RECO/AOD file formats."""
+        return {
+            "sub": self.subdetector, "e": self.energy, "eta": self.eta,
+            "phi": self.phi, "ncells": self.n_cells,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "CaloCluster":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            subdetector=str(record["sub"]), energy=float(record["e"]),
+            eta=float(record["eta"]), phi=float(record["phi"]),
+            n_cells=int(record["ncells"]),
+        )
+
+
+@dataclass(frozen=True)
+class ClustererConfig:
+    """Seeding and summation thresholds."""
+
+    seed_threshold: float = 0.5
+    cell_threshold: float = 0.1
+    cluster_min_energy: float = 1.0
+
+
+class CaloClusterer:
+    """Local-maximum clustering over a calorimeter's cell grid."""
+
+    def __init__(self, geometry: DetectorGeometry,
+                 config: ClustererConfig | None = None) -> None:
+        self.geometry = geometry
+        self.config = config if config is not None else ClustererConfig()
+
+    def _cell_center(self, subdetector_name: str, ieta: int,
+                     iphi: int) -> tuple[float, float]:
+        sub = self.geometry.subdetectors[subdetector_name]
+        if sub.eta_cells == 0 or sub.phi_cells == 0:
+            raise ReconstructionError(
+                f"{subdetector_name} has no cell granularity"
+            )
+        eta = -sub.eta_max + (ieta + 0.5) * (2.0 * sub.eta_max
+                                             / sub.eta_cells)
+        phi = -math.pi + (iphi + 0.5) * (2.0 * math.pi / sub.phi_cells)
+        return eta, phi
+
+    def cluster(self, calo_hits: list[CaloCellHit],
+                subdetector_name: str, energy_scale: float = 1.0) -> list[CaloCluster]:
+        """Cluster the cells of one calorimeter.
+
+        ``energy_scale`` is the calibration correction from the conditions
+        database: measured cell energies are *divided* by the recorded
+        scale, undoing the detector's miscalibration.
+        """
+        if energy_scale <= 0.0:
+            raise ReconstructionError(
+                f"energy scale must be positive, got {energy_scale}"
+            )
+        sub = self.geometry.subdetectors[subdetector_name]
+        grid: dict[tuple[int, int], float] = {}
+        for hit in calo_hits:
+            if hit.subdetector != subdetector_name:
+                continue
+            if hit.energy < self.config.cell_threshold:
+                continue
+            key = (hit.ieta, hit.iphi)
+            grid[key] = grid.get(key, 0.0) + hit.energy / energy_scale
+
+        clusters = []
+        claimed: set[tuple[int, int]] = set()
+        # Visit cells in descending energy so the highest seed claims its
+        # neighbourhood first (standard topological-clustering tiebreak).
+        for (ieta, iphi) in sorted(grid, key=grid.get, reverse=True):
+            if (ieta, iphi) in claimed:
+                continue
+            energy = grid[(ieta, iphi)]
+            if energy < self.config.seed_threshold:
+                break
+            if not self._is_local_maximum(grid, sub.phi_cells, ieta, iphi):
+                continue
+            total = 0.0
+            weighted_eta = 0.0
+            weighted_phi_x = 0.0
+            weighted_phi_y = 0.0
+            n_cells = 0
+            for d_eta in (-1, 0, 1):
+                for d_phi in (-1, 0, 1):
+                    neighbour = (ieta + d_eta, (iphi + d_phi) % sub.phi_cells)
+                    if neighbour in claimed or neighbour not in grid:
+                        continue
+                    cell_energy = grid[neighbour]
+                    cell_eta, cell_phi = self._cell_center(
+                        subdetector_name, neighbour[0], neighbour[1]
+                    )
+                    total += cell_energy
+                    weighted_eta += cell_energy * cell_eta
+                    # Average phi on the circle to dodge the wrap.
+                    weighted_phi_x += cell_energy * math.cos(cell_phi)
+                    weighted_phi_y += cell_energy * math.sin(cell_phi)
+                    n_cells += 1
+                    claimed.add(neighbour)
+            if total < self.config.cluster_min_energy:
+                continue
+            clusters.append(CaloCluster(
+                subdetector=subdetector_name,
+                energy=total,
+                eta=weighted_eta / total,
+                phi=math.atan2(weighted_phi_y, weighted_phi_x),
+                n_cells=n_cells,
+            ))
+        return clusters
+
+    @staticmethod
+    def _is_local_maximum(grid: dict[tuple[int, int], float],
+                          phi_cells: int, ieta: int, iphi: int) -> bool:
+        energy = grid[(ieta, iphi)]
+        for d_eta in (-1, 0, 1):
+            for d_phi in (-1, 0, 1):
+                if d_eta == 0 and d_phi == 0:
+                    continue
+                neighbour = (ieta + d_eta, (iphi + d_phi) % phi_cells)
+                if grid.get(neighbour, 0.0) > energy:
+                    return False
+        return True

@@ -1,0 +1,87 @@
+"""Iterative-cone jet clustering over calorimeter clusters."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.kinematics import FourVector
+from repro.kinematics.fourvector import delta_phi
+from repro.reconstruction.clustering import CaloCluster
+from repro.reconstruction.objects import Jet
+
+
+@dataclass(frozen=True)
+class ConeJetConfig:
+    """Cone-algorithm parameters."""
+
+    cone_radius: float = 0.4
+    seed_et: float = 3.0
+    jet_min_pt: float = 10.0
+    max_iterations: int = 10
+
+
+class ConeJetFinder:
+    """A seeded iterative-cone algorithm.
+
+    Not infrared-safe (neither were the historical cone algorithms), but
+    simple, fast, and faithful to the kind of jet-finding the outreach
+    formats expose. Electron/photon clusters should be removed by the
+    caller before jet finding.
+    """
+
+    def __init__(self, config: ConeJetConfig | None = None) -> None:
+        self.config = config if config is not None else ConeJetConfig()
+
+    def find(self, clusters: list[CaloCluster]) -> list[Jet]:
+        """Cluster calorimeter clusters into jets."""
+        remaining = sorted(clusters, key=lambda c: c.p4().pt, reverse=True)
+        jets = []
+        while remaining:
+            seed = remaining[0]
+            seed_p4 = seed.p4()
+            if seed_p4.pt < self.config.seed_et:
+                break
+            axis_eta = seed.eta
+            axis_phi = seed.phi
+            members: list[CaloCluster] = []
+            # Iterate the cone axis to stability.
+            for _ in range(self.config.max_iterations):
+                members = [
+                    c for c in remaining
+                    if math.hypot(c.eta - axis_eta,
+                                  delta_phi(c.phi, axis_phi))
+                    < self.config.cone_radius
+                ]
+                if not members:
+                    break
+                total = FourVector.zero()
+                for member in members:
+                    total = total + member.p4()
+                new_eta = total.eta
+                new_phi = total.phi
+                if (abs(new_eta - axis_eta) < 1e-4
+                        and abs(delta_phi(new_phi, axis_phi)) < 1e-4):
+                    axis_eta, axis_phi = new_eta, new_phi
+                    break
+                axis_eta, axis_phi = new_eta, new_phi
+            if not members:
+                remaining.pop(0)
+                continue
+            total = FourVector.zero()
+            em_energy = 0.0
+            for member in members:
+                total = total + member.p4()
+                if member.subdetector == "ecal":
+                    em_energy += member.energy
+            member_ids = {id(m) for m in members}
+            remaining = [c for c in remaining if id(c) not in member_ids]
+            if total.pt < self.config.jet_min_pt:
+                continue
+            em_fraction = em_energy / total.e if total.e > 0.0 else 0.0
+            jets.append(Jet(
+                p4=total,
+                n_constituents=len(members),
+                em_fraction=em_fraction,
+            ))
+        return sorted(jets, key=lambda j: j.p4.pt, reverse=True)

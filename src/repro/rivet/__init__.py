@@ -1,0 +1,53 @@
+"""A RIVET-analogue analysis-preservation framework.
+
+Mirrors the properties the paper attributes to RIVET:
+
+- analyses run on *truth-level* (unfolded-comparable) events only — there
+  is deliberately no access to the detector simulation from here;
+- each analysis is a small plugin coded against a library of standard
+  *projections* (final-state selectors, truth jets);
+- validated analyses live in an open :class:`AnalysisRepository` together
+  with their reference data, so anyone can re-run the comparison against
+  a new generator;
+- the footprint is light: this package plus :mod:`repro.stats` is all a
+  re-analysis needs.
+
+The capability *gaps* the paper lists (no detector simulation, no
+background subtraction, no limit setting) are structural here too — those
+live in :mod:`repro.recast`, reachable through the bridge.
+"""
+
+from repro.rivet.projections import (
+    ChargedFinalState,
+    FinalState,
+    IdentifiedFinalState,
+    TruthJets,
+    VisibleMomentum,
+)
+from repro.rivet.analysis import Analysis, AnalysisMetadata
+from repro.rivet.repository import AnalysisRepository
+from repro.rivet.runner import AnalysisResult, RivetRunner
+from repro.rivet.plotfile import format_plot_file, write_plot_files
+from repro.rivet.reference import ReferenceData
+from repro.rivet.standard_analyses import (
+    register_standard_analyses,
+    standard_repository,
+)
+
+__all__ = [
+    "FinalState",
+    "ChargedFinalState",
+    "IdentifiedFinalState",
+    "TruthJets",
+    "VisibleMomentum",
+    "Analysis",
+    "AnalysisMetadata",
+    "AnalysisRepository",
+    "RivetRunner",
+    "AnalysisResult",
+    "ReferenceData",
+    "format_plot_file",
+    "write_plot_files",
+    "register_standard_analyses",
+    "standard_repository",
+]

@@ -1,0 +1,135 @@
+"""The analysis plugin base class."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import RivetError
+from repro.generation.hepmc import GenEvent
+from repro.stats.histogram import Histogram1D
+
+
+@dataclass(frozen=True)
+class AnalysisMetadata:
+    """Bibliographic metadata of a preserved analysis.
+
+    ``inspire_id`` is the (toy) literature key linking back to the
+    publication, the same linkage HepData/INSPIRE entries use.
+    """
+
+    name: str
+    description: str
+    experiment: str = "TOY"
+    year: int = 2013
+    inspire_id: str = ""
+    references: tuple[str, ...] = ()
+    keywords: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        """Serialise for repository listings."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "experiment": self.experiment,
+            "year": self.year,
+            "inspire_id": self.inspire_id,
+            "references": list(self.references),
+            "keywords": list(self.keywords),
+        }
+
+
+class Analysis(abc.ABC):
+    """One preserved analysis: booking, per-event fill, finalisation.
+
+    Lifecycle (driven by the runner):
+
+    1. :meth:`init` — book histograms with :meth:`book`;
+    2. :meth:`analyze` — called once per event;
+    3. :meth:`finalize` — normalise (cross-sections, unit weights).
+    """
+
+    #: Subclasses must provide their metadata.
+    metadata: AnalysisMetadata
+
+    def __init__(self) -> None:
+        if not isinstance(getattr(self, "metadata", None), AnalysisMetadata):
+            raise RivetError(
+                f"{type(self).__name__} must define AnalysisMetadata"
+            )
+        self.histograms: dict[str, Histogram1D] = {}
+        self._sum_of_weights = 0.0
+        self._initialized = False
+
+    @property
+    def name(self) -> str:
+        """The analysis name (repository key)."""
+        return self.metadata.name
+
+    def book(self, key: str, nbins: int, low: float, high: float,
+             label: str = "") -> Histogram1D:
+        """Book a histogram under this analysis's namespace."""
+        if key in self.histograms:
+            raise RivetError(
+                f"{self.name}: histogram {key!r} already booked"
+            )
+        histogram = Histogram1D(f"{self.name}/{key}", nbins, low, high,
+                                label=label)
+        self.histograms[key] = histogram
+        return histogram
+
+    def histogram(self, key: str) -> Histogram1D:
+        """Look up a booked histogram."""
+        try:
+            return self.histograms[key]
+        except KeyError:
+            raise RivetError(
+                f"{self.name}: no histogram {key!r}; booked: "
+                f"{sorted(self.histograms)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Plugin hooks
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def init(self) -> None:
+        """Book histograms; called once before the event loop."""
+
+    @abc.abstractmethod
+    def analyze(self, event: GenEvent) -> None:
+        """Fill histograms for one event."""
+
+    def finalize(self) -> None:
+        """Post-loop normalisation; default normalises to unit area."""
+        for histogram in self.histograms.values():
+            if histogram.integral() > 0.0:
+                normalized = histogram.normalized()
+                histogram._sumw = normalized._sumw
+                histogram._sumw2 = normalized._sumw2
+
+    # ------------------------------------------------------------------
+    # Runner plumbing
+    # ------------------------------------------------------------------
+
+    def _run_init(self) -> None:
+        if self._initialized:
+            raise RivetError(f"{self.name}: init() called twice")
+        self.init()
+        self._initialized = True
+
+    def _run_event(self, event: GenEvent) -> None:
+        if not self._initialized:
+            raise RivetError(f"{self.name}: analyze() before init()")
+        self._sum_of_weights += event.weight
+        self.analyze(event)
+
+    def _run_finalize(self) -> None:
+        if not self._initialized:
+            raise RivetError(f"{self.name}: finalize() before init()")
+        self.finalize()
+
+    @property
+    def sum_of_weights(self) -> float:
+        """Total event weight seen so far."""
+        return self._sum_of_weights

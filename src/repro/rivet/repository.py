@@ -1,0 +1,125 @@
+"""The open analysis repository.
+
+"Once an analysis is put into RIVET ... anyone can examine the analysis
+code and the reduced data provided for comparisons." The repository keeps
+analysis *classes* (the code), their metadata, and their reference data
+side by side, and can report its own footprint — the quantitative basis
+for the paper's "quite light from a footprint standpoint" claim.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.errors import AnalysisNotFoundError, RivetError
+from repro.rivet.analysis import Analysis
+from repro.rivet.reference import ReferenceData
+
+
+class AnalysisRepository:
+    """Registry of analysis plugins plus their reference data."""
+
+    def __init__(self, name: str = "analyses") -> None:
+        self.name = name
+        self._factories: dict[str, type[Analysis] | object] = {}
+        self._reference: dict[str, ReferenceData] = {}
+
+    # ------------------------------------------------------------------
+
+    def register(self, factory, reference: ReferenceData | None = None
+                 ) -> None:
+        """Register an analysis class or zero-argument factory.
+
+        The factory is called once to validate it and obtain the name.
+        """
+        instance = factory()
+        if not isinstance(instance, Analysis):
+            raise RivetError(
+                f"factory {factory!r} does not produce an Analysis"
+            )
+        name = instance.name
+        if name in self._factories:
+            raise RivetError(f"analysis {name!r} already registered")
+        self._factories[name] = factory
+        if reference is not None:
+            if reference.analysis_name != name:
+                raise RivetError(
+                    f"reference data is for {reference.analysis_name!r}, "
+                    f"not {name!r}"
+                )
+            self._reference[name] = reference
+
+    def attach_reference(self, reference: ReferenceData) -> None:
+        """Attach (or replace) reference data for a registered analysis."""
+        if reference.analysis_name not in self._factories:
+            raise AnalysisNotFoundError(
+                f"no analysis {reference.analysis_name!r} to attach "
+                f"reference data to"
+            )
+        self._reference[reference.analysis_name] = reference
+
+    # ------------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """All registered analysis names, sorted."""
+        return sorted(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def create(self, name: str) -> Analysis:
+        """Instantiate a fresh copy of a registered analysis."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise AnalysisNotFoundError(
+                f"unknown analysis {name!r}; available: {self.names()[:10]}"
+            ) from None
+        return factory()
+
+    def metadata(self, name: str) -> dict:
+        """The registered analysis's metadata, as a dictionary."""
+        return self.create(name).metadata.to_dict()
+
+    def reference(self, name: str) -> ReferenceData | None:
+        """Reference data for an analysis, if any was provided."""
+        if name not in self._factories:
+            raise AnalysisNotFoundError(f"unknown analysis {name!r}")
+        return self._reference.get(name)
+
+    def listing(self) -> list[dict]:
+        """Metadata of every analysis — the public catalogue view."""
+        return [self.metadata(name) for name in self.names()]
+
+    # ------------------------------------------------------------------
+
+    def footprint(self) -> dict:
+        """Size of the preserved code base.
+
+        Returns the number of analyses, the number of distinct plugin
+        classes, and the total source size in bytes — the quantity behind
+        "the code base is small and runs on essentially any platform".
+        """
+        classes = set()
+        source_bytes = 0
+        for factory in self._factories.values():
+            instance = factory()
+            cls = type(instance)
+            if cls in classes:
+                continue
+            classes.add(cls)
+            try:
+                source_bytes += len(inspect.getsource(cls).encode("utf-8"))
+            except (OSError, TypeError):
+                # Dynamically generated classes have no retrievable source;
+                # approximate with their dict repr.
+                source_bytes += len(repr(vars(cls)).encode("utf-8"))
+        return {
+            "n_analyses": len(self._factories),
+            "n_plugin_classes": len(classes),
+            "source_bytes": source_bytes,
+            "n_with_reference_data": len(self._reference),
+        }

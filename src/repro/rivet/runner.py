@@ -1,0 +1,115 @@
+"""The analysis runner and comparison driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RivetError
+from repro.generation.hepmc import GenEvent
+from repro.rivet.analysis import Analysis
+from repro.rivet.repository import AnalysisRepository
+from repro.stats.comparison import ComparisonResult, chi2_test
+from repro.stats.histogram import Histogram1D
+
+
+@dataclass
+class AnalysisResult:
+    """The output of running one analysis over a generator sample."""
+
+    analysis_name: str
+    n_events: int
+    sum_of_weights: float
+    histograms: dict[str, Histogram1D] = field(default_factory=dict)
+    generator_info: dict = field(default_factory=dict)
+
+    def histogram(self, key: str) -> Histogram1D:
+        """Look up a produced histogram."""
+        try:
+            return self.histograms[key]
+        except KeyError:
+            raise RivetError(
+                f"{self.analysis_name}: no histogram {key!r}; produced: "
+                f"{sorted(self.histograms)}"
+            ) from None
+
+    def to_dict(self) -> dict:
+        """Serialise for archiving and RECAST responses."""
+        return {
+            "analysis": self.analysis_name,
+            "n_events": self.n_events,
+            "sum_of_weights": self.sum_of_weights,
+            "generator": dict(self.generator_info),
+            "histograms": {key: histogram.to_dict()
+                           for key, histogram in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "AnalysisResult":
+        """Inverse of :meth:`to_dict`."""
+        result = cls(
+            analysis_name=str(record["analysis"]),
+            n_events=int(record["n_events"]),
+            sum_of_weights=float(record["sum_of_weights"]),
+            generator_info=dict(record.get("generator", {})),
+        )
+        for key, histogram_record in record.get("histograms", {}).items():
+            result.histograms[key] = Histogram1D.from_dict(histogram_record)
+        return result
+
+
+class RivetRunner:
+    """Runs repository analyses over truth events and compares to data."""
+
+    def __init__(self, repository: AnalysisRepository) -> None:
+        self.repository = repository
+
+    def run(self, analysis_names: list[str], events: list[GenEvent],
+            generator_info: dict | None = None) -> dict[str, AnalysisResult]:
+        """Run several analyses over one event sample."""
+        analyses: list[Analysis] = [
+            self.repository.create(name) for name in analysis_names
+        ]
+        for analysis in analyses:
+            analysis._run_init()
+        for event in events:
+            for analysis in analyses:
+                analysis._run_event(event)
+        results = {}
+        for analysis in analyses:
+            analysis._run_finalize()
+            results[analysis.name] = AnalysisResult(
+                analysis_name=analysis.name,
+                n_events=len(events),
+                sum_of_weights=analysis.sum_of_weights,
+                histograms=dict(analysis.histograms),
+                generator_info=(dict(generator_info)
+                                if generator_info else {}),
+            )
+        return results
+
+    def run_one(self, analysis_name: str, events: list[GenEvent],
+                generator_info: dict | None = None) -> AnalysisResult:
+        """Run a single analysis over one event sample."""
+        return self.run([analysis_name], events, generator_info)[
+            analysis_name
+        ]
+
+    def compare_to_reference(
+        self, result: AnalysisResult
+    ) -> dict[str, ComparisonResult]:
+        """Chi-square comparison of a result against its reference data.
+
+        Only keys present in both the result and the reference are
+        compared; an empty dict means no reference data is attached.
+        """
+        reference = self.repository.reference(result.analysis_name)
+        if reference is None:
+            return {}
+        comparisons = {}
+        for key in reference.keys():
+            if key not in result.histograms:
+                continue
+            comparisons[key] = chi2_test(
+                reference.histogram(key), result.histogram(key)
+            )
+        return comparisons

@@ -1,0 +1,56 @@
+"""Statistics substrate: histograms, comparisons, efficiencies, limits.
+
+Provides the statistical machinery the analysis-preservation layers need:
+YODA-like histograms for the RIVET analogue, chi-square/KS comparisons for
+generator validation, efficiency grids for the HepData-style SUSY
+acceptance payloads, and CLs limit setting for the RECAST re-analysis
+use case — the capability the paper notes RIVET lacks ("limit-setting,
+likelihood fitting, or other more advanced ... techniques").
+"""
+
+from repro.stats.histogram import Histogram1D, Histogram2D
+from repro.stats.comparison import (
+    ComparisonResult,
+    chi2_test,
+    ks_test,
+    ratio_points,
+)
+from repro.stats.efficiency import EfficiencyGrid, binomial_interval
+from repro.stats.likelihood import (
+    CountingExperiment,
+    discovery_significance,
+    poisson_nll,
+    profile_likelihood_ratio,
+)
+from repro.stats.limits import LimitResult, cls_upper_limit, expected_limit
+from repro.stats.unfolding import bin_by_bin_factors, unfold
+from repro.stats.fitting import (
+    FitResult,
+    fit_gaussian_peak,
+    fit_exponential_lifetime,
+    sideband_subtract,
+)
+
+__all__ = [
+    "Histogram1D",
+    "Histogram2D",
+    "ComparisonResult",
+    "chi2_test",
+    "ks_test",
+    "ratio_points",
+    "EfficiencyGrid",
+    "binomial_interval",
+    "CountingExperiment",
+    "discovery_significance",
+    "poisson_nll",
+    "profile_likelihood_ratio",
+    "LimitResult",
+    "cls_upper_limit",
+    "expected_limit",
+    "bin_by_bin_factors",
+    "unfold",
+    "FitResult",
+    "fit_gaussian_peak",
+    "fit_exponential_lifetime",
+    "sideband_subtract",
+]

@@ -1,0 +1,141 @@
+"""Efficiency grids over parameter spaces.
+
+HepData's reactions database holds "acceptance/efficiency grids in mass
+parameter spaces for Supersymmetry searches"; RECAST responses quote
+signal efficiencies for new models. :class:`EfficiencyGrid` is that
+payload: pass/total counts on a 2-D grid with Wilson-interval errors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import StatsError
+
+
+def binomial_interval(n_pass: int, n_total: int,
+                      z: float = 1.0) -> tuple[float, float]:
+    """Wilson score interval for a binomial efficiency.
+
+    Returns ``(low, high)`` at ``z`` standard deviations (z=1 ~ 68%).
+    """
+    if n_total <= 0:
+        raise StatsError("binomial interval needs n_total > 0")
+    if not 0 <= n_pass <= n_total:
+        raise StatsError(f"invalid counts: {n_pass}/{n_total}")
+    p_hat = n_pass / n_total
+    denom = 1.0 + z * z / n_total
+    center = (p_hat + z * z / (2 * n_total)) / denom
+    half = (z / denom) * math.sqrt(
+        p_hat * (1.0 - p_hat) / n_total + z * z / (4.0 * n_total**2)
+    )
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+class EfficiencyGrid:
+    """Pass/total counts over a rectangular (x, y) parameter grid."""
+
+    def __init__(self, name: str, x_edges, y_edges,
+                 x_label: str = "", y_label: str = "") -> None:
+        self.name = name
+        self.x_label = x_label
+        self.y_label = y_label
+        self.x_edges = np.asarray(x_edges, dtype=float)
+        self.y_edges = np.asarray(y_edges, dtype=float)
+        if len(self.x_edges) < 2 or len(self.y_edges) < 2:
+            raise StatsError("grid needs at least one cell per axis")
+        if (not np.all(np.diff(self.x_edges) > 0)
+                or not np.all(np.diff(self.y_edges) > 0)):
+            raise StatsError("grid edges must be strictly increasing")
+        shape = (len(self.x_edges) - 1, len(self.y_edges) - 1)
+        self._n_pass = np.zeros(shape, dtype=int)
+        self._n_total = np.zeros(shape, dtype=int)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(nx, ny) cell counts."""
+        return self._n_pass.shape
+
+    def _cell(self, x: float, y: float) -> tuple[int, int] | None:
+        if not (self.x_edges[0] <= x < self.x_edges[-1]):
+            return None
+        if not (self.y_edges[0] <= y < self.y_edges[-1]):
+            return None
+        ix = min(int(np.searchsorted(self.x_edges, x, side="right")) - 1,
+                 self.shape[0] - 1)
+        iy = min(int(np.searchsorted(self.y_edges, y, side="right")) - 1,
+                 self.shape[1] - 1)
+        return ix, iy
+
+    def record(self, x: float, y: float, passed: bool) -> None:
+        """Record one trial at parameter point (x, y)."""
+        cell = self._cell(x, y)
+        if cell is None:
+            return
+        self._n_total[cell] += 1
+        if passed:
+            self._n_pass[cell] += 1
+
+    def efficiency(self, x: float, y: float) -> float:
+        """Point efficiency of the cell containing (x, y)."""
+        cell = self._cell(x, y)
+        if cell is None:
+            raise StatsError(f"({x}, {y}) is outside the grid")
+        total = self._n_total[cell]
+        if total == 0:
+            raise StatsError(f"cell containing ({x}, {y}) has no trials")
+        return float(self._n_pass[cell] / total)
+
+    def efficiency_map(self) -> np.ndarray:
+        """The (nx, ny) efficiency array; empty cells are NaN."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            result = np.where(
+                self._n_total > 0,
+                self._n_pass / np.maximum(self._n_total, 1),
+                np.nan,
+            )
+        return result
+
+    def interval(self, x: float, y: float,
+                 z: float = 1.0) -> tuple[float, float]:
+        """Wilson interval of the cell containing (x, y)."""
+        cell = self._cell(x, y)
+        if cell is None:
+            raise StatsError(f"({x}, {y}) is outside the grid")
+        return binomial_interval(int(self._n_pass[cell]),
+                                 int(self._n_total[cell]), z)
+
+    def to_dict(self) -> dict:
+        """Serialise for archive payloads."""
+        return {
+            "type": "efficiency_grid",
+            "name": self.name,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "x_edges": self.x_edges.tolist(),
+            "y_edges": self.y_edges.tolist(),
+            "n_pass": self._n_pass.tolist(),
+            "n_total": self._n_total.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "EfficiencyGrid":
+        """Inverse of :meth:`to_dict`."""
+        if record.get("type") != "efficiency_grid":
+            raise StatsError(
+                f"not an efficiency_grid record: {record.get('type')!r}"
+            )
+        grid = cls(
+            str(record["name"]), record["x_edges"], record["y_edges"],
+            x_label=str(record.get("x_label", "")),
+            y_label=str(record.get("y_label", "")),
+        )
+        grid._n_pass = np.asarray(record["n_pass"], dtype=int)
+        grid._n_total = np.asarray(record["n_total"], dtype=int)
+        if grid._n_pass.shape != grid.shape:
+            raise StatsError("n_pass shape does not match grid edges")
+        if np.any(grid._n_pass > grid._n_total):
+            raise StatsError("n_pass exceeds n_total in some cells")
+        return grid

@@ -1,0 +1,333 @@
+"""Weighted histograms with full error propagation.
+
+These are the exchange currency of the RIVET-analogue framework and the
+HepData-analogue archive: an analysis fills them, the archive stores their
+serialised form, and comparisons consume them. Sum-of-weights-squared is
+tracked per bin so scaled and added histograms keep correct errors.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import HistogramError
+
+
+def edges_compatible(edges1: np.ndarray, edges2: np.ndarray) -> bool:
+    """True when two edge arrays describe the same binning."""
+    edges1 = np.asarray(edges1, dtype=float)
+    edges2 = np.asarray(edges2, dtype=float)
+    if edges1.shape != edges2.shape:
+        return False
+    return bool(np.allclose(edges1, edges2))
+
+
+class Histogram1D:
+    """A one-dimensional weighted histogram.
+
+    Construct with either ``nbins``/``low``/``high`` (uniform binning) or
+    explicit ``edges``. Underflow and overflow are tracked separately.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nbins: int | None = None,
+        low: float | None = None,
+        high: float | None = None,
+        edges: Sequence[float] | None = None,
+        label: str = "",
+    ) -> None:
+        if edges is not None:
+            edge_array = np.asarray(edges, dtype=float)
+            if edge_array.ndim != 1 or len(edge_array) < 2:
+                raise HistogramError("edges must be a 1-D sequence of >= 2")
+            if not np.all(np.diff(edge_array) > 0.0):
+                raise HistogramError("edges must be strictly increasing")
+            self.edges = edge_array
+        else:
+            if nbins is None or low is None or high is None:
+                raise HistogramError(
+                    "provide either edges or nbins/low/high"
+                )
+            if nbins <= 0:
+                raise HistogramError(f"nbins must be positive, got {nbins}")
+            if high <= low:
+                raise HistogramError(f"empty range [{low}, {high})")
+            self.edges = np.linspace(low, high, nbins + 1)
+        self.name = name
+        self.label = label
+        n = len(self.edges) - 1
+        self._sumw = np.zeros(n)
+        self._sumw2 = np.zeros(n)
+        self.underflow = 0.0
+        self.overflow = 0.0
+        self.n_entries = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nbins(self) -> int:
+        """Number of in-range bins."""
+        return len(self._sumw)
+
+    @property
+    def low(self) -> float:
+        """Lower edge of the first bin."""
+        return float(self.edges[0])
+
+    @property
+    def high(self) -> float:
+        """Upper edge of the last bin."""
+        return float(self.edges[-1])
+
+    def bin_centers(self) -> np.ndarray:
+        """Centres of the in-range bins."""
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    def bin_widths(self) -> np.ndarray:
+        """Widths of the in-range bins."""
+        return np.diff(self.edges)
+
+    def values(self) -> np.ndarray:
+        """Per-bin weighted contents (copy)."""
+        return self._sumw.copy()
+
+    def errors(self) -> np.ndarray:
+        """Per-bin statistical errors ``sqrt(sum w^2)`` (copy)."""
+        return np.sqrt(self._sumw2)
+
+    # ------------------------------------------------------------------
+
+    def fill(self, value: float, weight: float = 1.0) -> None:
+        """Fill one value."""
+        self.n_entries += 1
+        if value < self.edges[0]:
+            self.underflow += weight
+            return
+        if value >= self.edges[-1]:
+            self.overflow += weight
+            return
+        index = int(np.searchsorted(self.edges, value, side="right")) - 1
+        index = min(index, self.nbins - 1)
+        self._sumw[index] += weight
+        self._sumw2[index] += weight * weight
+
+    def fill_array(self, values: Sequence[float],
+                   weights: Sequence[float] | None = None) -> None:
+        """Vectorised fill of many values."""
+        values = np.asarray(values, dtype=float)
+        if weights is None:
+            weights = np.ones_like(values)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != values.shape:
+                raise HistogramError("weights must match values in shape")
+        self.n_entries += len(values)
+        below = values < self.edges[0]
+        above = values >= self.edges[-1]
+        self.underflow += float(weights[below].sum())
+        self.overflow += float(weights[above].sum())
+        in_range = ~(below | above)
+        if not np.any(in_range):
+            return
+        indices = np.searchsorted(self.edges, values[in_range],
+                                  side="right") - 1
+        indices = np.clip(indices, 0, self.nbins - 1)
+        np.add.at(self._sumw, indices, weights[in_range])
+        np.add.at(self._sumw2, indices, weights[in_range] ** 2)
+
+    # ------------------------------------------------------------------
+
+    def integral(self, include_flow: bool = False) -> float:
+        """Total weighted content."""
+        total = float(self._sumw.sum())
+        if include_flow:
+            total += self.underflow + self.overflow
+        return total
+
+    def mean(self) -> float:
+        """Weighted mean of bin centres."""
+        total = self.integral()
+        if total == 0.0:
+            raise HistogramError(f"histogram {self.name!r} is empty")
+        return float(np.dot(self.bin_centers(), self._sumw) / total)
+
+    def std(self) -> float:
+        """Weighted standard deviation of bin centres."""
+        mu = self.mean()
+        total = self.integral()
+        variance = float(
+            np.dot((self.bin_centers() - mu) ** 2, self._sumw) / total
+        )
+        return math.sqrt(max(0.0, variance))
+
+    def scaled(self, factor: float) -> "Histogram1D":
+        """A copy scaled by ``factor`` (errors scale linearly)."""
+        clone = self._clone_empty()
+        clone._sumw = self._sumw * factor
+        clone._sumw2 = self._sumw2 * factor**2
+        clone.underflow = self.underflow * factor
+        clone.overflow = self.overflow * factor
+        clone.n_entries = self.n_entries
+        return clone
+
+    def normalized(self, to: float = 1.0) -> "Histogram1D":
+        """A copy normalised to the given integral."""
+        total = self.integral()
+        if total == 0.0:
+            raise HistogramError(f"cannot normalise empty {self.name!r}")
+        return self.scaled(to / total)
+
+    def __add__(self, other: "Histogram1D") -> "Histogram1D":
+        self._check_compatible(other)
+        clone = self._clone_empty()
+        clone._sumw = self._sumw + other._sumw
+        clone._sumw2 = self._sumw2 + other._sumw2
+        clone.underflow = self.underflow + other.underflow
+        clone.overflow = self.overflow + other.overflow
+        clone.n_entries = self.n_entries + other.n_entries
+        return clone
+
+    def __sub__(self, other: "Histogram1D") -> "Histogram1D":
+        self._check_compatible(other)
+        clone = self._clone_empty()
+        clone._sumw = self._sumw - other._sumw
+        clone._sumw2 = self._sumw2 + other._sumw2
+        clone.underflow = self.underflow - other.underflow
+        clone.overflow = self.overflow - other.overflow
+        clone.n_entries = self.n_entries + other.n_entries
+        return clone
+
+    def _check_compatible(self, other: "Histogram1D") -> None:
+        if not edges_compatible(self.edges, other.edges):
+            raise HistogramError(
+                f"incompatible binning: {self.name!r} vs {other.name!r}"
+            )
+
+    def _clone_empty(self) -> "Histogram1D":
+        clone = Histogram1D(self.name, edges=self.edges.copy(),
+                            label=self.label)
+        return clone
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialise for archives and reference-data files."""
+        return {
+            "type": "histogram1d",
+            "name": self.name,
+            "label": self.label,
+            "edges": self.edges.tolist(),
+            "sumw": self._sumw.tolist(),
+            "sumw2": self._sumw2.tolist(),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "n_entries": self.n_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Histogram1D":
+        """Inverse of :meth:`to_dict`."""
+        if record.get("type") != "histogram1d":
+            raise HistogramError(
+                f"not a histogram1d record: {record.get('type')!r}"
+            )
+        histogram = cls(str(record["name"]), edges=record["edges"],
+                        label=str(record.get("label", "")))
+        histogram._sumw = np.asarray(record["sumw"], dtype=float)
+        histogram._sumw2 = np.asarray(record["sumw2"], dtype=float)
+        if len(histogram._sumw) != histogram.nbins:
+            raise HistogramError("sumw length does not match binning")
+        histogram.underflow = float(record.get("underflow", 0.0))
+        histogram.overflow = float(record.get("overflow", 0.0))
+        histogram.n_entries = int(record.get("n_entries", 0))
+        return histogram
+
+
+class Histogram2D:
+    """A two-dimensional weighted histogram (uniform binning)."""
+
+    def __init__(self, name: str, nx: int, x_low: float, x_high: float,
+                 ny: int, y_low: float, y_high: float,
+                 label: str = "") -> None:
+        if nx <= 0 or ny <= 0:
+            raise HistogramError("bin counts must be positive")
+        if x_high <= x_low or y_high <= y_low:
+            raise HistogramError("empty axis range")
+        self.name = name
+        self.label = label
+        self.x_edges = np.linspace(x_low, x_high, nx + 1)
+        self.y_edges = np.linspace(y_low, y_high, ny + 1)
+        self._sumw = np.zeros((nx, ny))
+        self._sumw2 = np.zeros((nx, ny))
+        self.n_entries = 0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(nx, ny) bin counts."""
+        return self._sumw.shape
+
+    def fill(self, x: float, y: float, weight: float = 1.0) -> None:
+        """Fill one (x, y) value; out-of-range fills are dropped."""
+        self.n_entries += 1
+        if not (self.x_edges[0] <= x < self.x_edges[-1]):
+            return
+        if not (self.y_edges[0] <= y < self.y_edges[-1]):
+            return
+        ix = min(int(np.searchsorted(self.x_edges, x, side="right")) - 1,
+                 self.shape[0] - 1)
+        iy = min(int(np.searchsorted(self.y_edges, y, side="right")) - 1,
+                 self.shape[1] - 1)
+        self._sumw[ix, iy] += weight
+        self._sumw2[ix, iy] += weight * weight
+
+    def values(self) -> np.ndarray:
+        """The (nx, ny) content array (copy)."""
+        return self._sumw.copy()
+
+    def errors(self) -> np.ndarray:
+        """Per-bin statistical errors (copy)."""
+        return np.sqrt(self._sumw2)
+
+    def integral(self) -> float:
+        """Total in-range weighted content."""
+        return float(self._sumw.sum())
+
+    def to_dict(self) -> dict:
+        """Serialise for archives."""
+        return {
+            "type": "histogram2d",
+            "name": self.name,
+            "label": self.label,
+            "x_edges": self.x_edges.tolist(),
+            "y_edges": self.y_edges.tolist(),
+            "sumw": self._sumw.tolist(),
+            "sumw2": self._sumw2.tolist(),
+            "n_entries": self.n_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Histogram2D":
+        """Inverse of :meth:`to_dict`."""
+        if record.get("type") != "histogram2d":
+            raise HistogramError(
+                f"not a histogram2d record: {record.get('type')!r}"
+            )
+        x_edges = record["x_edges"]
+        y_edges = record["y_edges"]
+        histogram = cls(
+            str(record["name"]),
+            nx=len(x_edges) - 1, x_low=x_edges[0], x_high=x_edges[-1],
+            ny=len(y_edges) - 1, y_low=y_edges[0], y_high=y_edges[-1],
+            label=str(record.get("label", "")),
+        )
+        histogram.x_edges = np.asarray(x_edges, dtype=float)
+        histogram.y_edges = np.asarray(y_edges, dtype=float)
+        histogram._sumw = np.asarray(record["sumw"], dtype=float)
+        histogram._sumw2 = np.asarray(record["sumw2"], dtype=float)
+        histogram.n_entries = int(record.get("n_entries", 0))
+        return histogram

@@ -1,0 +1,29 @@
+"""Trigger and data acquisition: the step before "Raw files from the
+detector".
+
+The workflow chains in the paper begin at RAW, but RAW itself exists
+only because a trigger selected the collision. This package models that
+first, irreversible selection: a :class:`TriggerMenu` of level-1 style
+paths with prescales evaluated on simulated detector quantities, a
+:class:`DataAcquisition` that streams accepted events, and preservable
+menu descriptions — the trigger menu being one more configuration
+artifact a preservation system must capture (an unrecorded event is
+unrecoverable at *any* DPHEP level).
+"""
+
+from repro.trigger.menu import (
+    TriggerDecision,
+    TriggerMenu,
+    TriggerPath,
+    standard_menu,
+)
+from repro.trigger.daq import DataAcquisition, StreamSummary
+
+__all__ = [
+    "TriggerPath",
+    "TriggerMenu",
+    "TriggerDecision",
+    "standard_menu",
+    "DataAcquisition",
+    "StreamSummary",
+]

@@ -1,0 +1,109 @@
+"""Data acquisition: trigger decisions to recorded streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detector.digitization import Digitizer, RawEvent
+from repro.detector.simulation import SimulatedEvent
+from repro.errors import ConfigurationError
+from repro.trigger.menu import TriggerDecision, TriggerMenu
+
+
+@dataclass
+class StreamSummary:
+    """Recording statistics for one output stream."""
+
+    stream: str
+    n_events: int = 0
+    total_bytes: int = 0
+
+
+class DataAcquisition:
+    """Runs the menu, digitises accepted events, routes them to streams.
+
+    ``streams`` maps stream names to the trigger paths feeding them; an
+    accepted event is written to every stream one of its fired paths
+    feeds. This is the point where unselected collisions are lost
+    forever — the irreversibility that makes the trigger menu itself a
+    preservation artifact.
+    """
+
+    def __init__(
+        self,
+        menu: TriggerMenu,
+        digitizer: Digitizer,
+        streams: dict[str, tuple[str, ...]] | None = None,
+    ) -> None:
+        self.menu = menu
+        self.digitizer = digitizer
+        known_paths = {path.name for path in menu.paths}
+        if streams is None:
+            streams = {"physics": tuple(known_paths)}
+        for stream, paths in streams.items():
+            unknown = set(paths) - known_paths
+            if unknown:
+                raise ConfigurationError(
+                    f"stream {stream!r} references unknown paths "
+                    f"{sorted(unknown)}"
+                )
+        self.streams = {stream: tuple(paths)
+                        for stream, paths in streams.items()}
+        self._recorded: dict[str, list[RawEvent]] = {
+            stream: [] for stream in self.streams
+        }
+        self._decisions: list[TriggerDecision] = []
+
+    def process(self, event: SimulatedEvent) -> TriggerDecision:
+        """Trigger one event; digitise and record it if accepted."""
+        decision = self.menu.decide(event)
+        self._decisions.append(decision)
+        if not decision.accepted:
+            return decision
+        raw = self.digitizer.digitize(event)
+        fired = set(decision.fired_paths)
+        for stream, feeding_paths in self.streams.items():
+            if fired & set(feeding_paths):
+                self._recorded[stream].append(raw)
+        return decision
+
+    def process_many(self, events: list[SimulatedEvent]
+                     ) -> list[TriggerDecision]:
+        """Trigger a list of events in order."""
+        return [self.process(event) for event in events]
+
+    def recorded(self, stream: str) -> list[RawEvent]:
+        """The RAW events recorded to one stream."""
+        try:
+            return list(self._recorded[stream])
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown stream {stream!r}; known: "
+                f"{sorted(self.streams)}"
+            ) from None
+
+    @property
+    def decisions(self) -> list[TriggerDecision]:
+        """Every decision taken, in order."""
+        return list(self._decisions)
+
+    def summaries(self) -> list[StreamSummary]:
+        """Recording statistics per stream, name-sorted."""
+        summaries = []
+        for stream in sorted(self._recorded):
+            events = self._recorded[stream]
+            summaries.append(StreamSummary(
+                stream=stream,
+                n_events=len(events),
+                total_bytes=sum(raw.approximate_size_bytes()
+                                for raw in events),
+            ))
+        return summaries
+
+    def describe(self) -> dict:
+        """Preservable DAQ configuration (menu + stream routing)."""
+        return {
+            "menu": self.menu.describe(),
+            "streams": {stream: list(paths)
+                        for stream, paths in self.streams.items()},
+        }

@@ -1,0 +1,178 @@
+"""Trigger paths, prescales, and the menu.
+
+Paths are evaluated on :class:`~repro.detector.simulation.SimulatedEvent`
+quantities — the online system sees detector signals, not truth. Each
+path has a hardware-style requirement (count of objects above a
+threshold) and an integer prescale: a prescale of N keeps every N-th
+accepted event, the standard mechanism for taming high-rate paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.detector.simulation import SimulatedEvent
+from repro.errors import ConfigurationError
+
+#: Object kinds a trigger requirement can count.
+TRIGGER_OBJECTS = ("track", "muon", "calo")
+
+
+@dataclass
+class TriggerPath:
+    """One trigger path: requirement plus prescale.
+
+    ``object_kind`` selects what is counted: ``"track"`` (charged
+    traversals), ``"muon"`` (traversals reaching the muon system), or
+    ``"calo"`` (calorimeter deposits, thresholded on energy).
+    ``min_count`` objects above ``threshold`` (pt for tracks/muons,
+    energy for calo) are required.
+    """
+
+    name: str
+    object_kind: str
+    threshold: float
+    min_count: int = 1
+    prescale: int = 1
+    _accept_counter: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.object_kind not in TRIGGER_OBJECTS:
+            raise ConfigurationError(
+                f"path {self.name!r}: unknown object kind "
+                f"{self.object_kind!r}"
+            )
+        if self.prescale < 1:
+            raise ConfigurationError(
+                f"path {self.name!r}: prescale must be >= 1"
+            )
+        if self.min_count < 1:
+            raise ConfigurationError(
+                f"path {self.name!r}: min_count must be >= 1"
+            )
+
+    def _n_objects(self, event: SimulatedEvent) -> int:
+        if self.object_kind == "track":
+            return sum(1 for t in event.traversals
+                       if t.momentum.pt >= self.threshold)
+        if self.object_kind == "muon":
+            return sum(1 for t in event.traversals
+                       if t.reaches_muon_system
+                       and t.momentum.pt >= self.threshold)
+        return sum(1 for d in event.deposits
+                   if d.measured_energy >= self.threshold)
+
+    def fires(self, event: SimulatedEvent) -> bool:
+        """Raw (pre-prescale) decision."""
+        return self._n_objects(event) >= self.min_count
+
+    def accepts(self, event: SimulatedEvent) -> bool:
+        """Prescaled decision; stateful (counts raw accepts)."""
+        if not self.fires(event):
+            return False
+        self._accept_counter += 1
+        return self._accept_counter % self.prescale == 0
+
+    def describe(self) -> dict:
+        """Preservable path configuration."""
+        return {
+            "name": self.name,
+            "object": self.object_kind,
+            "threshold": self.threshold,
+            "min_count": self.min_count,
+            "prescale": self.prescale,
+        }
+
+
+@dataclass(frozen=True)
+class TriggerDecision:
+    """The recorded outcome for one event."""
+
+    event_number: int
+    fired_paths: tuple[str, ...]
+    accepted: bool
+
+    def to_dict(self) -> dict:
+        """Serialise for trigger records."""
+        return {
+            "event": self.event_number,
+            "paths": list(self.fired_paths),
+            "accepted": self.accepted,
+        }
+
+
+class TriggerMenu:
+    """An ordered collection of trigger paths."""
+
+    def __init__(self, name: str, paths: list[TriggerPath]) -> None:
+        if not paths:
+            raise ConfigurationError(f"menu {name!r} has no paths")
+        names = [path.name for path in paths]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"menu {name!r} has duplicate path names"
+            )
+        self.name = name
+        self.paths = list(paths)
+        self._n_seen = 0
+        self._n_accepted = 0
+        self._fires_per_path: dict[str, int] = {p.name: 0
+                                                for p in paths}
+
+    def decide(self, event: SimulatedEvent) -> TriggerDecision:
+        """Evaluate every path; the event is kept if any accepts."""
+        self._n_seen += 1
+        fired = []
+        for path in self.paths:
+            if path.accepts(event):
+                fired.append(path.name)
+                self._fires_per_path[path.name] += 1
+        accepted = bool(fired)
+        if accepted:
+            self._n_accepted += 1
+        return TriggerDecision(
+            event_number=event.event_number,
+            fired_paths=tuple(fired),
+            accepted=accepted,
+        )
+
+    @property
+    def n_seen(self) -> int:
+        """Events evaluated so far."""
+        return self._n_seen
+
+    @property
+    def n_accepted(self) -> int:
+        """Events accepted so far."""
+        return self._n_accepted
+
+    def acceptance(self) -> float:
+        """Overall acceptance fraction (NaN before any event)."""
+        if self._n_seen == 0:
+            return math.nan
+        return self._n_accepted / self._n_seen
+
+    def rates(self) -> dict[str, float]:
+        """Per-path accept fraction of all seen events."""
+        if self._n_seen == 0:
+            return {name: math.nan for name in self._fires_per_path}
+        return {name: count / self._n_seen
+                for name, count in self._fires_per_path.items()}
+
+    def describe(self) -> dict:
+        """The preservable menu configuration."""
+        return {
+            "menu": self.name,
+            "paths": [path.describe() for path in self.paths],
+        }
+
+
+def standard_menu() -> TriggerMenu:
+    """A small physics menu: single/double muon, calo, high-rate track."""
+    return TriggerMenu("TOY-MENU-v1", [
+        TriggerPath("L1_SingleMu8", "muon", 8.0),
+        TriggerPath("L1_DoubleMu4", "muon", 4.0, min_count=2),
+        TriggerPath("L1_Calo30", "calo", 30.0),
+        TriggerPath("L1_Track2_PS20", "track", 2.0, prescale=20),
+    ])

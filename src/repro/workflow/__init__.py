@@ -1,0 +1,42 @@
+"""The processing-workflow engine.
+
+Models the paper's "generic outline of typical data processing": a chain
+of :class:`ProcessingStep` objects (generation, simulation, digitisation,
+reconstruction, AOD production, skims, slims), executed by a
+:class:`ChainRunner` that records provenance for every produced dataset
+and enumerates the external resources each step consumed.
+"""
+
+from repro.workflow.step import (
+    AODProductionStep,
+    DigitizationStep,
+    GenerationStep,
+    ProcessingStep,
+    ReconstructionStep,
+    SimulationStep,
+    SkimStep,
+    SlimStep,
+    StepContext,
+)
+from repro.workflow.campaign import ProcessingCampaign, RunResult
+from repro.workflow.chain import ChainResult, ChainRunner, ProcessingChain
+from repro.workflow.resources import ResourceReport, summarize_resources
+
+__all__ = [
+    "ProcessingStep",
+    "StepContext",
+    "GenerationStep",
+    "SimulationStep",
+    "DigitizationStep",
+    "ReconstructionStep",
+    "AODProductionStep",
+    "SkimStep",
+    "SlimStep",
+    "ProcessingCampaign",
+    "RunResult",
+    "ProcessingChain",
+    "ChainRunner",
+    "ChainResult",
+    "ResourceReport",
+    "summarize_resources",
+]

@@ -1,0 +1,150 @@
+"""Processing chains and their provenance-recording runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datamodel.tiers import DataTier
+from repro.errors import WorkflowError
+from repro.provenance.capture import ProvenanceCapture
+from repro.provenance.records import ProducerRecord
+from repro.workflow.step import ProcessingStep, StepContext
+
+
+@dataclass
+class ProcessingChain:
+    """A linear sequence of processing steps.
+
+    The constructor validates tier continuity: each step's ``input_tier``
+    must equal its predecessor's ``output_tier`` (source steps go first).
+    Branching workflows are modelled as multiple chains sharing dataset
+    names through the runner.
+    """
+
+    name: str
+    steps: list[ProcessingStep]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise WorkflowError(f"chain {self.name!r} has no steps")
+        previous_output: DataTier | None = None
+        for position, step in enumerate(self.steps):
+            if position == 0:
+                if step.input_tier is not None:
+                    # Chains may also start from an existing dataset; the
+                    # runner checks the actual input tier in that case.
+                    previous_output = step.input_tier
+            elif step.input_tier != previous_output:
+                raise WorkflowError(
+                    f"chain {self.name!r}: step {step.name!r} expects "
+                    f"{step.input_tier} but predecessor produces "
+                    f"{previous_output}"
+                )
+            previous_output = step.output_tier
+
+    @property
+    def is_source_chain(self) -> bool:
+        """True when the first step generates its own input."""
+        return self.steps[0].input_tier is None
+
+    def describe(self) -> dict:
+        """Machine-readable chain description for preservation."""
+        return {
+            "name": self.name,
+            "steps": [step.describe() for step in self.steps],
+        }
+
+
+@dataclass
+class ChainResult:
+    """Everything a chain run produced."""
+
+    chain_name: str
+    #: dataset name -> list of event records (live Python objects).
+    datasets: dict[str, list] = field(default_factory=dict)
+    #: dataset name -> artifact id in the provenance capture.
+    artifact_ids: dict[str, str] = field(default_factory=dict)
+    #: dataset name -> external-dependency enumeration.
+    externals: dict[str, dict] = field(default_factory=dict)
+
+    def dataset(self, name: str) -> list:
+        """Look up one produced dataset by name."""
+        try:
+            return self.datasets[name]
+        except KeyError:
+            raise WorkflowError(
+                f"chain {self.chain_name!r} produced no dataset {name!r}; "
+                f"available: {sorted(self.datasets)}"
+            ) from None
+
+    def final_dataset(self) -> list:
+        """The last dataset the chain produced."""
+        last_name = list(self.datasets)[-1]
+        return self.datasets[last_name]
+
+
+class ChainRunner:
+    """Executes chains, reporting every dataset to a provenance capture."""
+
+    def __init__(self, capture: ProvenanceCapture | None = None) -> None:
+        self.capture = capture if capture is not None else ProvenanceCapture()
+
+    def run(
+        self,
+        chain: ProcessingChain,
+        context: StepContext | None = None,
+        initial_records: list | None = None,
+        initial_artifact_id: str | None = None,
+    ) -> ChainResult:
+        """Run a chain end to end.
+
+        A source chain takes no ``initial_records``; a derivation chain
+        requires them (and, for full provenance, the artifact id of the
+        dataset they came from).
+        """
+        if context is None:
+            context = StepContext()
+        if chain.is_source_chain and initial_records:
+            raise WorkflowError(
+                f"chain {chain.name!r} is a source chain; it takes no "
+                f"initial records"
+            )
+        if not chain.is_source_chain and initial_records is None:
+            raise WorkflowError(
+                f"chain {chain.name!r} needs initial records of tier "
+                f"{chain.steps[0].input_tier}"
+            )
+        result = ChainResult(chain_name=chain.name)
+        records = initial_records if initial_records is not None else []
+        parent_artifact = initial_artifact_id
+
+        for step in chain.steps:
+            try:
+                records = step.run(records, context)
+            except Exception as exc:
+                if isinstance(exc, WorkflowError):
+                    raise
+                raise WorkflowError(
+                    f"chain {chain.name!r}: step {step.name!r} failed: {exc}"
+                ) from exc
+            dataset_name = f"{chain.name}/{step.name}"
+            externals = step.external_dependencies()
+            artifact_id = self.capture.new_artifact_id(dataset_name)
+            self.capture.report(
+                artifact_id=artifact_id,
+                kind="dataset",
+                tier=step.output_tier.value,
+                parents=(parent_artifact,) if parent_artifact else (),
+                producer=ProducerRecord(
+                    name=step.name,
+                    version=step.version,
+                    configuration=step.configuration(),
+                ),
+                externals=externals,
+                attributes={"n_events": len(records)},
+            )
+            result.datasets[dataset_name] = records
+            result.artifact_ids[dataset_name] = artifact_id
+            result.externals[dataset_name] = externals
+            parent_artifact = artifact_id
+        return result

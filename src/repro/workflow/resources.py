@@ -1,0 +1,77 @@
+"""External-resource accounting for preservation.
+
+The paper: "Enumerating and potentially encapsulating these external
+dependencies will be an important ingredient in the analysis preservation
+process." :func:`summarize_resources` turns the per-dataset dependency
+enumerations of a chain run into a single report the preservation layer
+can archive alongside the workflow description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workflow.chain import ChainResult
+
+
+@dataclass
+class ResourceReport:
+    """Aggregated external dependencies of one or more chain runs."""
+
+    conditions_folders: set[str] = field(default_factory=set)
+    conditions_modes: set[str] = field(default_factory=set)
+    global_tags: set[str] = field(default_factory=set)
+    runs: set[int] = field(default_factory=set)
+    datasets_with_externals: int = 0
+    datasets_total: int = 0
+
+    @property
+    def is_self_contained(self) -> bool:
+        """True when no step consumed any external resource."""
+        return self.datasets_with_externals == 0
+
+    def to_dict(self) -> dict:
+        """Serialise for preservation records."""
+        return {
+            "conditions_folders": sorted(self.conditions_folders),
+            "conditions_modes": sorted(self.conditions_modes),
+            "global_tags": sorted(self.global_tags),
+            "runs": sorted(self.runs),
+            "datasets_with_externals": self.datasets_with_externals,
+            "datasets_total": self.datasets_total,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        if self.is_self_contained:
+            return "self-contained: no external dependencies"
+        return (
+            f"{self.datasets_with_externals}/{self.datasets_total} datasets "
+            f"depend on {len(self.conditions_folders)} conditions folders "
+            f"(modes: {', '.join(sorted(self.conditions_modes)) or 'n/a'}; "
+            f"global tags: {', '.join(sorted(self.global_tags)) or 'n/a'})"
+        )
+
+
+def summarize_resources(*results: ChainResult) -> ResourceReport:
+    """Aggregate the externals of any number of chain results."""
+    report = ResourceReport()
+    for result in results:
+        for externals in result.externals.values():
+            report.datasets_total += 1
+            if not externals:
+                continue
+            report.datasets_with_externals += 1
+            for folder in externals.get("folders", []):
+                report.conditions_folders.add(folder)
+            for run in externals.get("runs", []):
+                report.runs.add(int(run))
+            conditions = externals.get("conditions", {})
+            if conditions:
+                mode = conditions.get("mode")
+                if mode:
+                    report.conditions_modes.add(str(mode))
+                global_tag = conditions.get("global_tag")
+                if global_tag:
+                    report.global_tags.add(str(global_tag))
+    return report

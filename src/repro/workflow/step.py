@@ -1,0 +1,187 @@
+"""Processing-step abstractions and the standard step library."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.datamodel.event import AODEvent, make_aod
+from repro.datamodel.skimslim import SkimSpec, SlimSpec
+from repro.datamodel.tiers import DataTier
+from repro.detector.digitization import Digitizer
+from repro.detector.simulation import DetectorSimulation
+from repro.errors import StepError
+from repro.generation.generator import ToyGenerator
+from repro.reconstruction.reconstructor import Reconstructor
+
+
+@dataclass
+class StepContext:
+    """Shared context passed to every step of a chain run.
+
+    ``run_number`` keys the conditions database; ``extras`` carries
+    chain-specific objects a custom step might need.
+    """
+
+    run_number: int = 1
+    extras: dict = field(default_factory=dict)
+
+
+class ProcessingStep(abc.ABC):
+    """One stage of a processing chain.
+
+    ``input_tier``/``output_tier`` declare the tier semantics so chains
+    can be validated; ``None`` for ``input_tier`` marks a source step.
+    """
+
+    name: str = "step"
+    version: str = "1.0.0"
+    input_tier: DataTier | None = None
+    output_tier: DataTier = DataTier.GEN
+
+    @abc.abstractmethod
+    def run(self, inputs: list, context: StepContext) -> list:
+        """Transform the input records into the output records."""
+
+    def configuration(self) -> dict:
+        """JSON-serialisable configuration for the producer record."""
+        return {}
+
+    def external_dependencies(self) -> dict:
+        """External resources consumed by the last :meth:`run` call."""
+        return {}
+
+    def describe(self) -> dict:
+        """Provenance-friendly step description."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "input_tier": (self.input_tier.value
+                           if self.input_tier is not None else None),
+            "output_tier": self.output_tier.value,
+            "configuration": self.configuration(),
+        }
+
+
+class GenerationStep(ProcessingStep):
+    """Source step: Monte Carlo event generation."""
+
+    name = "generation"
+    input_tier = None
+    output_tier = DataTier.GEN
+
+    def __init__(self, generator: ToyGenerator, n_events: int) -> None:
+        if n_events <= 0:
+            raise StepError(f"n_events must be positive, got {n_events}")
+        self.generator = generator
+        self.n_events = n_events
+
+    def run(self, inputs: list, context: StepContext) -> list:
+        if inputs:
+            raise StepError("generation is a source step; it takes no input")
+        return self.generator.generate(self.n_events)
+
+    def configuration(self) -> dict:
+        return {
+            "n_events": self.n_events,
+            "run_info": self.generator.run_info.to_dict(),
+        }
+
+
+class SimulationStep(ProcessingStep):
+    """GEN -> SIM: detector simulation."""
+
+    name = "simulation"
+    input_tier = DataTier.GEN
+    output_tier = DataTier.SIM
+
+    def __init__(self, simulation: DetectorSimulation) -> None:
+        self.simulation = simulation
+
+    def run(self, inputs: list, context: StepContext) -> list:
+        return self.simulation.simulate_many(inputs)
+
+    def configuration(self) -> dict:
+        return self.simulation.describe()
+
+
+class DigitizationStep(ProcessingStep):
+    """SIM -> RAW: digitisation."""
+
+    name = "digitization"
+    input_tier = DataTier.SIM
+    output_tier = DataTier.RAW
+
+    def __init__(self, digitizer: Digitizer) -> None:
+        self.digitizer = digitizer
+
+    def run(self, inputs: list, context: StepContext) -> list:
+        return self.digitizer.digitize_many(inputs)
+
+    def configuration(self) -> dict:
+        return self.digitizer.describe()
+
+
+class ReconstructionStep(ProcessingStep):
+    """RAW -> RECO: the conditions-dependent reconstruction pass."""
+
+    name = "reconstruction"
+    input_tier = DataTier.RAW
+    output_tier = DataTier.RECO
+
+    def __init__(self, reconstructor: Reconstructor) -> None:
+        self.reconstructor = reconstructor
+
+    def run(self, inputs: list, context: StepContext) -> list:
+        return self.reconstructor.reconstruct_many(inputs)
+
+    def configuration(self) -> dict:
+        return self.reconstructor.describe()
+
+    def external_dependencies(self) -> dict:
+        return self.reconstructor.external_dependencies()
+
+
+class AODProductionStep(ProcessingStep):
+    """RECO -> AOD: drop the basic objects, evaluate the trigger menu."""
+
+    name = "aod_production"
+    input_tier = DataTier.RECO
+    output_tier = DataTier.AOD
+
+    def run(self, inputs: list, context: StepContext) -> list:
+        return [make_aod(reco) for reco in inputs]
+
+
+class SkimStep(ProcessingStep):
+    """AOD -> AOD: declarative event selection."""
+
+    input_tier = DataTier.AOD
+    output_tier = DataTier.AOD
+
+    def __init__(self, spec: SkimSpec) -> None:
+        self.spec = spec
+        self.name = f"skim:{spec.name}"
+
+    def run(self, inputs: list, context: StepContext) -> list[AODEvent]:
+        return self.spec.apply(inputs)
+
+    def configuration(self) -> dict:
+        return self.spec.to_dict()
+
+
+class SlimStep(ProcessingStep):
+    """AOD -> NTUPLE: declarative flattening to derived columns."""
+
+    input_tier = DataTier.AOD
+    output_tier = DataTier.NTUPLE
+
+    def __init__(self, spec: SlimSpec) -> None:
+        self.spec = spec
+        self.name = f"slim:{spec.name}"
+
+    def run(self, inputs: list, context: StepContext) -> list:
+        return self.spec.apply(inputs)
+
+    def configuration(self) -> dict:
+        return self.spec.to_dict()

@@ -1,0 +1,122 @@
+"""Shared fixtures: geometries, conditions, and small processed samples.
+
+Chain-level fixtures are session-scoped and deliberately small so the
+whole suite stays fast; tests that need statistics use the module-level
+samples rather than regenerating events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conditions import default_conditions
+from repro.datamodel import make_aod
+from repro.detector import (
+    DetectorSimulation,
+    Digitizer,
+    forward_spectrometer,
+    generic_lhc_detector,
+)
+from repro.detector.simulation import SimulationConfig
+from repro.generation import (
+    DrellYanZ,
+    DzeroProduction,
+    GeneratorConfig,
+    HiggsToFourLeptons,
+    QCDDijets,
+    ToyGenerator,
+    WProduction,
+)
+from repro.reconstruction import GlobalTagView, Reconstructor
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def gpd_geometry():
+    """The general-purpose detector geometry."""
+    return generic_lhc_detector()
+
+
+@pytest.fixture(scope="session")
+def fwd_geometry():
+    """The forward-spectrometer geometry."""
+    return forward_spectrometer()
+
+
+@pytest.fixture(scope="session")
+def conditions_store():
+    """A populated conditions store with GT-PROMPT and GT-FINAL."""
+    return default_conditions()
+
+
+def run_chain(processes, n_events, geometry, conditions, seed=1000,
+              run_number=42, sim_config=None):
+    """Run gen -> sim -> digi -> reco and return (gen, reco) event pairs."""
+    generator = ToyGenerator(GeneratorConfig(processes=processes,
+                                             seed=seed))
+    simulation = DetectorSimulation(geometry, config=sim_config,
+                                    seed=seed + 1)
+    digitizer = Digitizer(geometry, run_number=run_number, seed=seed + 2)
+    reconstructor = Reconstructor(
+        geometry, GlobalTagView(conditions, "GT-FINAL")
+    )
+    pairs = []
+    for event in generator.generate(n_events):
+        sim_event = simulation.simulate(event)
+        raw = digitizer.digitize(sim_event)
+        pairs.append((event, reconstructor.reconstruct(raw)))
+    return pairs
+
+
+@pytest.fixture(scope="session")
+def z_pairs(gpd_geometry, conditions_store):
+    """120 Z->mumu events processed through the full chain."""
+    return run_chain([DrellYanZ()], 120, gpd_geometry, conditions_store,
+                     seed=7000)
+
+
+@pytest.fixture(scope="session")
+def z_recos(z_pairs):
+    """The RECO events of the Z sample."""
+    return [reco for _, reco in z_pairs]
+
+
+@pytest.fixture(scope="session")
+def z_aods(z_recos):
+    """The AOD events of the Z sample."""
+    return [make_aod(reco) for reco in z_recos]
+
+
+@pytest.fixture(scope="session")
+def mixed_pairs(gpd_geometry, conditions_store):
+    """A mixed W/Z/dijet/Higgs sample through the full chain."""
+    processes = [
+        DrellYanZ(),
+        WProduction(cross_section_pb=2200.0),
+        QCDDijets(cross_section_pb=3000.0),
+        HiggsToFourLeptons(),
+    ]
+    return run_chain(processes, 80, gpd_geometry, conditions_store,
+                     seed=7100)
+
+
+@pytest.fixture(scope="session")
+def mixed_aods(mixed_pairs):
+    """The AOD events of the mixed sample."""
+    return [make_aod(reco) for _, reco in mixed_pairs]
+
+
+@pytest.fixture(scope="session")
+def d0_recos(fwd_geometry, conditions_store):
+    """Forward-spectrometer D0 events through the full chain."""
+    pairs = run_chain(
+        [DzeroProduction()], 400, fwd_geometry, conditions_store,
+        seed=7200, sim_config=SimulationConfig(eta_min=1.8),
+    )
+    return [reco for _, reco in pairs]

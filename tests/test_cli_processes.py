@@ -1,0 +1,78 @@
+"""CLI coverage across every generator process and both geometries."""
+
+import pytest
+
+from repro.cli import main
+from repro.datamodel import DataTier, DatasetReader
+
+ALL_PROCESSES = ("z_to_mumu", "z_to_ee", "w_to_munu", "higgs_4l",
+                 "qcd_dijets", "d0_to_kpi", "jpsi", "minbias")
+
+
+class TestGenerateAllProcesses:
+    @pytest.mark.parametrize("process", ALL_PROCESSES)
+    def test_generate(self, process, tmp_path):
+        path = tmp_path / f"{process}.jsonl"
+        assert main(["generate", "--process", process, "--events",
+                     "5", "--seed", "3", "--output", str(path)]) == 0
+        reader = DatasetReader(path)
+        assert reader.header.n_events == 5
+        processes = reader.header.provenance["processes"]
+        assert len(processes) == 1
+
+
+class TestForwardGeometryPath:
+    def test_process_with_fwd_geometry(self, tmp_path):
+        gen_path = tmp_path / "d0.jsonl"
+        aod_path = tmp_path / "d0.aod.jsonl"
+        assert main(["generate", "--process", "d0_to_kpi", "--events",
+                     "10", "--seed", "4", "--output",
+                     str(gen_path)]) == 0
+        assert main(["process", "--input", str(gen_path), "--output",
+                     str(aod_path), "--run", "7", "--geometry",
+                     "FWD"]) == 0
+        reader = DatasetReader(aod_path)
+        assert reader.header.tier == DataTier.AOD
+        assert reader.header.provenance["reconstruction"][
+            "geometry"] == "FWD"
+
+    def test_display_with_fwd_geometry(self, tmp_path, capsys):
+        gen_path = tmp_path / "g.jsonl"
+        aod_path = tmp_path / "a.jsonl"
+        level2_path = tmp_path / "l.jsonl"
+        main(["generate", "--process", "z_to_mumu", "--events", "8",
+              "--seed", "5", "--output", str(gen_path)])
+        main(["process", "--input", str(gen_path), "--output",
+              str(aod_path)])
+        main(["convert-level2", "--input", str(aod_path), "--output",
+              str(level2_path)])
+        svg_path = tmp_path / "e.svg"
+        assert main(["display", "--input", str(level2_path),
+                     "--event", "0", "--svg", str(svg_path),
+                     "--geometry", "FWD"]) == 0
+        assert "velo_tracker" not in svg_path.read_text()  # names not drawn
+        assert svg_path.read_text().startswith("<svg")
+
+
+class TestProvenanceThroughCli:
+    def test_skim_provenance_points_at_input(self, tmp_path):
+        import json
+
+        gen_path = tmp_path / "g.jsonl"
+        aod_path = tmp_path / "a.jsonl"
+        out_path = tmp_path / "s.jsonl"
+        main(["generate", "--process", "z_to_mumu", "--events", "10",
+              "--seed", "6", "--output", str(gen_path)])
+        main(["process", "--input", str(gen_path), "--output",
+              str(aod_path)])
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "any", "cut": {"kind": "count",
+                                   "collection": "muons",
+                                   "min_count": 0},
+        }))
+        main(["skim", "--input", str(aod_path), "--spec",
+              str(spec_path), "--output", str(out_path)])
+        reader = DatasetReader(out_path)
+        assert reader.header.provenance["input"] == str(aod_path)
+        assert reader.header.n_events == 10  # min_count=0 keeps all

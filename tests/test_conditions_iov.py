@@ -1,0 +1,78 @@
+"""Unit and property tests for intervals of validity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conditions import IOV
+from repro.conditions.iov import INFINITE_RUN
+from repro.errors import IOVError
+
+run_numbers = st.integers(min_value=0, max_value=10**6)
+
+
+class TestIOV:
+    def test_contains_endpoints(self):
+        iov = IOV(10, 20)
+        assert iov.contains(10)
+        assert iov.contains(20)
+        assert not iov.contains(9)
+        assert not iov.contains(21)
+
+    def test_open_ended(self):
+        iov = IOV(5)
+        assert iov.is_open_ended
+        assert iov.contains(10**9)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(IOVError):
+            IOV(10, 9)
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(IOVError):
+            IOV(-1, 10)
+
+    def test_single_run_interval(self):
+        iov = IOV(7, 7)
+        assert iov.contains(7)
+        assert not iov.contains(8)
+
+    def test_str_rendering(self):
+        assert str(IOV(1, 10)) == "[1, 10]"
+        assert str(IOV(5)) == "[5, inf]"
+
+    def test_roundtrip(self):
+        iov = IOV(3, 99)
+        assert IOV.from_dict(iov.to_dict()) == iov
+
+
+class TestOverlap:
+    def test_touching_intervals_overlap(self):
+        assert IOV(1, 10).overlaps(IOV(10, 20))
+
+    def test_adjacent_intervals_do_not_overlap(self):
+        assert not IOV(1, 10).overlaps(IOV(11, 20))
+
+    def test_containment_overlaps(self):
+        assert IOV(1, 100).overlaps(IOV(40, 50))
+
+    def test_open_ended_overlaps_everything_later(self):
+        assert IOV(50).overlaps(IOV(1000, 2000))
+        assert not IOV(50).overlaps(IOV(1, 49))
+
+    @given(a=run_numbers, b=run_numbers, c=run_numbers, d=run_numbers)
+    @settings(max_examples=200)
+    def test_overlap_symmetry(self, a, b, c, d):
+        first = IOV(min(a, b), max(a, b))
+        second = IOV(min(c, d), max(c, d))
+        assert first.overlaps(second) == second.overlaps(first)
+
+    @given(a=run_numbers, b=run_numbers, run=run_numbers)
+    @settings(max_examples=200)
+    def test_contains_implies_overlap_with_point(self, a, b, run):
+        iov = IOV(min(a, b), max(a, b))
+        point = IOV(run, run)
+        assert iov.contains(run) == iov.overlaps(point)
+
+    def test_infinite_constant(self):
+        assert IOV(0).last_run == INFINITE_RUN

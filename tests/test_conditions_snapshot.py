@@ -1,0 +1,107 @@
+"""Tests for the ALICE-style conditions snapshots."""
+
+import pytest
+
+from repro.conditions import (
+    ConditionsSnapshot,
+    default_conditions,
+    export_snapshot,
+    load_snapshot,
+)
+from repro.conditions.calibration import FOLDER_ECAL_SCALE
+from repro.errors import ConditionsError, IOVError, PersistenceError
+
+
+@pytest.fixture(scope="module")
+def store():
+    return default_conditions()
+
+
+class TestExport:
+    def test_snapshot_matches_store(self, store):
+        snapshot = export_snapshot(store, "GT-FINAL", 1, 50)
+        for run in (1, 25, 50):
+            assert snapshot.payload(FOLDER_ECAL_SCALE, run) == \
+                store.payload(FOLDER_ECAL_SCALE, "final", run)
+
+    def test_snapshot_covers_all_folders(self, store):
+        snapshot = export_snapshot(store, "GT-FINAL", 1, 50)
+        assert set(snapshot.folders()) == set(store.folders())
+
+    def test_out_of_range_run_rejected(self, store):
+        snapshot = export_snapshot(store, "GT-FINAL", 1, 50)
+        with pytest.raises(IOVError):
+            snapshot.payload(FOLDER_ECAL_SCALE, 60)
+
+    def test_unknown_folder_rejected(self, store):
+        snapshot = export_snapshot(store, "GT-FINAL", 1, 50)
+        with pytest.raises(ConditionsError):
+            snapshot.payload("nope", 10)
+
+    def test_prompt_vs_final_differ(self, store):
+        prompt = export_snapshot(store, "GT-PROMPT", 1, 50)
+        final = export_snapshot(store, "GT-FINAL", 1, 50)
+        differs = any(
+            prompt.payload(FOLDER_ECAL_SCALE, run)
+            != final.payload(FOLDER_ECAL_SCALE, run)
+            for run in range(1, 51, 5)
+        )
+        assert differs
+
+
+class TestPersistence:
+    def test_file_roundtrip(self, store, tmp_path):
+        path = tmp_path / "snapshot.json"
+        original = export_snapshot(store, "GT-FINAL", 1, 30, path=path)
+        loaded = load_snapshot(path)
+        assert loaded.global_tag_name == "GT-FINAL"
+        for run in (1, 15, 30):
+            assert loaded.payload(FOLDER_ECAL_SCALE, run) == \
+                original.payload(FOLDER_ECAL_SCALE, run)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_snapshot(tmp_path / "missing.json")
+
+    def test_garbage_file_raises(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all {")
+        with pytest.raises(PersistenceError):
+            load_snapshot(path)
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"schema": {"format": "other"}}')
+        with pytest.raises(PersistenceError):
+            load_snapshot(path)
+
+    def test_snapshot_is_self_documenting(self, store):
+        record = export_snapshot(store, "GT-FINAL", 1, 10).to_dict()
+        assert record["schema"]["format"] == "repro-conditions-snapshot"
+        assert "description" in record["schema"]
+
+
+class TestReconstructionCompatibility:
+    def test_snapshot_drives_reconstruction(self, store, z_pairs,
+                                            gpd_geometry):
+        # The snapshot implements the same ConditionsSource protocol:
+        # reconstruction runs identically from a file as from the DB.
+        from repro.detector import DetectorSimulation, Digitizer
+        from repro.generation import (DrellYanZ, GeneratorConfig,
+                                      ToyGenerator)
+        from repro.reconstruction import GlobalTagView, Reconstructor
+
+        snapshot = export_snapshot(store, "GT-FINAL", 1, 100)
+        events = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=111)).generate(5)
+        simulation = DetectorSimulation(gpd_geometry, seed=112)
+        digitizer = Digitizer(gpd_geometry, run_number=42, seed=113)
+        raws = [digitizer.digitize(simulation.simulate(event))
+                for event in events]
+        reco_db = Reconstructor(gpd_geometry,
+                                GlobalTagView(store, "GT-FINAL"))
+        reco_file = Reconstructor(gpd_geometry, snapshot)
+        for raw in raws:
+            from_db = reco_db.reconstruct(raw)
+            from_file = reco_file.reconstruct(raw)
+            assert from_db.to_dict() == from_file.to_dict()

@@ -1,0 +1,124 @@
+"""Tests for the conditions store and global tags."""
+
+import pytest
+
+from repro.conditions import ConditionsStore, GlobalTag, IOV
+from repro.conditions.calibration import (
+    FOLDER_ECAL_SCALE,
+    RECONSTRUCTION_FOLDERS,
+    default_conditions,
+)
+from repro.errors import ConditionsError, IOVError
+
+
+@pytest.fixture
+def store():
+    store = ConditionsStore("test")
+    store.add_payload("calo/scale", "v1", IOV(1, 10), {"scale": 1.01})
+    store.add_payload("calo/scale", "v1", IOV(11, 20), {"scale": 0.99})
+    store.add_payload("calo/scale", "v2", IOV(1, 20), {"scale": 1.00})
+    return store
+
+
+class TestPayloads:
+    def test_lookup_by_run(self, store):
+        assert store.payload("calo/scale", "v1", 5)["scale"] == 1.01
+        assert store.payload("calo/scale", "v1", 15)["scale"] == 0.99
+
+    def test_iov_gap_raises(self, store):
+        with pytest.raises(IOVError):
+            store.payload("calo/scale", "v1", 25)
+
+    def test_overlapping_iov_rejected(self, store):
+        with pytest.raises(IOVError):
+            store.add_payload("calo/scale", "v1", IOV(5, 15), {})
+
+    def test_different_tags_may_overlap(self, store):
+        # v2 spans 1-20 although v1 covers the same runs.
+        assert store.payload("calo/scale", "v2", 5)["scale"] == 1.00
+
+    def test_unknown_folder_raises(self, store):
+        with pytest.raises(ConditionsError):
+            store.payload("nope", "v1", 5)
+
+    def test_unknown_tag_raises(self, store):
+        with pytest.raises(ConditionsError):
+            store.payload("calo/scale", "v9", 5)
+
+    def test_payload_is_a_copy(self, store):
+        payload = store.payload("calo/scale", "v1", 5)
+        payload["scale"] = 999.0
+        assert store.payload("calo/scale", "v1", 5)["scale"] == 1.01
+
+    def test_iovs_listing_sorted(self, store):
+        iovs = store.iovs("calo/scale", "v1")
+        assert [iov.first_run for iov in iovs] == [1, 11]
+
+
+class TestGlobalTags:
+    def test_register_and_resolve(self, store):
+        tag = GlobalTag.from_mapping("GT-A", {"calo/scale": "v2"})
+        store.register_global_tag(tag)
+        payload = store.payload_for_global_tag("calo/scale", "GT-A", 3)
+        assert payload["scale"] == 1.00
+
+    def test_unknown_folder_in_tag_rejected(self, store):
+        tag = GlobalTag.from_mapping("GT-B", {"missing": "v1"})
+        with pytest.raises(ConditionsError):
+            store.register_global_tag(tag)
+
+    def test_unknown_tag_in_folder_rejected(self, store):
+        tag = GlobalTag.from_mapping("GT-C", {"calo/scale": "v99"})
+        with pytest.raises(ConditionsError):
+            store.register_global_tag(tag)
+
+    def test_unmapped_folder_raises(self):
+        tag = GlobalTag.from_mapping("GT-D", {"a": "v1"})
+        with pytest.raises(ConditionsError):
+            tag.tag_for("b")
+
+
+class TestAccessLog:
+    def test_reads_logged(self, store):
+        store.payload("calo/scale", "v1", 5)
+        store.payload("calo/scale", "v2", 7)
+        assert ("calo/scale", "v1", 5) in store.access_log
+        assert store.accessed_payload_keys() == {
+            ("calo/scale", "v1"), ("calo/scale", "v2"),
+        }
+
+    def test_clear(self, store):
+        store.payload("calo/scale", "v1", 5)
+        store.clear_access_log()
+        assert store.access_log == []
+
+
+class TestDefaultConditions:
+    def test_all_folders_present(self):
+        store = default_conditions()
+        assert set(store.folders()) == set(RECONSTRUCTION_FOLDERS)
+
+    def test_global_tags_registered(self):
+        store = default_conditions()
+        assert store.global_tag("GT-PROMPT").name == "GT-PROMPT"
+        assert store.global_tag("GT-FINAL").name == "GT-FINAL"
+
+    def test_final_tighter_than_prompt(self):
+        store = default_conditions(seed=4242)
+        prompt_drifts = []
+        final_drifts = []
+        for run in range(1, 101, 10):
+            prompt_drifts.append(abs(
+                store.payload(FOLDER_ECAL_SCALE, "prompt", run)["scale"]
+                - 1.0
+            ))
+            final_drifts.append(abs(
+                store.payload(FOLDER_ECAL_SCALE, "final", run)["scale"]
+                - 1.0
+            ))
+        assert sum(final_drifts) < sum(prompt_drifts)
+
+    def test_open_ended_tail(self):
+        store = default_conditions()
+        payload = store.payload(FOLDER_ECAL_SCALE, "final", 10**8)
+        assert "scale" in payload

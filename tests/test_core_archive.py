@@ -1,0 +1,173 @@
+"""Tests for the content-addressed archive and OAIS packaging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DPHEPLevel,
+    PreservationArchive,
+    PreservationMetadata,
+    SubmissionPackage,
+    disseminate,
+    ingest,
+)
+from repro.core.archive import canonical_json, sha256_digest
+from repro.core.package import ArchivalPackage, dissemination_profiles
+from repro.errors import ArchiveError, FixityError, PreservationError
+
+
+def _metadata(title="thing"):
+    return PreservationMetadata.build(
+        title=title, creator="curator", experiment="GPD",
+        created="2013-03-21", artifact_format="json", size_bytes=0,
+        checksum="", producer="test", access_policy="public",
+    )
+
+
+class TestContentAddressing:
+    def test_store_and_retrieve(self):
+        archive = PreservationArchive()
+        entry = archive.store({"a": 1}, "hepdata_record", _metadata())
+        assert archive.retrieve(entry.digest) == {"a": 1}
+
+    def test_identical_content_deduplicated(self):
+        archive = PreservationArchive()
+        first = archive.store({"a": 1}, "hepdata_record", _metadata())
+        second = archive.store({"a": 1}, "hepdata_record", _metadata())
+        assert first.digest == second.digest
+        assert len(archive) == 1
+
+    def test_key_order_does_not_matter(self):
+        assert sha256_digest(canonical_json({"a": 1, "b": 2})) == \
+            sha256_digest(canonical_json({"b": 2, "a": 1}))
+
+    def test_checksum_overwritten_with_truth(self):
+        archive = PreservationArchive()
+        metadata = _metadata()
+        entry = archive.store({"x": 1}, "hepdata_record", metadata)
+        assert entry.metadata.checksum == entry.digest
+
+    def test_unknown_digest_raises(self):
+        archive = PreservationArchive()
+        with pytest.raises(ArchiveError):
+            archive.retrieve("0" * 64)
+
+    @given(payload=st.dictionaries(
+        st.text(min_size=1, max_size=10),
+        st.one_of(st.integers(), st.floats(allow_nan=False,
+                                           allow_infinity=False),
+                  st.text(max_size=20)),
+        max_size=8,
+    ))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, payload):
+        archive = PreservationArchive()
+        entry = archive.store(payload, "hepdata_record", _metadata())
+        assert archive.retrieve(entry.digest) == payload
+
+
+class TestFixity:
+    def test_corruption_detected(self):
+        archive = PreservationArchive()
+        entry = archive.store({"precious": True}, "hepdata_record",
+                              _metadata())
+        archive._corrupt_for_testing(entry.digest)
+        with pytest.raises(FixityError):
+            archive.retrieve(entry.digest)
+
+    def test_verify_all_reports_damage(self):
+        archive = PreservationArchive()
+        good = archive.store({"g": 1}, "hepdata_record", _metadata())
+        bad = archive.store({"b": 2}, "hepdata_record", _metadata())
+        archive._corrupt_for_testing(bad.digest)
+        report = archive.verify_all()
+        assert report[good.digest] is True
+        assert report[bad.digest] is False
+
+
+class TestPersistence:
+    def test_directory_roundtrip(self, tmp_path):
+        archive = PreservationArchive("daspos")
+        archive.store({"a": 1}, "hepdata_record", _metadata("a"))
+        archive.store({"b": 2}, "skim_spec", _metadata("b"))
+        archive.save(tmp_path / "archive")
+        loaded = PreservationArchive.load(tmp_path / "archive")
+        assert len(loaded) == 2
+        assert all(loaded.verify_all().values())
+        assert loaded.entries_of_kind("skim_spec")[0].metadata.title == "b"
+
+    def test_load_rejects_non_archive(self, tmp_path):
+        from repro.errors import PersistenceError
+
+        (tmp_path / "catalogue.json").write_text('{"format": "nope"}')
+        with pytest.raises(PersistenceError):
+            PreservationArchive.load(tmp_path)
+
+
+class TestPackaging:
+    def _sip(self):
+        sip = SubmissionPackage(
+            title="Z analysis", creator="analyst", experiment="GPD",
+            created="2013-03-21", access_policy="collaboration",
+        )
+        sip.add("reference", "reference_data", {"format": "x"})
+        sip.add("aod", "aod_dataset", {"events": [1, 2, 3]})
+        sip.add("raw", "raw_dataset", {"hits": [4, 5]})
+        sip.add("tables", "hepdata_record", {"format": "y"})
+        return sip
+
+    def test_ingest_stores_everything(self):
+        archive = PreservationArchive()
+        aip = ingest(self._sip(), archive, "AIP-1")
+        assert len(aip.members) == 4
+        # 4 payloads + 1 manifest.
+        assert len(archive) == 5
+
+    def test_unknown_kind_rejected(self):
+        sip = SubmissionPackage("t", "c", "GPD", "2013-01-01")
+        with pytest.raises(PreservationError):
+            sip.add("x", "mystery_kind", {})
+
+    def test_empty_sip_rejected(self):
+        archive = PreservationArchive()
+        sip = SubmissionPackage("t", "c", "GPD", "2013-01-01")
+        with pytest.raises(PreservationError):
+            ingest(sip, archive, "AIP-1")
+
+    def test_duplicate_payload_name_rejected(self):
+        sip = self._sip()
+        with pytest.raises(PreservationError):
+            sip.add("aod", "aod_dataset", {})
+
+    def test_dissemination_respects_levels(self):
+        archive = PreservationArchive()
+        aip = ingest(self._sip(), archive, "AIP-1")
+        outreach = disseminate(archive, aip, "outreach")
+        collaborator = disseminate(archive, aip, "collaborator")
+        archivist = disseminate(archive, aip, "archivist")
+        assert set(outreach.payloads) == {"reference", "tables"}
+        assert set(collaborator.payloads) == {"reference", "aod",
+                                              "tables"}
+        assert set(archivist.payloads) == {"reference", "aod", "raw",
+                                           "tables"}
+
+    def test_unknown_profile_rejected(self):
+        archive = PreservationArchive()
+        aip = ingest(self._sip(), archive, "AIP-1")
+        with pytest.raises(PreservationError):
+            disseminate(archive, aip, "spy")
+        assert "archivist" in dissemination_profiles()
+
+    def test_aip_manifest_roundtrip(self):
+        archive = PreservationArchive()
+        aip = ingest(self._sip(), archive, "AIP-1")
+        restored = ArchivalPackage.from_dict(aip.to_dict())
+        assert restored.members == aip.members
+
+    def test_members_at_level(self):
+        archive = PreservationArchive()
+        aip = ingest(self._sip(), archive, "AIP-1")
+        level2 = aip.members_at_level(DPHEPLevel.SIMPLIFIED)
+        assert "raw" not in level2
+        assert "reference" in level2

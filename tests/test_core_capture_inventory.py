@@ -1,0 +1,186 @@
+"""Tests for script capture (direct code preservation) and inventory."""
+
+import pytest
+
+from repro.core import (
+    PreservationArchive,
+    PreservationMetadata,
+    ReexecutionOutcome,
+    ScriptCapture,
+    take_inventory,
+)
+from repro.core.levels import DPHEPLevel
+from repro.errors import PreservationError, ValidationError
+
+
+def final_analysis(events):
+    """A final-step script: count events and average a column."""
+    total = 0.0
+    for event in events:
+        total += event["met"]
+    mean = total / len(events) if events else 0.0
+    return {"n_events": len(events), "mean_met": mean}
+
+
+INPUTS = [{"met": 10.0}, {"met": 30.0}, {"met": 20.0}]
+
+
+class TestScriptCapture:
+    def test_capture_and_reexecute(self):
+        capture = ScriptCapture.create("final-2013", final_analysis,
+                                       INPUTS)
+        outcome = capture.reexecute()
+        assert outcome.passed
+        assert capture.expected_result == {"n_events": 3,
+                                           "mean_met": 20.0}
+
+    def test_roundtrip_preserves_reproducibility(self):
+        capture = ScriptCapture.create("final-2013", final_analysis,
+                                       INPUTS)
+        restored = ScriptCapture.from_dict(capture.to_dict())
+        assert restored.reexecute().passed
+
+    def test_source_drift_detected(self):
+        capture = ScriptCapture.create("final-2013", final_analysis,
+                                       INPUTS)
+        record = capture.to_dict()
+        # The "migration" subtly changes the preserved code.
+        record["source"] = record["source"].replace(
+            "total += event", "total += 2 * event"
+        )
+        record.pop("expected_digest")  # digest of result unchanged
+        drifted = ScriptCapture.from_dict(record)
+        outcome = drifted.reexecute()
+        assert not outcome.passed
+        assert "drifted" in outcome.detail
+
+    def test_input_tampering_detected_by_digest(self):
+        capture = ScriptCapture.create("final-2013", final_analysis,
+                                       INPUTS)
+        record = capture.to_dict()
+        record["input_records"][0]["met"] = 999.0
+        with pytest.raises(ValidationError):
+            ScriptCapture.from_dict(record)
+
+    def test_result_tampering_detected_by_digest(self):
+        capture = ScriptCapture.create("final-2013", final_analysis,
+                                       INPUTS)
+        record = capture.to_dict()
+        record["expected_result"]["mean_met"] = -1.0
+        with pytest.raises(ValidationError):
+            ScriptCapture.from_dict(record)
+
+    def test_uncapturable_script_fails_at_capture_time(self):
+        import os
+
+        def final_analysis(events):
+            return {"cwd": os.getcwd()}  # needs os: not in sandbox
+
+        with pytest.raises(PreservationError):
+            ScriptCapture.create("bad", final_analysis, INPUTS)
+
+    def test_broken_source_reported(self):
+        capture = ScriptCapture.create("final-2013", final_analysis,
+                                       INPUTS)
+        record = capture.to_dict()
+        record["source"] = "def final_analysis(events:\n  pass"
+        record.pop("expected_digest")
+        record.pop("input_digest")
+        broken = ScriptCapture.from_dict(record)
+        outcome = broken.reexecute()
+        assert not outcome.passed
+        assert "compile" in outcome.detail
+
+    def test_wrong_function_name_renamed(self):
+        def my_count(events):
+            return len(events)
+
+        capture = ScriptCapture.create("renamed", my_count, INPUTS)
+        assert capture.reexecute().passed
+        assert "def final_analysis(" in capture.source
+
+    def test_environment_recorded(self):
+        capture = ScriptCapture.create("env", final_analysis, INPUTS)
+        assert "python_version" in capture.environment
+
+    def test_script_cannot_mutate_archived_inputs(self):
+        def final_analysis(events):
+            for event in events:
+                event["met"] = 0.0
+            return len(events)
+
+        capture = ScriptCapture.create("mutator", final_analysis,
+                                       INPUTS)
+        # The archived inputs are untouched by re-executions.
+        capture.reexecute()
+        assert capture.input_records[0]["met"] == 10.0
+
+    def test_outcome_summary(self):
+        outcome = ReexecutionOutcome("x", False, "boom")
+        assert "FAIL" in outcome.summary()
+        assert "boom" in outcome.summary()
+
+
+def _metadata(title):
+    return PreservationMetadata.build(
+        title=title, creator="curator", experiment="GPD",
+        created="2013-03-21", artifact_format="json", size_bytes=0,
+        checksum="", producer="test", access_policy="public",
+    )
+
+
+class TestInventory:
+    def test_per_level_breakdown(self):
+        archive = PreservationArchive("holdings")
+        archive.store({"a": 1}, "raw_dataset", _metadata("raw"))
+        archive.store({"b": 2}, "aod_dataset", _metadata("aod"))
+        archive.store({"c": 3}, "level2_file", _metadata("l2"))
+        archive.store({"d": 4}, "hepdata_record", _metadata("pub"))
+        inventory = take_inventory(archive)
+        assert inventory.levels[DPHEPLevel.FULL].n_artifacts == 1
+        assert inventory.levels[DPHEPLevel.ANALYSIS].n_artifacts == 1
+        assert inventory.levels[DPHEPLevel.SIMPLIFIED].n_artifacts == 1
+        assert inventory.levels[DPHEPLevel.PUBLICATION].n_artifacts == 1
+
+    def test_highest_level_and_use_cases(self):
+        archive = PreservationArchive("pub-only")
+        archive.store({"d": 4}, "hepdata_record", _metadata("pub"))
+        inventory = take_inventory(archive)
+        assert inventory.highest_level_held == DPHEPLevel.PUBLICATION
+        supported = inventory.supported_use_cases()
+        assert "phenomenology_reinterpretation" in supported
+        assert "reprocessing" not in supported
+
+    def test_full_archive_supports_everything(self):
+        archive = PreservationArchive("full")
+        archive.store({"a": 1}, "raw_dataset", _metadata("raw"))
+        inventory = take_inventory(archive)
+        from repro.core.levels import use_cases
+
+        assert inventory.supported_use_cases() == use_cases()
+
+    def test_unclassified_counted(self):
+        archive = PreservationArchive("odd")
+        entry = archive.store({"x": 1}, "hepdata_record",
+                              _metadata("x"))
+        # Sneak in an unknown kind by mutating the catalogue entry.
+        from repro.core.archive import ArchiveEntry
+
+        archive._entries[entry.digest] = ArchiveEntry(
+            digest=entry.digest, kind="mystery",
+            size_bytes=entry.size_bytes, metadata=entry.metadata,
+        )
+        inventory = take_inventory(archive)
+        assert inventory.unclassified == 1
+
+    def test_empty_archive(self):
+        inventory = take_inventory(PreservationArchive("empty"))
+        assert inventory.highest_level_held is None
+        assert inventory.supported_use_cases() == []
+
+    def test_render(self):
+        archive = PreservationArchive("holdings")
+        archive.store({"a": 1}, "raw_dataset", _metadata("raw"))
+        text = take_inventory(archive).render()
+        assert "Level 4" in text
+        assert "Supported use cases" in text

@@ -1,0 +1,183 @@
+"""Tests for analysis descriptions and the common analysis database."""
+
+import pytest
+
+from repro.core import (
+    AnalysisDatabase,
+    AnalysisDescription,
+    EfficiencyFunction,
+    EventSelection,
+    KinematicVariable,
+    ObjectDefinition,
+)
+from repro.datamodel import CountCut, MassWindowCut, MetCut
+from repro.errors import PreservationError
+
+
+def _description(analysis_id="GPD-SMP-01", experiment="GPD",
+                 final_state="mu+ mu-"):
+    return AnalysisDescription(
+        analysis_id=analysis_id,
+        title="Z -> mu mu cross section",
+        experiment=experiment,
+        final_state=final_state,
+        objects=[
+            ObjectDefinition("muon", 15.0, 2.4, max_isolation=5.0),
+            ObjectDefinition("jet", 25.0, 4.5),
+        ],
+        selection=EventSelection(cuts=(
+            ("two muons", CountCut("muons", 2, min_pt=15.0)),
+            ("mass window", MassWindowCut("muons", 60.0, 120.0,
+                                          opposite_charge=True)),
+        )),
+        variables=[KinematicVariable(
+            "m_mumu", "invariant mass of the two leading muons", "GeV",
+        )],
+        efficiencies=[EfficiencyFunction(
+            "trigger", "pt", [0.0, 20.0, 30.0, 1000.0],
+            [0.5, 0.9, 0.95],
+        )],
+    )
+
+
+class TestObjectDefinition:
+    def test_selects_candidates(self, z_aods):
+        definition = ObjectDefinition("muon", 15.0, 2.4)
+        for aod in z_aods[:20]:
+            for muon in aod.muons:
+                expected = (muon.p4.pt >= 15.0
+                            and abs(muon.p4.eta) <= 2.4)
+                assert definition.selects(muon) == expected
+
+    def test_isolation_requirement(self, z_aods):
+        tight = ObjectDefinition("muon", 5.0, 2.5, max_isolation=0.0)
+        loose = ObjectDefinition("muon", 5.0, 2.5)
+        n_tight = sum(
+            sum(tight.selects(m) for m in aod.muons)
+            for aod in z_aods
+        )
+        n_loose = sum(
+            sum(loose.selects(m) for m in aod.muons)
+            for aod in z_aods
+        )
+        assert n_tight <= n_loose
+
+    def test_unknown_object_type_rejected(self):
+        with pytest.raises(PreservationError):
+            ObjectDefinition("squark", 10.0, 2.5)
+
+    def test_render_row(self):
+        definition = ObjectDefinition("muon", 15.0, 2.4,
+                                      max_isolation=5.0)
+        row = definition.render_row()
+        assert "15.0" in row and "2.4" in row and "iso" in row
+
+
+class TestEventSelection:
+    def test_cutflow_monotonic(self, z_aods):
+        selection = _description().selection
+        flow = selection.cutflow(z_aods)
+        counts = [count for _, count in flow]
+        assert counts == sorted(counts, reverse=True)
+        assert flow[0] == ("all", len(z_aods))
+
+    def test_passes_matches_cutflow(self, z_aods):
+        selection = _description().selection
+        n_passing = sum(selection.passes(aod) for aod in z_aods)
+        assert n_passing == selection.cutflow(z_aods)[-1][1]
+
+    def test_to_skim_spec(self, z_aods):
+        selection = _description().selection
+        spec = selection.to_skim_spec("z")
+        assert len(spec.apply(z_aods)) == selection.cutflow(z_aods)[-1][1]
+
+    def test_roundtrip(self):
+        selection = _description().selection
+        restored = EventSelection.from_dict(selection.to_dict())
+        assert restored.to_dict() == selection.to_dict()
+
+
+class TestEfficiencyFunction:
+    def test_lookup(self):
+        function = EfficiencyFunction("t", "pt", [0.0, 10.0, 20.0],
+                                      [0.2, 0.8])
+        assert function(5.0) == 0.2
+        assert function(15.0) == 0.8
+
+    def test_clamping(self):
+        function = EfficiencyFunction("t", "pt", [0.0, 10.0, 20.0],
+                                      [0.2, 0.8])
+        assert function(-5.0) == 0.2
+        assert function(100.0) == 0.8
+
+    def test_length_validation(self):
+        with pytest.raises(PreservationError):
+            EfficiencyFunction("t", "pt", [0.0, 10.0], [0.2, 0.8])
+
+    def test_range_validation(self):
+        with pytest.raises(PreservationError):
+            EfficiencyFunction("t", "pt", [0.0, 10.0], [1.5])
+
+
+class TestAnalysisDescription:
+    def test_roundtrip(self):
+        description = _description()
+        restored = AnalysisDescription.from_dict(description.to_dict())
+        assert restored.to_dict() == description.to_dict()
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(PreservationError):
+            AnalysisDescription.from_dict({"format": "nope"})
+
+    def test_render_tables(self):
+        text = _description().render_tables()
+        assert "Object definitions" in text
+        assert "Event selection" in text
+        assert "m_mumu" in text
+
+    def test_object_count_cuts(self, z_aods):
+        cuts = _description().object_count_cuts()
+        assert len(cuts) == 2
+        assert cuts[0].collection == "muons"
+        # The derived cuts are executable.
+        cuts[0].passes(z_aods[0])
+
+
+class TestAnalysisDatabase:
+    @pytest.fixture
+    def database(self):
+        database = AnalysisDatabase("leshouches")
+        database.add(_description())
+        database.add(_description(analysis_id="FWD-CHARM-01",
+                                  experiment="FWD",
+                                  final_state="K pi"))
+        return database
+
+    def test_duplicate_rejected(self, database):
+        with pytest.raises(PreservationError):
+            database.add(_description())
+
+    def test_queries(self, database):
+        assert len(database.by_experiment("GPD")) == 1
+        assert len(database.by_final_state("K pi")) == 1
+        assert len(database.using_object("muon")) == 2
+
+    def test_reproduce_from_description(self, database, z_aods):
+        result = database.reproduce("GPD-SMP-01", z_aods)
+        assert result["n_initial"] == len(z_aods)
+        assert 0.0 < result["acceptance"] < 1.0
+        assert result["cutflow"][0][0] == "all"
+
+    def test_unknown_analysis_rejected(self, database, z_aods):
+        with pytest.raises(PreservationError):
+            database.reproduce("NOPE", z_aods)
+
+    def test_persistence_roundtrip(self, database, tmp_path, z_aods):
+        path = tmp_path / "db.json"
+        database.save(path)
+        loaded = AnalysisDatabase.load(path)
+        assert loaded.analysis_ids() == database.analysis_ids()
+        # A reloaded description reproduces identically.
+        original = database.reproduce("GPD-SMP-01", z_aods)
+        reloaded = loaded.reproduce("GPD-SMP-01", z_aods)
+        assert original == reloaded

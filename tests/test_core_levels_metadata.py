@@ -1,0 +1,109 @@
+"""Tests for DPHEP levels and preservation metadata."""
+
+import pytest
+
+from repro.core import (
+    DPHEPLevel,
+    MetadataBlock,
+    PreservationMetadata,
+    classify_artifact,
+    classify_tier,
+    level_description,
+    required_level,
+    supports_use_case,
+    use_cases,
+)
+from repro.datamodel import DataTier
+from repro.errors import MetadataError, PreservationError
+
+
+class TestLevels:
+    def test_tier_classification(self):
+        assert classify_tier(DataTier.RAW) == DPHEPLevel.FULL
+        assert classify_tier(DataTier.AOD) == DPHEPLevel.ANALYSIS
+        assert classify_tier(DataTier.LEVEL2) == DPHEPLevel.SIMPLIFIED
+
+    def test_artifact_classification(self):
+        assert classify_artifact("hepdata_record") == \
+            DPHEPLevel.PUBLICATION
+        assert classify_artifact("rivet_analysis") == \
+            DPHEPLevel.SIMPLIFIED
+        assert classify_artifact("recast_backend") == DPHEPLevel.FULL
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(PreservationError):
+            classify_artifact("mystery")
+
+    def test_use_case_requirements(self):
+        assert required_level("outreach") == DPHEPLevel.SIMPLIFIED
+        assert required_level("reprocessing") == DPHEPLevel.FULL
+
+    def test_higher_levels_subsume_lower(self):
+        assert supports_use_case(DPHEPLevel.FULL, "outreach")
+        assert supports_use_case(DPHEPLevel.ANALYSIS,
+                                 "internal_reanalysis")
+        assert not supports_use_case(DPHEPLevel.PUBLICATION,
+                                     "internal_reanalysis")
+
+    def test_unknown_use_case_rejected(self):
+        with pytest.raises(PreservationError):
+            required_level("time travel")
+
+    def test_descriptions_exist(self):
+        for level in DPHEPLevel:
+            assert len(level_description(level)) > 20
+
+    def test_use_case_listing(self):
+        assert "outreach" in use_cases()
+
+
+class TestMetadata:
+    def _metadata(self, **overrides):
+        arguments = dict(
+            title="Z dataset", creator="analyst", experiment="GPD",
+            created="2013-03-21", artifact_format="aod_dataset",
+            size_bytes=1000, checksum="abc", producer="chain",
+            access_policy="collaboration",
+        )
+        arguments.update(overrides)
+        return PreservationMetadata.build(**arguments)
+
+    def test_build_validates(self):
+        metadata = self._metadata()
+        assert metadata.title == "Z dataset"
+        assert metadata.access_policy == "collaboration"
+
+    def test_missing_block_detected(self):
+        metadata = self._metadata()
+        del metadata.blocks[MetadataBlock.RIGHTS]
+        with pytest.raises(MetadataError, match="rights"):
+            metadata.validate()
+
+    def test_missing_field_detected(self):
+        metadata = self._metadata()
+        del metadata.blocks[MetadataBlock.TECHNICAL]["checksum"]
+        with pytest.raises(MetadataError, match="checksum"):
+            metadata.validate()
+
+    def test_unknown_access_policy_rejected(self):
+        with pytest.raises(MetadataError):
+            self._metadata(access_policy="secret")
+
+    def test_extra_descriptive_fields(self):
+        metadata = self._metadata(campaign="run1")
+        assert metadata.get(MetadataBlock.DESCRIPTIVE,
+                            "campaign") == "run1"
+
+    def test_roundtrip(self):
+        metadata = self._metadata()
+        restored = PreservationMetadata.from_dict(metadata.to_dict())
+        assert restored.to_dict() == metadata.to_dict()
+
+    def test_unknown_block_rejected_on_load(self):
+        with pytest.raises(MetadataError):
+            PreservationMetadata.from_dict({"mystery": {}})
+
+    def test_missing_field_access_raises(self):
+        metadata = self._metadata()
+        with pytest.raises(MetadataError):
+            metadata.get(MetadataBlock.RIGHTS, "licence")

@@ -1,0 +1,171 @@
+"""Tests for the archive validation suite and the SVG display."""
+
+import pytest
+
+from repro.core import (
+    PreservationArchive,
+    PreservationMetadata,
+    PreservedAnalysisBundle,
+    ScriptCapture,
+    run_validation_suite,
+)
+from repro.datamodel import CountCut, SkimSpec, SlimSpec
+from repro.detector import generic_lhc_detector
+from repro.errors import OutreachError
+from repro.outreach import (
+    EventDisplayRecord,
+    Level2Converter,
+    render_event_svg,
+)
+
+
+def _metadata(title):
+    return PreservationMetadata.build(
+        title=title, creator="curator", experiment="GPD",
+        created="2013-03-21", artifact_format="json", size_bytes=0,
+        checksum="", producer="test", access_policy="public",
+    )
+
+
+def final_analysis(events):
+    return {"n": len(events)}
+
+
+@pytest.fixture
+def populated_archive(z_aods):
+    archive = PreservationArchive("sweep-target")
+    bundle = PreservedAnalysisBundle.create(
+        "sweep-bundle", z_aods[:40],
+        SkimSpec("s", CountCut("muons", 1)),
+        SlimSpec("n", ("met",)),
+    )
+    archive.store(bundle.to_dict(), "aod_dataset", _metadata("bundle"))
+    capture = ScriptCapture.create(
+        "sweep-capture", final_analysis, [{"met": 1.0}, {"met": 2.0}],
+    )
+    archive.store(capture.to_dict(), "analysis_description",
+                  _metadata("capture"))
+    archive.store({"plain": "payload"}, "hepdata_record",
+                  _metadata("plain"))
+    return archive
+
+
+class TestValidationSuite:
+    def test_healthy_archive(self, populated_archive):
+        report = run_validation_suite(populated_archive)
+        assert report.healthy
+        assert report.n_artifacts == 3
+        assert report.n_bundles == 1
+        assert report.n_bundles_passed == 1
+        assert report.n_captures == 1
+        assert report.n_captures_passed == 1
+        assert "HEALTHY" in report.render()
+
+    def test_corruption_surfaces(self, populated_archive):
+        digest = populated_archive.digests()[0]
+        populated_archive._corrupt_for_testing(digest)
+        report = run_validation_suite(populated_archive)
+        assert not report.healthy
+        assert report.n_fixity_failed == 1
+        assert any("fixity" in failure for failure in report.failures)
+
+    def test_broken_bundle_surfaces(self, z_aods):
+        archive = PreservationArchive("broken")
+        bundle = PreservedAnalysisBundle.create(
+            "bad-bundle", z_aods[:10],
+            SkimSpec("s", CountCut("muons", 1)),
+            SlimSpec("n", ("met",)),
+        )
+        record = bundle.to_dict()
+        record["expected_rows"] = record["expected_rows"][:-1]
+        archive.store(record, "aod_dataset", _metadata("bad"))
+        report = run_validation_suite(archive)
+        assert not report.healthy
+        assert report.n_bundles == 1
+        assert report.n_bundles_passed == 0
+
+    def test_empty_archive_is_healthy(self):
+        report = run_validation_suite(PreservationArchive("empty"))
+        assert report.healthy
+        assert report.n_artifacts == 0
+
+
+class TestSvgDisplay:
+    @pytest.fixture(scope="class")
+    def display_record(self, z_aods):
+        converter = Level2Converter()
+        level2 = next(
+            event for event in converter.convert_many(z_aods)
+            if event.leptons()
+        )
+        record = EventDisplayRecord.build(generic_lhc_detector(),
+                                          level2)
+        return record.to_dict()
+
+    def test_valid_svg_structure(self, display_record):
+        svg = render_event_svg(display_record)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<circle") >= 8  # four shells, two rings each
+
+    def test_tracks_rendered(self, display_record):
+        svg = render_event_svg(display_record)
+        assert "<polyline" in svg
+
+    def test_header_text(self, display_record):
+        svg = render_event_svg(display_record)
+        assert "run" in svg and "MET" in svg
+
+    def test_size_parameter(self, display_record):
+        svg = render_event_svg(display_record, size=300)
+        assert 'width="300"' in svg
+
+    def test_rejects_non_display_record(self):
+        with pytest.raises(OutreachError):
+            render_event_svg({"format": "something-else"})
+
+
+class TestPortalHtmlExport:
+    @pytest.fixture(scope="class")
+    def level2_events(self, z_aods):
+        return Level2Converter().convert_many(z_aods)
+
+    def test_standalone_page(self, level2_events, tmp_path):
+        from repro.outreach import write_portal_html
+
+        path = write_portal_html(tmp_path / "portal.html",
+                                 level2_events,
+                                 generic_lhc_detector(),
+                                 dataset_name="z-sample")
+        content = path.read_text()
+        assert content.startswith("<!DOCTYPE html>")
+        assert content.count("<svg") >= 2  # histogram + >=1 display
+        assert "z-sample" in content
+        # No external references (the SVG xmlns is a namespace id,
+        # not a fetched resource): no links, images, or scripts.
+        assert "https://" not in content
+        assert "<script" not in content
+        assert "<img" not in content and "<link" not in content
+
+    def test_histogram_svg_structure(self, level2_events):
+        from repro.outreach import OutreachPortal, histogram_svg
+
+        portal = OutreachPortal(level2_events)
+        histogram = portal.histogram("dimuon_mass", 20, 60.0, 120.0)
+        svg = histogram_svg(histogram)
+        assert svg.count("<rect") > 3
+
+    def test_empty_histogram_rejected(self):
+        from repro.errors import OutreachError
+        from repro.outreach import histogram_svg
+        from repro.stats import Histogram1D
+
+        with pytest.raises(OutreachError):
+            histogram_svg(Histogram1D("empty", 5, 0.0, 1.0))
+
+    def test_empty_dataset_rejected(self, tmp_path):
+        from repro.errors import OutreachError
+        from repro.outreach import export_portal_html
+
+        with pytest.raises(OutreachError):
+            export_portal_html([], generic_lhc_detector())

@@ -1,0 +1,109 @@
+"""Tests for preservation validation and platform migration."""
+
+import pytest
+
+from repro.core import (
+    DropAuxiliaryMigration,
+    FieldRenameMigration,
+    LosslessMigration,
+    PrecisionLossMigration,
+    PreservedAnalysisBundle,
+    apply_migration,
+    revalidate,
+)
+from repro.datamodel import (
+    AndCut,
+    CountCut,
+    MassWindowCut,
+    SkimSpec,
+    SlimSpec,
+)
+from repro.errors import MigrationError, PreservationError
+
+
+@pytest.fixture(scope="module")
+def bundle(z_aods):
+    skim = SkimSpec("zskim", AndCut((
+        CountCut("muons", 2, min_pt=15.0),
+        MassWindowCut("muons", 60.0, 120.0, opposite_charge=True),
+    )))
+    slim = SlimSpec("zslim", ("dimuon_mass", "met", "n_muons"))
+    return PreservedAnalysisBundle.create("Z-2013", z_aods, skim, slim)
+
+
+class TestRevalidation:
+    def test_fresh_bundle_passes(self, bundle):
+        outcome = revalidate(bundle)
+        assert outcome.passed
+        assert outcome.n_reproduced == outcome.n_expected
+        assert "PASS" in outcome.summary()
+
+    def test_serialisation_roundtrip_still_passes(self, bundle):
+        restored = PreservedAnalysisBundle.from_dict(bundle.to_dict())
+        assert revalidate(restored).passed
+
+    def test_tampered_expected_rows_fail(self, bundle):
+        record = bundle.to_dict()
+        if record["expected_rows"]:
+            record["expected_rows"][0]["cols"]["met"] = -1.0
+        tampered = PreservedAnalysisBundle.from_dict(record)
+        outcome = revalidate(tampered)
+        assert not outcome.passed
+        assert outcome.mismatches
+
+    def test_tampered_skim_fails(self, bundle):
+        record = bundle.to_dict()
+        record["skim"]["cut"]["children"][0]["min_pt"] = 50.0
+        tampered = PreservedAnalysisBundle.from_dict(record)
+        outcome = revalidate(tampered)
+        assert not outcome.passed
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(PreservationError):
+            PreservedAnalysisBundle.from_dict({"format": "nope"})
+
+
+class TestMigrations:
+    def test_lossless_migration_passes(self, bundle):
+        migrated = apply_migration(bundle, LosslessMigration())
+        assert revalidate(migrated).passed
+
+    def test_precision_loss_detected(self, bundle):
+        migrated = apply_migration(bundle,
+                                   PrecisionLossMigration(digits=3))
+        outcome = revalidate(migrated)
+        assert not outcome.passed
+
+    def test_high_precision_survives(self, bundle):
+        migrated = apply_migration(bundle,
+                                   PrecisionLossMigration(digits=15))
+        assert revalidate(migrated).passed
+
+    def test_column_rename_detected(self, bundle):
+        migrated = apply_migration(
+            bundle, FieldRenameMigration("dimuon_mass", "m_mumu"),
+        )
+        outcome = revalidate(migrated)
+        assert not outcome.passed
+        assert any("column sets differ" in m for m in outcome.mismatches)
+
+    def test_structural_rename_raises(self, bundle):
+        # Renaming a structural key destroys the bundle outright.
+        with pytest.raises(MigrationError):
+            apply_migration(
+                bundle, FieldRenameMigration("skim", "selection"),
+            )
+
+    def test_dropped_events_detected(self, bundle):
+        migrated = apply_migration(
+            bundle, DropAuxiliaryMigration(keep_fraction=0.5),
+        )
+        outcome = revalidate(migrated)
+        assert not outcome.passed
+        assert outcome.n_reproduced < outcome.n_expected
+
+    def test_migration_parameter_validation(self):
+        with pytest.raises(MigrationError):
+            PrecisionLossMigration(digits=0)
+        with pytest.raises(MigrationError):
+            DropAuxiliaryMigration(keep_fraction=0.0)

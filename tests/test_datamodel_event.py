@@ -1,0 +1,74 @@
+"""Tests for the AOD container, triggers, and ntuple rows."""
+
+import pytest
+
+from repro.datamodel import AODEvent, NtupleRow, make_aod
+from repro.datamodel.event import TRIGGER_MENU
+from repro.errors import DataModelError
+
+
+class TestAODProduction:
+    def test_aod_drops_basic_objects(self, z_recos):
+        aod = make_aod(z_recos[0])
+        assert not hasattr(aod, "tracks")
+        assert aod.n_tracks == len(z_recos[0].tracks)
+
+    def test_aod_keeps_candidates(self, z_recos):
+        reco = z_recos[0]
+        aod = make_aod(reco)
+        assert len(aod.muons) == len(reco.muons)
+        assert aod.met.met == reco.met.met
+
+    def test_aod_smaller_than_reco(self, z_recos):
+        total_reco = sum(r.approximate_size_bytes() for r in z_recos)
+        total_aod = sum(make_aod(r).approximate_size_bytes()
+                        for r in z_recos)
+        assert total_aod < total_reco
+
+    def test_triggers_fire_on_z_sample(self, z_aods):
+        dimuon_fires = sum(1 for aod in z_aods
+                           if "HLT_DiMu10" in aod.trigger_bits)
+        assert dimuon_fires > len(z_aods) * 0.3
+
+    def test_trigger_menu_consistency(self, z_recos):
+        reco = z_recos[0]
+        aod = make_aod(reco)
+        for name, condition in TRIGGER_MENU.items():
+            assert (name in aod.trigger_bits) == condition(reco)
+
+
+class TestAODContainer:
+    def test_serialisation_roundtrip(self, z_aods):
+        aod = z_aods[0]
+        restored = AODEvent.from_dict(aod.to_dict())
+        assert restored.to_dict() == aod.to_dict()
+
+    def test_leptons_sorted_by_pt(self, z_aods):
+        for aod in z_aods:
+            leptons = aod.leptons()
+            pts = [lepton.p4.pt for lepton in leptons]
+            assert pts == sorted(pts, reverse=True)
+
+    def test_ht_sums_jets(self, mixed_aods):
+        for aod in mixed_aods:
+            assert aod.ht() == pytest.approx(
+                sum(jet.p4.pt for jet in aod.jets)
+            )
+
+
+class TestNtupleRow:
+    def test_scalar_columns_only(self):
+        with pytest.raises(DataModelError):
+            NtupleRow(1, 1, {"bad": [1, 2, 3]})
+
+    def test_roundtrip(self):
+        row = NtupleRow(5, 17, {"met": 42.5, "n_jets": 3, "tag": "x"})
+        restored = NtupleRow.from_dict(row.to_dict())
+        assert restored.columns == row.columns
+        assert restored.run_number == 5
+
+    def test_size_accounting(self):
+        small = NtupleRow(1, 1, {"a": 1.0})
+        large = NtupleRow(1, 1, {c: 1.0 for c in "abcdefgh"})
+        assert (large.approximate_size_bytes()
+                > small.approximate_size_bytes())

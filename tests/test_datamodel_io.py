@@ -1,0 +1,133 @@
+"""Tests for the self-documenting dataset files."""
+
+import json
+
+import pytest
+
+from repro.datamodel import (
+    DataTier,
+    DatasetReader,
+    DatasetWriter,
+    make_aod,
+    read_dataset,
+    write_dataset,
+)
+from repro.datamodel.io import check_records, dataset_size_bytes
+from repro.errors import PersistenceError, SchemaError
+
+
+class TestWriteRead:
+    def test_roundtrip_aod(self, z_aods, tmp_path):
+        path = tmp_path / "z.aod.jsonl"
+        records = [aod.to_dict() for aod in z_aods[:20]]
+        header = write_dataset(path, "z-sample", DataTier.AOD, records,
+                               provenance={"producer": "test"})
+        assert header.n_events == 20
+        read_header, read_records = read_dataset(path)
+        assert read_header.tier == DataTier.AOD
+        assert read_records == records
+
+    def test_header_is_self_documenting(self, z_aods, tmp_path):
+        path = tmp_path / "z.aod.jsonl"
+        write_dataset(path, "z", DataTier.AOD,
+                      [z_aods[0].to_dict()])
+        with path.open() as handle:
+            header = json.loads(handle.readline())
+        assert header["format"] == "repro-dataset"
+        assert "muon candidates" in header["schema"]["muons"]
+
+    def test_provenance_preserved(self, z_aods, tmp_path):
+        path = tmp_path / "z.jsonl"
+        provenance = {"chain": "zmumu", "global_tag": "GT-FINAL"}
+        write_dataset(path, "z", DataTier.AOD,
+                      [z_aods[0].to_dict()], provenance=provenance)
+        reader = DatasetReader(path)
+        assert reader.header.provenance == provenance
+
+    def test_streaming_reader(self, z_aods, tmp_path):
+        path = tmp_path / "z.jsonl"
+        write_dataset(path, "z", DataTier.AOD,
+                      [aod.to_dict() for aod in z_aods[:5]])
+        count = sum(1 for _ in DatasetReader(path).records())
+        assert count == 5
+
+    def test_len_uses_header(self, z_aods, tmp_path):
+        path = tmp_path / "z.jsonl"
+        write_dataset(path, "z", DataTier.AOD,
+                      [aod.to_dict() for aod in z_aods[:7]])
+        assert len(DatasetReader(path)) == 7
+
+
+class TestValidation:
+    def test_invalid_record_rejected_at_write(self, tmp_path):
+        writer = DatasetWriter(tmp_path / "bad.jsonl", "bad",
+                               DataTier.AOD)
+        with pytest.raises(SchemaError):
+            writer.write({"not": "an aod"})
+
+    def test_validation_can_be_disabled(self, tmp_path):
+        path = tmp_path / "loose.jsonl"
+        with DatasetWriter(path, "loose", DataTier.AOD,
+                           validate=False) as writer:
+            writer.write({"free": "form"})
+        assert read_dataset(path)[1] == [{"free": "form"}]
+
+    def test_check_records_passes_good_file(self, z_aods, tmp_path):
+        path = tmp_path / "good.jsonl"
+        write_dataset(path, "good", DataTier.AOD,
+                      [aod.to_dict() for aod in z_aods[:4]])
+        assert check_records(path) == 4
+
+    def test_check_records_catches_bad_file(self, tmp_path):
+        path = tmp_path / "sneaky.jsonl"
+        with DatasetWriter(path, "sneaky", DataTier.AOD,
+                           validate=False) as writer:
+            writer.write({"oops": True})
+        with pytest.raises(SchemaError):
+            check_records(path)
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            DatasetReader(tmp_path / "absent.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(PersistenceError):
+            DatasetReader(path)
+
+    def test_corrupt_header(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(PersistenceError):
+            DatasetReader(path)
+
+    def test_wrong_format_tag(self, tmp_path):
+        path = tmp_path / "foreign.jsonl"
+        path.write_text('{"format": "other-format"}\n')
+        with pytest.raises(PersistenceError):
+            DatasetReader(path)
+
+    def test_corrupt_record_reported_with_line(self, z_aods, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        write_dataset(path, "p", DataTier.AOD, [z_aods[0].to_dict()])
+        with path.open("a") as handle:
+            handle.write("{broken json\n")
+        reader = DatasetReader(path)
+        with pytest.raises(PersistenceError, match=":3"):
+            list(reader.records())
+
+    def test_closed_writer_rejects_writes(self, z_aods, tmp_path):
+        writer = DatasetWriter(tmp_path / "done.jsonl", "d",
+                               DataTier.AOD)
+        writer.write(z_aods[0].to_dict())
+        writer.close()
+        with pytest.raises(PersistenceError):
+            writer.write(z_aods[1].to_dict())
+
+    def test_size_helper(self, z_aods, tmp_path):
+        path = tmp_path / "sized.jsonl"
+        write_dataset(path, "s", DataTier.AOD, [z_aods[0].to_dict()])
+        assert dataset_size_bytes(path) > 100

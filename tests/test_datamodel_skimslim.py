@@ -1,0 +1,154 @@
+"""Tests for the declarative skim/slim language."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import (
+    AndCut,
+    CountCut,
+    HtCut,
+    MassWindowCut,
+    MetCut,
+    NotCut,
+    OrCut,
+    SkimSpec,
+    SlimSpec,
+    TriggerCut,
+    available_derived_columns,
+    cut_from_dict,
+)
+from repro.errors import DataModelError
+
+
+class TestCuts:
+    def test_count_cut(self, z_aods):
+        cut = CountCut("muons", 2, min_pt=10.0)
+        passing = [aod for aod in z_aods if cut.passes(aod)]
+        assert 0 < len(passing) < len(z_aods)
+
+    def test_count_cut_eta_window(self, z_aods):
+        loose = CountCut("muons", 1, min_pt=5.0)
+        tight = CountCut("muons", 1, min_pt=5.0, max_abs_eta=0.5)
+        n_loose = sum(loose.passes(a) for a in z_aods)
+        n_tight = sum(tight.passes(a) for a in z_aods)
+        assert n_tight < n_loose
+
+    def test_met_cut(self, mixed_aods):
+        cut = MetCut(30.0)
+        for aod in mixed_aods:
+            assert cut.passes(aod) == (aod.met.met >= 30.0)
+
+    def test_ht_cut(self, mixed_aods):
+        cut = HtCut(50.0)
+        for aod in mixed_aods:
+            assert cut.passes(aod) == (aod.ht() >= 50.0)
+
+    def test_mass_window_opposite_charge(self, z_aods):
+        window = MassWindowCut("muons", 60.0, 120.0,
+                               opposite_charge=True)
+        n_pass = sum(window.passes(a) for a in z_aods)
+        assert n_pass > len(z_aods) * 0.2
+
+    def test_mass_window_needs_two_objects(self):
+        from repro.datamodel import AODEvent
+
+        empty = AODEvent(1, 1)
+        assert not MassWindowCut("muons", 0.0, 1e9).passes(empty)
+
+    def test_trigger_cut(self, z_aods):
+        cut = TriggerCut(("HLT_DiMu10",))
+        for aod in z_aods:
+            assert cut.passes(aod) == ("HLT_DiMu10" in aod.trigger_bits)
+
+    def test_boolean_combinators(self, z_aods):
+        a = CountCut("muons", 2, min_pt=10.0)
+        b = MetCut(15.0)
+        for aod in z_aods:
+            assert AndCut((a, b)).passes(aod) == (
+                a.passes(aod) and b.passes(aod)
+            )
+            assert OrCut((a, b)).passes(aod) == (
+                a.passes(aod) or b.passes(aod)
+            )
+            assert NotCut(a).passes(aod) == (not a.passes(aod))
+
+    def test_unknown_collection_raises(self, z_aods):
+        cut = CountCut("taus", 1)
+        with pytest.raises(DataModelError):
+            cut.passes(z_aods[0])
+
+    def test_describe_readable(self):
+        cut = AndCut((CountCut("muons", 2, min_pt=20.0), MetCut(40.0)))
+        text = cut.describe()
+        assert "muons" in text
+        assert "MET" in text
+
+
+class TestSerialisation:
+    def test_roundtrip_complex_tree(self, z_aods):
+        cut = OrCut((
+            AndCut((CountCut("muons", 2, min_pt=10.0),
+                    MassWindowCut("muons", 60.0, 120.0,
+                                  opposite_charge=True))),
+            NotCut(MetCut(5.0)),
+            TriggerCut(("HLT_SingleMu20",)),
+        ))
+        restored = cut_from_dict(cut.to_dict())
+        assert restored.to_dict() == cut.to_dict()
+        for aod in z_aods[:20]:
+            assert restored.passes(aod) == cut.passes(aod)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DataModelError):
+            cut_from_dict({"kind": "quantum"})
+
+    @given(min_count=st.integers(min_value=0, max_value=5),
+           min_pt=st.floats(min_value=0.0, max_value=100.0),
+           min_met=st.floats(min_value=0.0, max_value=200.0))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, min_count, min_pt, min_met):
+        cut = AndCut((CountCut("jets", min_count, min_pt=min_pt),
+                      MetCut(min_met)))
+        assert cut_from_dict(cut.to_dict()) == cut
+
+
+class TestSkimSpec:
+    def test_apply_preserves_order(self, z_aods):
+        spec = SkimSpec("dimuon", CountCut("muons", 2, min_pt=10.0))
+        selected = spec.apply(z_aods)
+        events = [aod.event_number for aod in selected]
+        assert events == sorted(events)
+
+    def test_efficiency(self, z_aods):
+        spec = SkimSpec("everything", CountCut("muons", 0))
+        assert spec.efficiency(z_aods) == 1.0
+        assert spec.efficiency([]) == 0.0
+
+    def test_roundtrip(self):
+        spec = SkimSpec("x", MetCut(10.0))
+        assert SkimSpec.from_dict(spec.to_dict()).to_dict() == \
+            spec.to_dict()
+
+
+class TestSlimSpec:
+    def test_columns_computed(self, z_aods):
+        spec = SlimSpec("z", ("dimuon_mass", "n_muons", "met"))
+        rows = spec.apply(z_aods)
+        assert len(rows) == len(z_aods)
+        for row, aod in zip(rows, z_aods):
+            assert row.columns["n_muons"] == len(aod.muons)
+            assert row.columns["met"] == aod.met.met
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(DataModelError):
+            SlimSpec("bad", ("nonexistent_column",))
+
+    def test_vocabulary_listed(self):
+        columns = available_derived_columns()
+        assert "dimuon_mass" in columns
+        assert "ht" in columns
+
+    def test_roundtrip(self):
+        spec = SlimSpec("x", ("met", "ht"))
+        assert SlimSpec.from_dict(spec.to_dict()) == spec

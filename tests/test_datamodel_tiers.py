@@ -1,0 +1,38 @@
+"""Tests for the tier taxonomy."""
+
+import pytest
+
+from repro.datamodel import DataTier, TIER_ORDER, tier_description
+from repro.datamodel.tiers import check_derivation, parent_tier
+from repro.errors import TierError
+
+
+class TestTiers:
+    def test_order_covers_production_chain(self):
+        assert TIER_ORDER[0] == DataTier.GEN
+        assert TIER_ORDER[-1] == DataTier.NTUPLE
+
+    def test_dphep_levels(self):
+        assert DataTier.RAW.dphep_level == 4
+        assert DataTier.AOD.dphep_level == 3
+        assert DataTier.LEVEL2.dphep_level == 2
+
+    def test_every_tier_documented(self):
+        for tier in DataTier:
+            assert len(tier_description(tier)) > 20
+
+    def test_parent_chain(self):
+        assert parent_tier(DataTier.GEN) is None
+        assert parent_tier(DataTier.RECO) == DataTier.RAW
+        assert parent_tier(DataTier.LEVEL2) == DataTier.AOD
+        assert parent_tier(DataTier.NTUPLE) == DataTier.AOD
+
+    def test_check_derivation_accepts_valid(self):
+        check_derivation(DataTier.RAW, DataTier.RECO)
+        check_derivation(DataTier.AOD, DataTier.LEVEL2)
+
+    def test_check_derivation_rejects_invalid(self):
+        with pytest.raises(TierError):
+            check_derivation(DataTier.RAW, DataTier.AOD)
+        with pytest.raises(TierError):
+            check_derivation(DataTier.NTUPLE, DataTier.RAW)

@@ -1,0 +1,125 @@
+"""Unit and property tests for decay kinematics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GenerationError
+from repro.generation.decays import (
+    breit_wigner_mass,
+    sample_decay_vertex,
+    smeared_primary_vertex,
+    two_body_decay,
+)
+from repro.kinematics import FourVector
+
+
+class TestTwoBodyDecay:
+    def test_energy_momentum_conservation(self, rng):
+        parent = FourVector.from_ptetaphim(30.0, 0.5, 1.0, 91.2)
+        d1, d2 = two_body_decay(parent, 0.105, 0.105, rng)
+        total = d1 + d2
+        assert total.is_close(parent, rel_tol=1e-9, abs_tol=1e-6)
+
+    def test_daughter_masses(self, rng):
+        parent = FourVector.from_ptetaphim(10.0, -0.2, 0.1, 1.86)
+        kaon, pion = two_body_decay(parent, 0.494, 0.140, rng)
+        assert kaon.mass == pytest.approx(0.494, rel=1e-6)
+        assert pion.mass == pytest.approx(0.140, rel=1e-6)
+
+    def test_forbidden_decay_raises(self, rng):
+        parent = FourVector.from_ptetaphim(10.0, 0.0, 0.0, 1.0)
+        with pytest.raises(GenerationError):
+            two_body_decay(parent, 0.8, 0.5, rng)
+
+    def test_rest_frame_back_to_back(self, rng):
+        parent = FourVector(91.2, 0.0, 0.0, 0.0)
+        d1, d2 = two_body_decay(parent, 0.105, 0.105, rng)
+        assert (d1.px + d2.px) == pytest.approx(0.0, abs=1e-9)
+        assert d1.p == pytest.approx(d2.p, rel=1e-9)
+
+    @given(mass=st.floats(min_value=1.0, max_value=500.0),
+           pt=st.floats(min_value=0.0, max_value=200.0),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=80)
+    def test_conservation_property(self, mass, pt, seed):
+        rng = np.random.default_rng(seed)
+        parent = FourVector.from_ptetaphim(pt, 0.3, -1.0, mass)
+        m1 = 0.3 * mass
+        m2 = 0.2 * mass
+        d1, d2 = two_body_decay(parent, m1, m2, rng)
+        assert (d1 + d2).is_close(parent, rel_tol=1e-7, abs_tol=1e-5)
+
+    def test_isotropy_statistics(self, rng):
+        parent = FourVector(100.0, 0.0, 0.0, 0.0)
+        cosines = []
+        for _ in range(2000):
+            d1, _ = two_body_decay(parent, 1.0, 1.0, rng)
+            cosines.append(d1.pz / d1.p)
+        assert abs(np.mean(cosines)) < 0.05
+
+
+class TestBreitWigner:
+    def test_zero_width_returns_pole(self, rng):
+        assert breit_wigner_mass(91.2, 0.0, rng) == 91.2
+
+    def test_samples_respect_bounds(self, rng):
+        for _ in range(500):
+            mass = breit_wigner_mass(91.2, 2.5, rng, minimum=40.0)
+            assert 40.0 <= mass <= 91.2 + 25 * 2.5
+
+    def test_median_near_pole(self, rng):
+        masses = [breit_wigner_mass(91.2, 2.5, rng, minimum=40.0)
+                  for _ in range(3000)]
+        assert float(np.median(masses)) == pytest.approx(91.2, abs=0.5)
+
+    def test_half_width(self, rng):
+        masses = np.array([breit_wigner_mass(91.2, 2.5, rng, minimum=40.0)
+                           for _ in range(5000)])
+        within = np.mean(np.abs(masses - 91.2) < 1.25)
+        # A Cauchy has 50% of its mass within +-Gamma/2 of the pole.
+        assert within == pytest.approx(0.5, abs=0.05)
+
+
+class TestDecayVertex:
+    def test_stable_particle_stays_at_origin(self, rng):
+        momentum = FourVector.from_ptetaphim(10.0, 0.0, 0.0, 0.105)
+        vertex, proper_time = sample_decay_vertex(momentum, math.inf, rng)
+        assert vertex == (0.0, 0.0, 0.0)
+        assert proper_time == math.inf
+
+    def test_vertex_along_momentum(self, rng):
+        momentum = FourVector.from_ptetaphim(5.0, 0.0, 0.0, 1.86)
+        vertex, _ = sample_decay_vertex(momentum, 4.1e-4, rng)
+        # phi = 0 means the flight is along +x.
+        assert vertex[0] > 0.0
+        assert vertex[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_mean_flight_length(self, rng):
+        momentum = FourVector.from_ptetaphim(5.0, 0.0, 0.0, 1.86)
+        lengths = []
+        for _ in range(4000):
+            vertex, _ = sample_decay_vertex(momentum, 4.1e-4, rng)
+            lengths.append(math.hypot(vertex[0], vertex[1]))
+        beta_gamma = momentum.p / momentum.mass
+        expected = beta_gamma * 299.792458 * 4.1e-4
+        assert float(np.mean(lengths)) == pytest.approx(expected, rel=0.1)
+
+    def test_massless_never_decays(self, rng):
+        momentum = FourVector.from_ptetaphim(10.0, 0.0, 0.0, 0.0)
+        vertex, proper_time = sample_decay_vertex(momentum, 1.0, rng)
+        assert proper_time == math.inf
+        assert vertex == (0.0, 0.0, 0.0)
+
+
+class TestPrimaryVertex:
+    def test_spread_scales(self, rng):
+        zs = [smeared_primary_vertex(rng)[2] for _ in range(2000)]
+        assert 30.0 < float(np.std(zs)) < 70.0
+
+    def test_transverse_spread_small(self, rng):
+        xs = [smeared_primary_vertex(rng)[0] for _ in range(2000)]
+        assert float(np.std(xs)) < 0.05

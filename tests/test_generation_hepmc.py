@@ -1,0 +1,104 @@
+"""Tests for the truth event record."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.generation import GenEvent, ParticleStatus
+from repro.kinematics import FourVector
+
+
+def _simple_event():
+    event = GenEvent(event_number=1, process_id=230,
+                     process_name="z_to_mumu", sqrt_s=8000.0)
+    z = event.add_particle(
+        23, FourVector.from_ptetaphim(20.0, 0.1, 0.2, 91.2),
+        ParticleStatus.DECAYED,
+    )
+    event.add_particle(
+        13, FourVector.from_ptetaphim(45.0, 0.2, 0.3, 0.105),
+        ParticleStatus.FINAL, parents=[z.index],
+    )
+    event.add_particle(
+        -13, FourVector.from_ptetaphim(44.0, -0.1, -2.8, 0.105),
+        ParticleStatus.FINAL, parents=[z.index],
+    )
+    return event
+
+
+class TestEventStructure:
+    def test_parent_child_links(self):
+        event = _simple_event()
+        z = event.particles[0]
+        assert z.children == [1, 2]
+        assert event.particles[1].parents == [0]
+
+    def test_final_state_selection(self):
+        event = _simple_event()
+        finals = event.final_state()
+        assert len(finals) == 2
+        assert all(p.is_final for p in finals)
+
+    def test_particles_with_pdg(self):
+        event = _simple_event()
+        muons = event.particles_with_pdg(13, -13)
+        assert len(muons) == 2
+        assert len(event.particles_with_pdg(23)) == 1
+
+    def test_out_of_range_parent_rejected(self):
+        event = GenEvent(1, 1, "test", 8000.0)
+        with pytest.raises(GenerationError):
+            event.add_particle(
+                13, FourVector.zero(), ParticleStatus.FINAL, parents=[5]
+            )
+
+    def test_validate_passes_for_consistent_event(self):
+        _simple_event().validate()
+
+    def test_validate_detects_broken_links(self):
+        event = _simple_event()
+        event.particles[0].children.clear()
+        with pytest.raises(GenerationError):
+            event.validate()
+
+    def test_visible_momentum_excludes_invisibles(self):
+        event = GenEvent(1, 1, "test", 8000.0)
+        event.add_particle(
+            13, FourVector.from_ptetaphim(30.0, 0.0, 0.0, 0.105),
+            ParticleStatus.FINAL,
+        )
+        event.add_particle(
+            14, FourVector.from_ptetaphim(30.0, 0.0, 3.14, 0.0),
+            ParticleStatus.FINAL,
+        )
+        visible = event.visible_momentum(frozenset({14, -14}))
+        assert visible.pt == pytest.approx(30.0, rel=1e-6)
+
+
+class TestSerialisation:
+    def test_roundtrip_preserves_structure(self):
+        event = _simple_event()
+        restored = GenEvent.from_dict(event.to_dict())
+        restored.validate()
+        assert len(restored.particles) == 3
+        assert restored.process_name == "z_to_mumu"
+        assert restored.particles[1].parents == [0]
+        assert restored.particles[0].momentum.is_close(
+            event.particles[0].momentum
+        )
+
+    def test_roundtrip_preserves_vertices(self):
+        event = GenEvent(1, 400, "d0", 8000.0)
+        particle = event.add_particle(
+            421, FourVector.from_ptetaphim(5.0, 2.5, 0.1, 1.86),
+            ParticleStatus.DECAYED,
+            production_vertex=(0.1, 0.2, 0.3),
+        )
+        particle.decay_vertex = (1.0, 2.0, 3.0)
+        restored = GenEvent.from_dict(event.to_dict())
+        assert restored.particles[0].production_vertex == (0.1, 0.2, 0.3)
+        assert restored.particles[0].decay_vertex == (1.0, 2.0, 3.0)
+
+    def test_default_weight(self):
+        record = _simple_event().to_dict()
+        del record["weight"]
+        assert GenEvent.from_dict(record).weight == 1.0

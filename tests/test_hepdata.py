@@ -1,0 +1,215 @@
+"""Tests for the HepData-analogue archive and INSPIRE linkage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HepDataError, PersistenceError, RecordNotFoundError
+from repro.hepdata import (
+    DataTable,
+    DependentVariable,
+    HepDataArchive,
+    HepDataRecord,
+    InspireCatalog,
+    InspireEntry,
+    Reaction,
+    find_by_keyword,
+    find_by_observable,
+    find_by_reaction,
+)
+from repro.hepdata.query import find_with_auxiliary_format
+from repro.stats import EfficiencyGrid, Histogram1D
+
+
+def _cross_section_record(record_id="ins0001", version=1):
+    histogram = Histogram1D("zpt", 10, 0.0, 100.0)
+    rng = np.random.default_rng(3)
+    histogram.fill_array(rng.exponential(15.0, 500))
+    record = HepDataRecord(
+        record_id=record_id,
+        title="Z boson pt spectrum at 8 TeV",
+        experiment="GPD",
+        inspire_id="I1001",
+        keywords=("Z", "cross section"),
+        version=version,
+    )
+    record.reactions.append(Reaction("P P", "Z0 X", 8000.0))
+    record.add_table(DataTable.from_histogram(
+        "Table 1", histogram, "pt(Z)", "GeV",
+        "dsigma/dpt", "pb/GeV",
+    ))
+    return record
+
+
+class TestTables:
+    def test_histogram_roundtrip_through_table(self):
+        histogram = Histogram1D("h", 5, 0.0, 5.0)
+        histogram.fill(2.5, weight=3.0)
+        table = DataTable.from_histogram("t", histogram, "x", "GeV",
+                                         "y", "pb")
+        restored = table.to_histogram()
+        assert np.allclose(restored.values(), histogram.values())
+        assert np.allclose(restored.errors(), histogram.errors())
+
+    def test_column_length_validated(self):
+        table = DataTable("t", "x", "GeV", [0.0, 1.0, 2.0])
+        with pytest.raises(HepDataError):
+            table.add_dependent(DependentVariable(
+                "y", "pb", [1.0], [0.1]))
+
+    def test_values_errors_length_validated(self):
+        with pytest.raises(HepDataError):
+            DependentVariable("y", "pb", [1.0, 2.0], [0.1])
+
+    def test_table_roundtrip(self):
+        record = _cross_section_record()
+        table = record.tables[0]
+        assert DataTable.from_dict(table.to_dict()).to_dict() == \
+            table.to_dict()
+
+
+class TestRecords:
+    def test_duplicate_table_name_rejected(self):
+        record = _cross_section_record()
+        with pytest.raises(HepDataError):
+            record.add_table(DataTable("Table 1", "x", "", [0.0, 1.0]))
+
+    def test_auxiliary_needs_format_tag(self):
+        record = _cross_section_record()
+        with pytest.raises(HepDataError):
+            record.add_auxiliary("raw", {"data": [1, 2, 3]})
+
+    def test_heterogeneous_payloads_accepted(self):
+        # The "ATLAS search with a very large amount of information"
+        # use case: efficiency grids and cut flows ride along.
+        record = _cross_section_record()
+        grid = EfficiencyGrid("acc", [0, 500, 1000], [0, 250, 500])
+        grid.record(250.0, 100.0, True)
+        record.add_auxiliary("acceptance_grid", grid.to_dict())
+        record.add_auxiliary("cutflow", {
+            "format": "repro-cutflow",
+            "rows": [["all", 1000], ["2 leptons", 400]],
+        })
+        assert record.payload_size_bytes() > 1000
+        restored = HepDataRecord.from_dict(record.to_dict())
+        grid_back = EfficiencyGrid.from_dict(
+            restored.auxiliary["acceptance_grid"]
+        )
+        assert grid_back.efficiency(250.0, 100.0) == 1.0
+
+    def test_reaction_label(self):
+        reaction = Reaction("P P", "Z0 X", 8000.0)
+        assert reaction.label() == "P P --> Z0 X"
+
+
+class TestArchive:
+    def test_submit_and_get(self):
+        archive = HepDataArchive()
+        archive.submit(_cross_section_record())
+        assert "ins0001" in archive
+        assert archive.get("ins0001").title.startswith("Z boson")
+
+    def test_versioning(self):
+        archive = HepDataArchive()
+        archive.submit(_cross_section_record())
+        archive.submit(_cross_section_record(version=2))
+        assert archive.n_versions("ins0001") == 2
+        assert archive.get("ins0001").version == 2
+        assert archive.get("ins0001", version=1).version == 1
+
+    def test_wrong_version_rejected(self):
+        archive = HepDataArchive()
+        archive.submit(_cross_section_record())
+        with pytest.raises(HepDataError):
+            archive.submit(_cross_section_record(version=5))
+
+    def test_unknown_record_raises(self):
+        archive = HepDataArchive()
+        with pytest.raises(RecordNotFoundError):
+            archive.get("missing")
+
+    def test_persistence_roundtrip(self, tmp_path):
+        archive = HepDataArchive("durham")
+        archive.submit(_cross_section_record())
+        archive.submit(_cross_section_record(version=2))
+        path = tmp_path / "archive.json"
+        archive.save(path)
+        loaded = HepDataArchive.load(path)
+        assert loaded.name == "durham"
+        assert loaded.n_versions("ins0001") == 2
+
+    def test_load_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(PersistenceError):
+            HepDataArchive.load(path)
+
+
+class TestQueries:
+    @pytest.fixture
+    def archive(self):
+        archive = HepDataArchive()
+        archive.submit(_cross_section_record())
+        search = HepDataRecord(
+            record_id="ins0002",
+            title="Search for high-mass dimuon resonances",
+            experiment="GPD",
+            keywords=("search", "dimuon"),
+        )
+        search.reactions.append(Reaction("P P", "MU+ MU- X", 8000.0))
+        search.add_auxiliary("analysis_description", {
+            "format": "repro-analysis-description",
+            "analysis_id": "GPD-EXO-01",
+        })
+        archive.submit(search)
+        return archive
+
+    def test_find_by_keyword(self, archive):
+        assert [r.record_id
+                for r in find_by_keyword(archive, "search")] == ["ins0002"]
+        assert find_by_keyword(archive, "SEARCH")
+
+    def test_find_by_reaction(self, archive):
+        matches = find_by_reaction(archive, "Z0 X")
+        assert [r.record_id for r in matches] == ["ins0001"]
+        assert find_by_reaction(archive, "Z0 X", sqrt_s_gev=7000.0) == []
+
+    def test_find_by_observable(self, archive):
+        matches = find_by_observable(archive, "dsigma/dpt")
+        assert [r.record_id for r in matches] == ["ins0001"]
+
+    def test_find_with_auxiliary_format(self, archive):
+        matches = find_with_auxiliary_format(
+            archive, "repro-analysis-description"
+        )
+        assert [r.record_id for r in matches] == ["ins0002"]
+
+
+class TestInspire:
+    def test_link_and_resolve(self):
+        archive = HepDataArchive()
+        archive.submit(_cross_section_record())
+        catalog = InspireCatalog()
+        catalog.register(InspireEntry(
+            inspire_id="I1001",
+            title="Measurement of the Z pt spectrum",
+            authors=("GPD Collaboration",),
+            year=2013,
+        ))
+        catalog.link_record("I1001", "ins0001")
+        records = catalog.resolve_data("I1001", archive)
+        assert [r.record_id for r in records] == ["ins0001"]
+        assert catalog.publications_with_data()[0].inspire_id == "I1001"
+
+    def test_duplicate_entry_rejected(self):
+        catalog = InspireCatalog()
+        entry = InspireEntry("I1", "t", ("a",), 2013)
+        catalog.register(entry)
+        with pytest.raises(HepDataError):
+            catalog.register(entry)
+
+    def test_link_idempotent(self):
+        catalog = InspireCatalog()
+        catalog.register(InspireEntry("I1", "t", ("a",), 2013))
+        catalog.link_record("I1", "r1")
+        catalog.link_record("I1", "r1")
+        assert catalog.get("I1").hepdata_record_ids == ["r1"]

@@ -1,0 +1,166 @@
+"""End-to-end integration tests across the full library stack."""
+
+import statistics
+
+import pytest
+
+from repro.conditions import export_snapshot
+from repro.datamodel import (
+    AndCut,
+    CountCut,
+    DataTier,
+    MassWindowCut,
+    SkimSpec,
+    SlimSpec,
+    read_dataset,
+    write_dataset,
+)
+from repro.kinematics import invariant_mass
+
+
+class TestPhysicsFidelity:
+    """The chain must preserve physics, not just run."""
+
+    def test_z_peak_survives_full_chain(self, z_pairs):
+        truth_masses = []
+        reco_masses = []
+        for gen, reco in z_pairs:
+            muons = [p.momentum for p in gen.final_state()
+                     if abs(p.pdg_id) == 13]
+            truth_masses.append(invariant_mass(muons[:2]))
+            positive = [m for m in reco.muons if m.charge > 0]
+            negative = [m for m in reco.muons if m.charge < 0]
+            if positive and negative:
+                reco_masses.append(invariant_mass(
+                    [positive[0].p4, negative[0].p4]
+                ))
+        assert statistics.median(truth_masses) == pytest.approx(
+            91.2, abs=1.0
+        )
+        assert statistics.median(reco_masses) == pytest.approx(
+            statistics.median(truth_masses), abs=2.0
+        )
+
+    def test_muon_reconstruction_efficiency(self, z_pairs):
+        n_truth = 0
+        n_matched = 0
+        for gen, reco in z_pairs:
+            truth_muons = [
+                p for p in gen.final_state()
+                if abs(p.pdg_id) == 13 and p.momentum.pt > 15.0
+                and abs(p.momentum.eta) < 2.2
+            ]
+            n_truth += len(truth_muons)
+            for truth in truth_muons:
+                matched = any(
+                    truth.momentum.delta_r(muon.p4) < 0.1
+                    for muon in reco.muons
+                )
+                if matched:
+                    n_matched += 1
+        assert n_truth > 100
+        assert n_matched / n_truth > 0.6
+
+    def test_charge_assignment_mostly_correct(self, z_pairs):
+        n_checked = 0
+        n_correct = 0
+        for gen, reco in z_pairs:
+            truth_muons = [p for p in gen.final_state()
+                           if abs(p.pdg_id) == 13
+                           and p.momentum.pt > 15.0]
+            for truth in truth_muons:
+                for muon in reco.muons:
+                    if truth.momentum.delta_r(muon.p4) < 0.05:
+                        n_checked += 1
+                        truth_charge = -1 if truth.pdg_id > 0 else 1
+                        if muon.charge == truth_charge:
+                            n_correct += 1
+                        break
+        assert n_checked > 50
+        assert n_correct / n_checked > 0.95
+
+
+class TestTierReduction:
+    """The nested-reduction structure of Section 3.2."""
+
+    def test_event_counts_reduce_through_skim(self, z_aods):
+        skim = SkimSpec("tight", AndCut((
+            CountCut("muons", 2, min_pt=20.0),
+            MassWindowCut("muons", 80.0, 100.0, opposite_charge=True),
+        )))
+        selected = skim.apply(z_aods)
+        assert 0 < len(selected) < len(z_aods)
+
+    def test_bytes_reduce_through_tiers(self, z_pairs, z_aods):
+        from repro.datamodel import make_aod
+
+        reco_bytes = sum(reco.approximate_size_bytes()
+                         for _, reco in z_pairs)
+        aod_bytes = sum(aod.approximate_size_bytes() for aod in z_aods)
+        slim = SlimSpec("tiny", ("dimuon_mass",))
+        ntuple_bytes = sum(row.approximate_size_bytes()
+                           for row in slim.apply(z_aods))
+        assert ntuple_bytes < aod_bytes < reco_bytes
+
+
+class TestRoundTripThroughFiles:
+    """Persistence must be lossless for re-analysis."""
+
+    def test_aod_file_reanalysis(self, z_aods, tmp_path):
+        from repro.datamodel import AODEvent
+
+        path = tmp_path / "z.aod.jsonl"
+        write_dataset(path, "z", DataTier.AOD,
+                      [aod.to_dict() for aod in z_aods])
+        _, records = read_dataset(path)
+        reloaded = [AODEvent.from_dict(record) for record in records]
+        skim = SkimSpec("dimuon", CountCut("muons", 2, min_pt=10.0))
+        assert len(skim.apply(reloaded)) == len(skim.apply(z_aods))
+
+    def test_conditions_snapshot_travels_with_data(
+        self, conditions_store, tmp_path
+    ):
+        snapshot_path = tmp_path / "conditions.json"
+        export_snapshot(conditions_store, "GT-FINAL", 1, 100,
+                        path=snapshot_path)
+        assert snapshot_path.exists()
+        from repro.conditions import load_snapshot
+
+        snapshot = load_snapshot(snapshot_path)
+        assert snapshot.payload("calo/ecal_energy_scale", 42)
+
+
+class TestPreservationLoop:
+    """Preserve -> archive -> retrieve -> re-validate, end to end."""
+
+    def test_full_preservation_cycle(self, z_aods, tmp_path):
+        from repro.core import (
+            PreservationArchive,
+            PreservedAnalysisBundle,
+            SubmissionPackage,
+            disseminate,
+            ingest,
+            revalidate,
+        )
+
+        skim = SkimSpec("zskim", AndCut((
+            CountCut("muons", 2, min_pt=15.0),
+            MassWindowCut("muons", 60.0, 120.0, opposite_charge=True),
+        )))
+        slim = SlimSpec("zslim", ("dimuon_mass", "met"))
+        bundle = PreservedAnalysisBundle.create("Z-2013", z_aods, skim,
+                                                slim)
+        archive = PreservationArchive("daspos")
+        sip = SubmissionPackage("Z preservation", "analyst", "GPD",
+                                "2013-03-21")
+        sip.add("bundle", "aod_dataset", bundle.to_dict())
+        aip = ingest(sip, archive, "AIP-Z")
+        # Save/load the archive from disk, then re-validate.
+        archive.save(tmp_path / "archive")
+        loaded = PreservationArchive.load(tmp_path / "archive")
+        dip = disseminate(loaded, aip, "archivist")
+        recovered = PreservedAnalysisBundle.from_dict(
+            dip.payloads["bundle"]
+        )
+        outcome = revalidate(recovered)
+        assert outcome.passed

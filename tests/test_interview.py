@@ -1,0 +1,229 @@
+"""Tests for the Data Interview Template toolkit."""
+
+import pytest
+
+from repro.errors import InterviewError, MaturityError
+from repro.experiments import all_experiments, get_experiment
+from repro.interview import (
+    DataSharingGrid,
+    InterviewResponse,
+    InterviewTemplate,
+    SharingEntry,
+    all_scales,
+    assess_experiment,
+    rate_from_evidence,
+    response_for_experiment,
+)
+from repro.interview.maturity import (
+    DATA_MANAGEMENT_SCALE,
+    PRESERVATION_SCALE,
+)
+from repro.interview.report import (
+    interview_report,
+    maturity_table,
+    render_maturity_table,
+    render_sharing_grid,
+    sharing_grid_table,
+)
+from repro.interview.sharing import SHARING_STAGES
+
+
+class TestTemplate:
+    def test_standard_template_sections(self):
+        template = InterviewTemplate.standard()
+        assert len(template.sections) == 9
+        assert template.question("5F").answer_kind == "rating"
+        assert template.question("9A").answer_kind == "grid"
+
+    def test_unknown_question_raises(self):
+        template = InterviewTemplate.standard()
+        with pytest.raises(InterviewError):
+            template.question("42Z")
+
+    def test_required_subset(self):
+        template = InterviewTemplate.standard()
+        required = template.required_ids()
+        assert "1A" in required
+        assert "4B" not in required  # optional
+        assert set(required) <= set(template.question_ids())
+
+
+class TestMaturityScales:
+    def test_four_scales(self):
+        scales = all_scales()
+        assert [scale.scale_id for scale in scales] == \
+            ["5F", "6D", "8E", "9F"]
+
+    def test_rubric_levels_described(self):
+        for scale in all_scales():
+            for level in range(1, 6):
+                assert len(scale.describe_level(level)) > 10
+
+    def test_out_of_range_level_rejected(self):
+        with pytest.raises(MaturityError):
+            DATA_MANAGEMENT_SCALE.describe_level(6)
+
+    def test_rating_ladder(self):
+        no_evidence = rate_from_evidence(DATA_MANAGEMENT_SCALE, {})
+        assert no_evidence == 1
+        full = rate_from_evidence(DATA_MANAGEMENT_SCALE, {
+            "has_backup": True, "has_dr_plan": True,
+            "dr_procedures": True, "dr_tested": True,
+        })
+        assert full == 5
+
+    def test_ladder_requires_consecutive_rungs(self):
+        # Testing a plan you don't have does not raise the rating.
+        rating = rate_from_evidence(DATA_MANAGEMENT_SCALE, {
+            "has_backup": True, "dr_tested": True,
+        })
+        assert rating == 2
+
+    def test_assess_experiment_ranges(self):
+        for profile in all_experiments():
+            ratings = assess_experiment(profile)
+            assert set(ratings) == {"5F", "6D", "8E", "9F"}
+            assert all(1 <= value <= 5 for value in ratings.values())
+
+    def test_babar_preservation_leads(self):
+        # The long-running preservation project scores highest on 8E.
+        ratings = {profile.name: assess_experiment(profile)["8E"]
+                   for profile in all_experiments()}
+        assert ratings["BaBar"] == max(ratings.values())
+
+
+class TestSharingGrid:
+    def test_entry_validation(self):
+        with pytest.raises(InterviewError):
+            SharingEntry("invention", "no one", "never")
+        with pytest.raises(InterviewError):
+            SharingEntry("analysis", "my cat", "always")
+
+    def test_grid_completeness(self):
+        grid = DataSharingGrid("X")
+        assert not grid.is_complete()
+        for stage in SHARING_STAGES:
+            grid.add(SharingEntry(stage, "project collaborators",
+                                  "always"))
+        assert grid.is_complete()
+
+    def test_duplicate_stage_rejected(self):
+        grid = DataSharingGrid("X")
+        grid.add(SharingEntry("analysis", "no one", "never"))
+        with pytest.raises(InterviewError):
+            grid.add(SharingEntry("analysis", "whole world", "always"))
+
+    def test_openness_ordering(self):
+        closed = SharingEntry("analysis", "no one", "never")
+        open_entry = SharingEntry("analysis", "whole world", "always")
+        assert closed.openness < open_entry.openness
+
+    def test_roundtrip(self):
+        grid = DataSharingGrid("X")
+        grid.add(SharingEntry("publication", "whole world",
+                              "at publication", "citation"))
+        restored = DataSharingGrid.from_dict(grid.to_dict())
+        assert restored.entry_for("publication").conditions == "citation"
+
+
+class TestResponses:
+    def test_stock_responses_complete(self):
+        template = InterviewTemplate.standard()
+        for profile in all_experiments():
+            response = response_for_experiment(profile, template)
+            assert response.validate(template) == []
+            assert response.sharing_grid.is_complete()
+
+    def test_ratings_match_evidence(self):
+        profile = get_experiment("CMS")
+        response = response_for_experiment(profile)
+        ratings = assess_experiment(profile)
+        assert response.answer("5F") == ratings["5F"]
+        assert response.answer("8E") == ratings["8E"]
+
+    def test_approved_policy_opens_preservation_stage(self):
+        cms = response_for_experiment(get_experiment("CMS"))
+        cdf = response_for_experiment(get_experiment("CDF"))
+        assert cms.sharing_grid.entry_for("preservation").audience == \
+            "whole world"
+        assert cdf.sharing_grid.entry_for("preservation").audience == \
+            "project collaborators"
+
+    def test_bad_rating_rejected(self):
+        response = InterviewResponse("X", answers={"5F": 7})
+        with pytest.raises(InterviewError):
+            response.validate(InterviewTemplate.standard())
+
+    def test_missing_answer_raises(self):
+        response = InterviewResponse("X")
+        with pytest.raises(InterviewError):
+            response.answer("1A")
+
+
+class TestReports:
+    def test_interview_report_renders(self):
+        response = response_for_experiment(get_experiment("LHCb"))
+        report = interview_report(response)
+        assert "LHCb" in report
+        assert "Data Sharing Grid" in report
+        assert "Section 8" in report
+
+    def test_incomplete_response_rejected(self):
+        response = InterviewResponse("X")
+        with pytest.raises(InterviewError):
+            interview_report(response)
+
+    def test_maturity_table_structure(self):
+        table = maturity_table(all_experiments())
+        assert set(table["scales"]) == {"5F", "6D", "8E", "9F"}
+        assert "CMS" in table["ratings"]
+        # The rubric text rides along with the computed ratings.
+        assert len(table["scales"]["8E"]["levels"]) == 5
+
+    def test_rendered_tables(self):
+        experiments = all_experiments()
+        maturity_text = render_maturity_table(experiments)
+        assert "Preservation" in maturity_text
+        responses = [response_for_experiment(p) for p in experiments]
+        sharing_text = render_sharing_grid(responses)
+        assert "publication" in sharing_text
+        grid = sharing_grid_table(responses)
+        assert grid["publication"]["CMS"] == "whole world"
+
+
+class TestGapAnalysis:
+    def test_gaps_point_at_first_missing_rung(self):
+        from repro.interview import gap_analysis
+
+        alice = get_experiment("ALICE")
+        gaps = {gap.scale_id: gap for gap in gap_analysis(alice)}
+        # ALICE: backup yes, DR plan no -> the 5F gap is the DR plan.
+        assert gaps["5F"].current_rating == 2
+        assert gaps["5F"].next_rung == "has_dr_plan"
+        assert "recovery plan" in gaps["5F"].action
+
+    def test_ceiling_scale_has_no_action(self):
+        from repro.interview import gap_analysis
+
+        babar = get_experiment("BaBar")
+        gaps = {gap.scale_id: gap for gap in gap_analysis(babar)}
+        assert gaps["8E"].at_ceiling
+        assert gaps["8E"].action is None
+        assert "ceiling" in gaps["8E"].summary()
+
+    def test_render_report(self):
+        from repro.interview import render_gap_report
+
+        report = render_gap_report(get_experiment("CDF"))
+        assert "Maturity gap analysis — CDF" in report
+        assert "combined maturity:" in report
+        assert "->" in report
+
+    def test_combined_score_matches_ratings(self):
+        from repro.interview import assess_experiment, gap_analysis
+
+        for profile in all_experiments():
+            gaps = gap_analysis(profile)
+            ratings = assess_experiment(profile)
+            assert sum(g.current_rating for g in gaps) == \
+                sum(ratings.values())

@@ -1,0 +1,202 @@
+"""Unit and property tests for four-vector kinematics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KinematicsError
+from repro.kinematics import (
+    FourVector,
+    delta_phi,
+    invariant_mass,
+    transverse_mass,
+    wrap_phi,
+)
+
+finite_pt = st.floats(min_value=0.01, max_value=1000.0)
+finite_eta = st.floats(min_value=-4.0, max_value=4.0)
+finite_phi = st.floats(min_value=-math.pi, max_value=math.pi)
+finite_mass = st.floats(min_value=0.0, max_value=500.0)
+
+
+class TestConstruction:
+    def test_from_ptetaphim_reproduces_inputs(self):
+        vector = FourVector.from_ptetaphim(50.0, 1.2, 0.7, 91.2)
+        assert vector.pt == pytest.approx(50.0)
+        assert vector.eta == pytest.approx(1.2)
+        assert vector.phi == pytest.approx(0.7)
+        assert vector.mass == pytest.approx(91.2)
+
+    def test_negative_pt_rejected(self):
+        with pytest.raises(KinematicsError):
+            FourVector.from_ptetaphim(-1.0, 0.0, 0.0, 0.0)
+
+    def test_from_p3m_is_on_shell(self):
+        vector = FourVector.from_p3m(3.0, 4.0, 12.0, 2.0)
+        assert vector.mass == pytest.approx(2.0)
+        assert vector.p == pytest.approx(13.0)
+
+    def test_zero_vector(self):
+        zero = FourVector.zero()
+        assert zero.e == 0.0
+        assert zero.p == 0.0
+
+    @given(pt=finite_pt, eta=finite_eta, phi=finite_phi, mass=finite_mass)
+    @settings(max_examples=150)
+    def test_roundtrip_property(self, pt, eta, phi, mass):
+        vector = FourVector.from_ptetaphim(pt, eta, phi, mass)
+        assert vector.pt == pytest.approx(pt, rel=1e-9, abs=1e-9)
+        assert vector.eta == pytest.approx(eta, rel=1e-6, abs=1e-6)
+        # The m^2 = E^2 - p^2 subtraction loses ~sqrt(ulp) * E of
+        # absolute precision for light, energetic vectors.
+        mass_tolerance = 1e-5 + 1e-7 * vector.e
+        assert vector.mass == pytest.approx(mass, rel=1e-5,
+                                            abs=mass_tolerance)
+
+
+class TestDerivedQuantities:
+    def test_massless_vector_eta_equals_rapidity(self):
+        vector = FourVector.from_ptetaphim(30.0, 1.5, 0.0, 0.0)
+        assert vector.rapidity == pytest.approx(vector.eta, rel=1e-9)
+
+    def test_rapidity_less_than_eta_for_massive(self):
+        vector = FourVector.from_ptetaphim(30.0, 1.5, 0.0, 10.0)
+        assert abs(vector.rapidity) < abs(vector.eta)
+
+    def test_eta_infinite_for_longitudinal(self):
+        vector = FourVector(10.0, 0.0, 0.0, 10.0)
+        assert math.isinf(vector.eta)
+
+    def test_gamma_of_rest_vector(self):
+        vector = FourVector(5.0, 0.0, 0.0, 0.0)
+        assert vector.gamma == pytest.approx(1.0)
+
+    def test_gamma_undefined_for_massless(self):
+        vector = FourVector.from_ptetaphim(10.0, 0.0, 0.0, 0.0)
+        with pytest.raises(KinematicsError):
+            _ = vector.gamma
+
+    def test_negative_mass2_clamps_to_zero(self):
+        vector = FourVector(1.0, 2.0, 0.0, 0.0)
+        assert vector.mass == 0.0
+
+    def test_et_between_zero_and_e(self):
+        vector = FourVector.from_ptetaphim(20.0, 2.0, 0.3, 5.0)
+        assert 0.0 < vector.et < vector.e
+
+
+class TestArithmetic:
+    def test_addition_conserves_components(self):
+        a = FourVector(10.0, 1.0, 2.0, 3.0)
+        b = FourVector(20.0, -1.0, 0.5, 1.0)
+        total = a + b
+        assert total.e == pytest.approx(30.0)
+        assert total.px == pytest.approx(0.0)
+
+    def test_subtraction_inverts_addition(self):
+        a = FourVector(10.0, 1.0, 2.0, 3.0)
+        b = FourVector(20.0, -1.0, 0.5, 1.0)
+        assert ((a + b) - b).is_close(a)
+
+    def test_scalar_multiplication(self):
+        a = FourVector(10.0, 1.0, 2.0, 3.0)
+        assert (2.0 * a).e == pytest.approx(20.0)
+        assert (a * 0.5).pz == pytest.approx(1.5)
+
+    def test_dot_product_is_mass_squared(self):
+        vector = FourVector.from_ptetaphim(40.0, 0.5, 1.0, 91.2)
+        assert vector.dot(vector) == pytest.approx(91.2**2, rel=1e-9)
+
+    @given(pt=finite_pt, eta=finite_eta, phi=finite_phi, mass=finite_mass)
+    @settings(max_examples=100)
+    def test_mass2_equals_self_dot(self, pt, eta, phi, mass):
+        vector = FourVector.from_ptetaphim(pt, eta, phi, mass)
+        assert vector.dot(vector) == pytest.approx(vector.mass2,
+                                                   rel=1e-6, abs=1e-6)
+
+
+class TestBoosts:
+    def test_boost_to_own_rest_frame_is_at_rest(self):
+        vector = FourVector.from_ptetaphim(50.0, 0.8, -1.2, 91.2)
+        rest = vector.boosted_to_rest_frame_of(vector)
+        assert rest.p == pytest.approx(0.0, abs=1e-6)
+        assert rest.e == pytest.approx(91.2, rel=1e-9)
+
+    def test_boost_preserves_mass(self):
+        vector = FourVector.from_ptetaphim(25.0, -0.5, 2.0, 10.0)
+        boosted = vector.boosted(0.3, -0.2, 0.5)
+        assert boosted.mass == pytest.approx(10.0, rel=1e-9)
+
+    def test_superluminal_boost_rejected(self):
+        vector = FourVector.from_ptetaphim(10.0, 0.0, 0.0, 1.0)
+        with pytest.raises(KinematicsError):
+            vector.boosted(0.9, 0.5, 0.3)
+
+    @given(pt=finite_pt, eta=st.floats(min_value=-2.0, max_value=2.0),
+           mass=st.floats(min_value=0.1, max_value=200.0),
+           bz=st.floats(min_value=-0.9, max_value=0.9))
+    @settings(max_examples=100)
+    def test_longitudinal_boost_invariant_mass(self, pt, eta, mass, bz):
+        vector = FourVector.from_ptetaphim(pt, eta, 0.4, mass)
+        boosted = vector.boosted(0.0, 0.0, bz)
+        assert boosted.mass == pytest.approx(mass, rel=1e-6)
+
+    def test_longitudinal_boost_preserves_pt(self):
+        vector = FourVector.from_ptetaphim(33.0, 0.7, 1.1, 5.0)
+        boosted = vector.boosted(0.0, 0.0, 0.6)
+        assert boosted.pt == pytest.approx(33.0, rel=1e-9)
+
+
+class TestAngles:
+    def test_wrap_phi_range(self):
+        for raw in (-10.0, -math.pi, 0.0, math.pi, 10.0, 100.0):
+            wrapped = wrap_phi(raw)
+            assert -math.pi < wrapped <= math.pi + 1e-12
+
+    def test_delta_phi_wraps_across_boundary(self):
+        assert delta_phi(3.1, -3.1) == pytest.approx(
+            3.1 - (-3.1) - 2 * math.pi
+        )
+
+    def test_delta_r_back_to_back(self):
+        a = FourVector.from_ptetaphim(10.0, 0.0, 0.0, 0.0)
+        b = FourVector.from_ptetaphim(10.0, 0.0, math.pi, 0.0)
+        assert a.delta_r(b) == pytest.approx(math.pi)
+
+    def test_opening_angle_parallel(self):
+        a = FourVector.from_ptetaphim(10.0, 1.0, 0.5, 0.0)
+        assert a.angle(a) == pytest.approx(0.0, abs=1e-7)
+
+    def test_opening_angle_undefined_for_null(self):
+        a = FourVector.from_ptetaphim(10.0, 1.0, 0.5, 0.0)
+        with pytest.raises(KinematicsError):
+            a.angle(FourVector.zero())
+
+
+class TestObservables:
+    def test_invariant_mass_of_resonance_decay(self):
+        z = FourVector.from_ptetaphim(40.0, 0.3, 0.9, 91.2)
+        assert invariant_mass([z]) == pytest.approx(91.2, rel=1e-9)
+
+    def test_transverse_mass_jacobian_edge(self):
+        # Back-to-back lepton and MET at equal pt gives mT = 2 pt.
+        lepton = FourVector.from_ptetaphim(40.0, 0.0, 0.0, 0.0)
+        met = FourVector.from_ptetaphim(40.0, 0.0, math.pi, 0.0)
+        assert transverse_mass(lepton, met) == pytest.approx(80.0)
+
+    def test_transverse_mass_aligned_is_zero(self):
+        lepton = FourVector.from_ptetaphim(40.0, 0.0, 1.0, 0.0)
+        met = FourVector.from_ptetaphim(40.0, 0.0, 1.0, 0.0)
+        assert transverse_mass(lepton, met) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        vector = FourVector(10.0, 1.0, -2.0, 3.0)
+        assert FourVector.from_list(vector.to_list()).is_close(vector)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(KinematicsError):
+            FourVector.from_list([1.0, 2.0, 3.0])

@@ -1,0 +1,101 @@
+"""Tests for the particle table."""
+
+import math
+
+import pytest
+
+from repro.errors import UnknownParticleError
+from repro.kinematics import Particle, default_particle_table
+from repro.kinematics.units import width_to_lifetime_ns
+
+
+class TestDefaultTable:
+    def test_contains_standard_species(self):
+        table = default_particle_table()
+        for pdg_id in (11, 13, 22, 23, 24, 25, 211, 421):
+            assert pdg_id in table
+
+    def test_antiparticles_registered(self):
+        table = default_particle_table()
+        assert -13 in table
+        assert table.by_id(-13).charge == pytest.approx(1.0)
+
+    def test_lookup_by_name(self):
+        table = default_particle_table()
+        z = table.by_name("Z")
+        assert z.pdg_id == 23
+        assert z.mass == pytest.approx(91.1876)
+
+    def test_unknown_id_raises(self):
+        table = default_particle_table()
+        with pytest.raises(UnknownParticleError):
+            table.by_id(999999)
+
+    def test_unknown_name_raises(self):
+        table = default_particle_table()
+        with pytest.raises(UnknownParticleError):
+            table.by_name("graviton")
+
+    def test_fresh_instance_per_call(self):
+        table1 = default_particle_table()
+        table2 = default_particle_table()
+        table1.register(Particle(32, "Z'", 1500.0, 0.0, width=45.0))
+        assert 32 in table1
+        assert 32 not in table2
+
+    def test_charge_accessor(self):
+        table = default_particle_table()
+        assert table.charge(11) == pytest.approx(-1.0)
+        assert table.charge(-11) == pytest.approx(1.0)
+        assert table.charge(22) == 0.0
+
+
+class TestParticleProperties:
+    def test_stable_particle_infinite_lifetime(self):
+        table = default_particle_table()
+        assert table.by_id(11).lifetime_ns == math.inf
+        assert table.by_id(2212).lifetime_ns == math.inf
+
+    def test_z_width_gives_short_lifetime(self):
+        table = default_particle_table()
+        z = table.by_id(23)
+        assert z.lifetime_ns == pytest.approx(
+            width_to_lifetime_ns(2.4952)
+        )
+        assert z.lifetime_ns < 1e-15
+
+    def test_d0_lifetime_near_world_average(self):
+        table = default_particle_table()
+        lifetime_ps = table.by_id(421).lifetime_ns * 1000.0
+        assert lifetime_ps == pytest.approx(0.41, rel=0.02)
+
+    def test_neutrinos_invisible(self):
+        table = default_particle_table()
+        assert table.by_id(12).is_invisible
+        assert table.by_id(14).is_invisible
+        assert not table.by_id(13).is_invisible
+
+    def test_charged_flag(self):
+        table = default_particle_table()
+        assert table.by_id(211).is_charged
+        assert not table.by_id(111).is_charged
+
+
+class TestAntiparticle:
+    def test_self_conjugate_species(self):
+        table = default_particle_table()
+        photon = table.by_id(22)
+        assert photon.antiparticle() is photon
+
+    def test_charge_conjugation(self):
+        table = default_particle_table()
+        pion = table.by_id(211)
+        anti = pion.antiparticle()
+        assert anti.pdg_id == -211
+        assert anti.charge == pytest.approx(-1.0)
+        assert anti.name == "pi-"
+
+    def test_w_plus_to_minus_name(self):
+        table = default_particle_table()
+        w = table.by_id(24)
+        assert w.antiparticle().name == "W-"

@@ -1,0 +1,57 @@
+"""Tests for unit constants and conversions."""
+
+import math
+
+import pytest
+
+from repro.kinematics import units
+
+
+class TestWidthLifetime:
+    def test_roundtrip(self):
+        width = 2.5e-12
+        lifetime = units.width_to_lifetime_ns(width)
+        assert units.lifetime_to_width_gev(lifetime) == pytest.approx(
+            width, rel=1e-12
+        )
+
+    def test_zero_width_is_stable(self):
+        assert units.width_to_lifetime_ns(0.0) == math.inf
+
+    def test_infinite_lifetime_is_zero_width(self):
+        assert units.lifetime_to_width_gev(math.inf) == 0.0
+
+    def test_muon_lifetime_order_of_magnitude(self):
+        # Muon width 3e-19 GeV -> ~2.2 microseconds.
+        lifetime_us = units.width_to_lifetime_ns(3.0e-19) / 1000.0
+        assert lifetime_us == pytest.approx(2.2, rel=0.05)
+
+
+class TestScales:
+    def test_energy_scales(self):
+        assert units.TEV == 1000.0 * units.GEV
+        assert units.MEV == pytest.approx(1e-3)
+
+    def test_length_scales(self):
+        assert units.M == 1000.0 * units.MM
+        assert units.CM == 10.0 * units.MM
+
+    def test_storage_scales(self):
+        assert units.PB == 1000 * units.TB
+        assert units.GB == 10**9
+
+
+class TestHumanBytes:
+    def test_bytes(self):
+        assert units.human_bytes(999) == "999 B"
+
+    def test_kilobytes(self):
+        assert units.human_bytes(1536) == "1.54 kB"
+
+    def test_petabytes(self):
+        assert "PB" in units.human_bytes(3.2 * units.PB)
+
+    def test_speed_of_light(self):
+        # 30 cm per nanosecond, the detector-timing rule of thumb.
+        assert units.SPEED_OF_LIGHT_MM_PER_NS == pytest.approx(299.79,
+                                                               rel=1e-4)

@@ -1,0 +1,202 @@
+"""Edge-case tests across modules: errors, displays, APIs, physics."""
+
+import math
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import ReproError
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        exception_classes = [
+            obj for name, obj in vars(errors_module).items()
+            if isinstance(obj, type) and issubclass(obj, Exception)
+        ]
+        assert len(exception_classes) > 25
+        for exception_class in exception_classes:
+            assert issubclass(exception_class, ReproError)
+
+    def test_specific_parents(self):
+        from repro.errors import (
+            ArchiveError,
+            FixityError,
+            IOVError,
+            PreservationError,
+            RequestStateError,
+            RecastError,
+        )
+
+        assert issubclass(FixityError, ArchiveError)
+        assert issubclass(ArchiveError, PreservationError)
+        assert issubclass(RequestStateError, RecastError)
+        from repro.errors import ConditionsError
+
+        assert issubclass(IOVError, ConditionsError)
+
+    def test_single_catch_all(self):
+        from repro.errors import HistogramError
+
+        with pytest.raises(ReproError):
+            raise HistogramError("caught by the family handler")
+
+
+class TestDisplayEdgeCases:
+    def test_payload_with_all_particle_types(self):
+        from repro.outreach.display import build_display_payload
+        from repro.outreach.format import Level2Event, SimplifiedParticle
+
+        event = Level2Event(1, 1, 8.0, particles=[
+            SimplifiedParticle("electron", 30.0, 25.0, 0.5, 0.1, -1),
+            SimplifiedParticle("muon", 40.0, 35.0, -0.5, 1.1, 1),
+            SimplifiedParticle("photon", 20.0, 18.0, 1.0, 2.0, 0),
+            SimplifiedParticle("jet", 80.0, 60.0, -1.0, -2.0, 0),
+        ], met=50.0, met_phi=0.7)
+        payload = build_display_payload(event)
+        # Two charged leptons -> two tracks; all four -> towers.
+        assert len(payload["tracks"]) == 2
+        assert len(payload["towers"]) == 4
+        kinds = {tower["kind"] for tower in payload["towers"]}
+        assert kinds == {"ecal", "muon", "hcal"}
+
+    def test_empty_event_payload(self):
+        from repro.outreach.display import build_display_payload
+        from repro.outreach.format import Level2Event
+
+        payload = build_display_payload(Level2Event(1, 1, 8.0))
+        assert payload["tracks"] == []
+        assert payload["towers"] == []
+
+    def test_svg_of_empty_event(self):
+        from repro.detector import forward_spectrometer
+        from repro.outreach import EventDisplayRecord, render_event_svg
+        from repro.outreach.format import Level2Event
+
+        record = EventDisplayRecord.build(forward_spectrometer(),
+                                          Level2Event(1, 1, 8.0))
+        svg = render_event_svg(record.to_dict())
+        assert svg.startswith("<svg")
+
+    def test_ascii_of_empty_event(self):
+        from repro.outreach import render_lego_ascii
+        from repro.outreach.format import Level2Event
+
+        art = render_lego_ascii(Level2Event(1, 1, 8.0))
+        assert "MET" in art
+
+
+class TestRecastApiEdges:
+    def test_run_before_accept_rejected(self):
+        from repro.datamodel import CountCut, SkimSpec
+        from repro.errors import RequestStateError
+        from repro.recast import (
+            AnalysisCatalog,
+            FullChainBackend,
+            ModelSpec,
+            PreservedSearch,
+            RecastAPI,
+        )
+
+        search = PreservedSearch(
+            analysis_id="X", title="t", experiment="GPD",
+            selection=SkimSpec("s", CountCut("muons", 1)),
+            n_observed=1, background=1.0, background_uncertainty=0.1,
+            luminosity_ipb=10.0,
+        )
+        catalog = AnalysisCatalog("GPD")
+        catalog.register(search)
+        api = RecastAPI()
+        api.register_experiment(catalog,
+                                FullChainBackend("GPD", n_events=5))
+        request = api.submit("X", ModelSpec("m", "zprime",
+                                            {"mass": 1000.0}), "t")
+        with pytest.raises(RequestStateError):
+            api.run(request.request_id)
+
+    def test_experiments_listing(self):
+        from repro.recast import AnalysisCatalog, FullChainBackend, RecastAPI
+
+        api = RecastAPI()
+        api.register_experiment(AnalysisCatalog("GPD"),
+                                FullChainBackend("GPD", n_events=5))
+        api.register_experiment(AnalysisCatalog("FWD"),
+                                FullChainBackend("FWD", n_events=5))
+        assert api.experiments() == ["FWD", "GPD"]
+
+
+class TestFragmentationPhysics:
+    def test_jet_energy_roughly_conserved(self):
+        import numpy as np
+
+        from repro.generation import GenEvent, QCDDijets
+        from repro.generation.processes import Tune
+        from repro.kinematics import default_particle_table
+
+        rng = np.random.default_rng(77)
+        table = default_particle_table()
+        process = QCDDijets(pt_min=50.0, pt_max=60.0)
+        ratios = []
+        for index in range(40):
+            event = GenEvent(index, 100, "dijets", 8000.0)
+            process.fill(event, rng, table, Tune.tune_a())
+            partons = [p for p in event.particles if p.pdg_id == 21]
+            hadron_energy = sum(p.momentum.e
+                                for p in event.final_state())
+            parton_energy = sum(p.momentum.e for p in partons)
+            ratios.append(hadron_energy / parton_energy)
+        # The Dirichlet split conserves longitudinal momentum; the
+        # transverse kicks add a little energy on average.
+        assert 0.9 < float(np.median(ratios)) < 1.3
+
+
+class TestSnapshotEdges:
+    def test_export_requires_overlap(self, conditions_store):
+        from repro.conditions import export_snapshot
+        from repro.errors import IOVError
+
+        # The calibration campaign covers runs 1.. with an open tail,
+        # so any positive window works; a window entirely before run 1
+        # must fail.
+        with pytest.raises(IOVError):
+            export_snapshot(conditions_store, "GT-FINAL", 0, 0)
+
+
+class TestStreamLaziness:
+    def test_generator_stream_is_lazy(self):
+        from repro.generation import (
+            DrellYanZ,
+            GeneratorConfig,
+            ToyGenerator,
+        )
+
+        generator = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=1))
+        stream = generator.stream(1000)
+        first = next(stream)
+        assert first.event_number == 0
+        # Only one event was generated so far.
+        assert generator._events_generated == 1
+
+
+class TestTransverseMassEdge:
+    def test_w_jacobian_edge_location(self, mixed_pairs):
+        from repro.kinematics import transverse_mass
+        from repro.rivet.projections import VisibleMomentum
+
+        mts = []
+        for gen, _ in mixed_pairs:
+            if not gen.process_name.startswith("w"):
+                continue
+            muons = [p for p in gen.final_state()
+                     if abs(p.pdg_id) == 13
+                     and p.momentum.pt > 20.0]
+            if not muons:
+                continue
+            met = VisibleMomentum().missing_pt(gen)
+            mts.append(transverse_mass(muons[0].momentum, met))
+        if len(mts) >= 10:
+            # mT never (significantly) exceeds the W mass tail.
+            assert sorted(mts)[int(0.9 * len(mts))] < 120.0
+        else:
+            pytest.skip("too few W events in the mixed sample")

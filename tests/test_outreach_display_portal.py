@@ -1,0 +1,101 @@
+"""Tests for event displays and the outreach portal."""
+
+import pytest
+
+from repro.detector import generic_lhc_detector
+from repro.errors import OutreachError
+from repro.outreach import (
+    EventDisplayRecord,
+    Level2Converter,
+    OutreachPortal,
+    render_lego_ascii,
+)
+from repro.outreach.display import build_display_payload
+from repro.outreach.format import Level2Event, SimplifiedParticle
+
+
+@pytest.fixture(scope="module")
+def level2_events(z_aods):
+    converter = Level2Converter()
+    return converter.convert_many(z_aods)
+
+
+class TestDisplayPayload:
+    def test_leptons_become_tracks(self, level2_events):
+        event = next(e for e in level2_events if e.leptons())
+        payload = build_display_payload(event)
+        assert len(payload["tracks"]) == len(event.leptons())
+        assert payload["met"]["value"] == event.met
+
+    def test_track_polyline_curves(self):
+        event = Level2Event(1, 1, 8.0, particles=[
+            SimplifiedParticle("muon", 20.0, 5.0, 0.0, 0.0, 1),
+        ])
+        payload = build_display_payload(event)
+        points = payload["tracks"][0]["points"]
+        assert len(points) == 12
+        # A charged track in the field bends: the last point's y is
+        # displaced from the x axis.
+        assert abs(points[-1][1]) > 0.0
+
+    def test_standalone_record(self, level2_events):
+        geometry = generic_lhc_detector()
+        record = EventDisplayRecord.build(geometry, level2_events[0])
+        payload = record.to_dict()
+        assert payload["format"] == "repro-event-display"
+        assert payload["geometry"]["name"] == "GPD"
+        assert "payload" in payload
+
+
+class TestAsciiRenderer:
+    def test_renders_grid(self, level2_events):
+        event = next(e for e in level2_events if e.particles)
+        art = render_lego_ascii(event)
+        lines = art.splitlines()
+        assert len(lines) == 50  # header + 48 phi rows + axis
+        assert "MET" in lines[0]
+
+    def test_muons_marked(self, level2_events):
+        event = next(e for e in level2_events
+                     if len(e.of_type("muon")) >= 2
+                     and all(abs(m.eta) < 2.9
+                             for m in e.of_type("muon")))
+        art = render_lego_ascii(event)
+        assert "m" in art
+
+    def test_bad_grid_rejected(self, level2_events):
+        with pytest.raises(OutreachError):
+            render_lego_ascii(level2_events[0], n_eta=0)
+
+
+class TestPortal:
+    def test_summary(self, level2_events):
+        portal = OutreachPortal(level2_events, "z-sample")
+        summary = portal.summary()
+        assert summary["n_events"] == len(level2_events)
+        assert summary["n_with_leptons"] > 0
+
+    def test_histogram_dimuon_mass_peaks_at_z(self, level2_events):
+        portal = OutreachPortal(level2_events)
+        histogram = portal.histogram("dimuon_mass", 30, 60.0, 120.0)
+        assert histogram.integral() > 20
+        assert histogram.mean() == pytest.approx(91.0, abs=3.0)
+
+    def test_count(self, level2_events):
+        portal = OutreachPortal(level2_events)
+        assert portal.count("n_leptons", 2) > 0
+        assert portal.count("met", 1e9) == 0
+
+    def test_unknown_variable_rejected(self, level2_events):
+        portal = OutreachPortal(level2_events)
+        with pytest.raises(OutreachError):
+            portal.histogram("wibble", 10, 0.0, 1.0)
+
+    def test_event_display_by_index(self, level2_events):
+        portal = OutreachPortal(level2_events)
+        assert "run" in portal.event_display(0)
+        with pytest.raises(OutreachError):
+            portal.event_display(len(level2_events))
+
+    def test_variable_listing(self):
+        assert "dimuon_mass" in OutreachPortal.variables()

@@ -1,0 +1,115 @@
+"""Tests for the Level-2 format and the thin converter."""
+
+import pytest
+
+from repro.errors import ConversionError, OutreachError
+from repro.outreach import Level2Converter, Level2Event, SimplifiedParticle
+from repro.outreach.converter import ConverterConfig
+from repro.outreach.format import format_documentation
+
+
+class TestSimplifiedParticle:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(OutreachError):
+            SimplifiedParticle("neutrino", 10.0, 5.0, 0.0, 0.0)
+
+    def test_p4_reconstruction(self):
+        particle = SimplifiedParticle("muon", 50.0, 30.0, 1.0, 0.5, -1)
+        p4 = particle.p4()
+        assert p4.pt == pytest.approx(30.0)
+        assert p4.e == pytest.approx(50.0)
+
+    def test_roundtrip(self):
+        particle = SimplifiedParticle("jet", 80.0, 60.0, -1.5, 2.0, 0)
+        assert SimplifiedParticle.from_dict(particle.to_dict()) == \
+            particle
+
+
+class TestLevel2Event:
+    def test_roundtrip_with_candidates_and_display(self):
+        event = Level2Event(
+            run_number=1, event_number=7, collision_energy_tev=8.0,
+            particles=[SimplifiedParticle("muon", 50.0, 30.0, 1.0,
+                                          0.5, -1)],
+            met=12.0, met_phi=0.3,
+            candidates=[{"type": "D0", "mass": 1.86,
+                         "decay_time_ps": 0.5}],
+            display={"tracks": [], "towers": []},
+        )
+        restored = Level2Event.from_dict(event.to_dict())
+        assert restored.to_dict() == event.to_dict()
+
+    def test_type_selection(self):
+        event = Level2Event(1, 1, 8.0, particles=[
+            SimplifiedParticle("muon", 50.0, 30.0, 1.0, 0.5, -1),
+            SimplifiedParticle("muon", 40.0, 35.0, -1.0, 1.5, 1),
+            SimplifiedParticle("jet", 80.0, 60.0, 0.0, 2.0, 0),
+        ])
+        muons = event.of_type("muon")
+        assert len(muons) == 2
+        assert muons[0].pt >= muons[1].pt
+        assert len(event.leptons()) == 2
+
+    def test_format_self_documentation(self):
+        docs = format_documentation()
+        assert docs["format"] == "repro-level2"
+        assert "particles" in docs["fields"]
+
+
+class TestConverter:
+    def test_objects_mapped_to_types(self, z_aods):
+        converter = Level2Converter()
+        level2 = converter.convert_many(z_aods)
+        assert len(level2) == len(z_aods)
+        n_muons_aod = sum(
+            sum(1 for m in aod.muons if m.p4.pt >= 5.0)
+            for aod in z_aods
+        )
+        n_muons_l2 = sum(len(e.of_type("muon")) for e in level2)
+        assert n_muons_l2 == n_muons_aod
+
+    def test_met_carried_over(self, z_aods):
+        converter = Level2Converter()
+        for aod in z_aods[:10]:
+            level2 = converter.convert(aod)
+            assert level2.met == aod.met.met
+
+    def test_thresholds_applied(self, mixed_aods):
+        tight = Level2Converter(config=ConverterConfig(
+            min_lepton_pt=50.0, min_jet_pt=100.0))
+        loose = Level2Converter()
+        n_tight = sum(len(tight.convert(a).particles)
+                      for a in mixed_aods)
+        n_loose = sum(len(loose.convert(a).particles)
+                      for a in mixed_aods)
+        assert n_tight < n_loose
+
+    def test_size_reduction_tracked(self, z_aods):
+        converter = Level2Converter()
+        converter.convert_many(z_aods)
+        stats = converter.stats
+        assert stats.n_events == len(z_aods)
+        assert stats.reduction_factor > 1.0
+
+    def test_candidates_embedded(self, z_aods):
+        converter = Level2Converter()
+        level2 = converter.convert(
+            z_aods[0], candidates=[{"type": "D0", "mass": 1.86}]
+        )
+        assert level2.candidates[0]["type"] == "D0"
+
+    def test_display_payload_optional(self, z_aods):
+        plain = Level2Converter().convert(z_aods[0])
+        assert plain.display is None
+        with_display = Level2Converter(config=ConverterConfig(
+            include_display=True)).convert(z_aods[0])
+        assert with_display.display is not None
+        assert "tracks" in with_display.display
+
+    def test_bad_energy_rejected(self):
+        with pytest.raises(ConversionError):
+            Level2Converter(collision_energy_tev=0.0)
+
+    def test_describe_block(self):
+        record = Level2Converter().describe()
+        assert record["converter"] == "repro-level2-converter"

@@ -1,0 +1,134 @@
+"""Tests for the four master-class exercises."""
+
+import pytest
+
+from repro.datamodel import make_aod
+from repro.errors import OutreachError
+from repro.outreach import (
+    DLifetimeExercise,
+    HiggsHuntExercise,
+    Level2Converter,
+    WPathExercise,
+    ZPathExercise,
+    build_d0_candidates,
+)
+from repro.outreach.masterclass import D0_LIFETIME_PS
+
+
+@pytest.fixture(scope="module")
+def z_level2(z_aods):
+    return Level2Converter().convert_many(z_aods)
+
+
+class TestZPath:
+    def test_measures_z_mass(self, z_level2):
+        report = ZPathExercise().run(z_level2)
+        assert report["measured"] == pytest.approx(91.2, abs=1.5)
+        assert report["n_candidates"] > 30
+        assert report["reference"] == 91.19
+
+    def test_pull_reasonable(self, z_level2):
+        report = ZPathExercise().run(z_level2)
+        assert abs(report["pull"]) < 5.0
+
+    def test_instructions_present(self):
+        text = ZPathExercise().instructions()
+        assert "invariant mass" in text
+
+    def test_needs_candidates(self):
+        with pytest.raises(OutreachError):
+            ZPathExercise().run([])
+
+
+class TestWPath:
+    @pytest.fixture(scope="class")
+    def w_level2(self, gpd_geometry, conditions_store):
+        from tests.conftest import run_chain
+        from repro.generation import WProduction
+
+        pairs = run_chain(
+            [WProduction(charge=1, cross_section_pb=5500.0),
+             WProduction(charge=-1, cross_section_pb=5500.0)],
+            200, gpd_geometry, conditions_store, seed=7300,
+        )
+        converter = Level2Converter()
+        return [converter.convert(make_aod(reco)) for _, reco in pairs]
+
+    def test_charge_ratio_near_unity(self, w_level2):
+        report = WPathExercise().run(w_level2)
+        assert report["measured"] == pytest.approx(1.0, abs=0.5)
+        assert report["n_plus"] > 10
+        assert report["n_minus"] > 10
+
+    def test_selection_is_exclusive(self, z_level2):
+        # Z events mostly have two leptons, so the one-lepton W
+        # selection keeps few of them.
+        report = WPathExercise(min_met=0.0).run(
+            z_level2 + _fake_w_events()
+        )
+        assert report["n_candidates"] < len(z_level2)
+
+
+def _fake_w_events():
+    """A handful of synthetic single-lepton events to seed the ratio."""
+    from repro.outreach.format import Level2Event, SimplifiedParticle
+
+    events = []
+    for index, charge in enumerate([1, -1, 1, -1]):
+        events.append(Level2Event(
+            run_number=1, event_number=index,
+            collision_energy_tev=8.0,
+            particles=[SimplifiedParticle("muon", 60.0, 40.0, 0.2,
+                                          0.1, charge)],
+            met=35.0,
+        ))
+    return events
+
+
+class TestHiggsHunt:
+    def test_measures_higgs_mass(self, gpd_geometry, conditions_store):
+        from tests.conftest import run_chain
+        from repro.generation import HiggsToFourLeptons
+
+        pairs = run_chain([HiggsToFourLeptons()], 250, gpd_geometry,
+                          conditions_store, seed=7400)
+        converter = Level2Converter()
+        level2 = [converter.convert(make_aod(reco))
+                  for _, reco in pairs]
+        report = HiggsHuntExercise().run(level2)
+        assert report["measured"] == pytest.approx(125.0, abs=2.0)
+        assert report["n_candidates"] > 20
+
+
+class TestDLifetime:
+    @pytest.fixture(scope="class")
+    def d_level2(self, d0_recos):
+        converter = Level2Converter()
+        level2 = []
+        for reco in d0_recos:
+            candidates = build_d0_candidates(reco)
+            level2.append(converter.convert(make_aod(reco),
+                                            candidates=candidates))
+        return level2
+
+    def test_candidates_built(self, d0_recos):
+        n_candidates = sum(len(build_d0_candidates(reco))
+                           for reco in d0_recos)
+        assert n_candidates > 40
+
+    def test_candidate_masses_near_d0(self, d0_recos):
+        masses = [c["mass"]
+                  for reco in d0_recos
+                  for c in build_d0_candidates(reco)]
+        median = sorted(masses)[len(masses) // 2]
+        assert median == pytest.approx(1.865, abs=0.05)
+
+    def test_lifetime_measured(self, d_level2):
+        report = DLifetimeExercise().run(d_level2)
+        assert report["measured"] == pytest.approx(D0_LIFETIME_PS,
+                                                   rel=0.5)
+        assert report["error"] > 0.0
+
+    def test_needs_candidates(self, z_level2):
+        with pytest.raises(OutreachError):
+            DLifetimeExercise().run(z_level2)

@@ -1,0 +1,163 @@
+"""Tests for K-short production, displaced tracking, and the V0 exercise."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.conditions import default_conditions
+from repro.datamodel import make_aod
+from repro.detector import DetectorSimulation, Digitizer, generic_lhc_detector
+from repro.generation import (
+    GenEvent,
+    GeneratorConfig,
+    KshortProduction,
+    ToyGenerator,
+)
+from repro.kinematics import default_particle_table, invariant_mass
+from repro.outreach import (
+    Level2Converter,
+    V0Exercise,
+    build_v0_candidates,
+)
+from repro.reconstruction import GlobalTagView, Reconstructor
+from repro.reconstruction.tracking import TrackFinderConfig
+
+
+@pytest.fixture(scope="module")
+def v0_level2():
+    geometry = generic_lhc_detector()
+    generator = ToyGenerator(GeneratorConfig(
+        processes=[KshortProduction()], seed=8800))
+    simulation = DetectorSimulation(geometry, seed=8801)
+    digitizer = Digitizer(geometry, run_number=42, seed=8802)
+    reconstructor = Reconstructor(
+        geometry, GlobalTagView(default_conditions(), "GT-FINAL"),
+        track_config=TrackFinderConfig(d0_allowance_mm=40.0),
+    )
+    converter = Level2Converter()
+    level2 = []
+    for event in generator.generate(350):
+        reco = reconstructor.reconstruct(
+            digitizer.digitize(simulation.simulate(event)))
+        level2.append(converter.convert(
+            make_aod(reco), candidates=build_v0_candidates(reco)))
+    return level2
+
+
+class TestKshortProduction:
+    def test_truth_structure(self):
+        import numpy as np
+
+        from repro.generation.processes import Tune
+
+        rng = np.random.default_rng(1)
+        table = default_particle_table()
+        process = KshortProduction()
+        event = GenEvent(0, 310, "ks", 8000.0)
+        process.fill(event, rng, table, Tune.tune_a())
+        event.validate()
+        kshort = event.particles_with_pdg(310)[0]
+        assert kshort.decay_vertex is not None
+        pions = [p for p in event.final_state()
+                 if abs(p.pdg_id) == 211]
+        assert len(pions) == 2
+        assert pions[0].pdg_id == -pions[1].pdg_id
+        mass = invariant_mass([p.momentum for p in pions])
+        assert mass == pytest.approx(0.4976, abs=0.002)
+
+    def test_centimetre_flight_lengths(self):
+        import numpy as np
+
+        from repro.generation.processes import Tune
+
+        rng = np.random.default_rng(2)
+        table = default_particle_table()
+        process = KshortProduction()
+        flights = []
+        for index in range(200):
+            event = GenEvent(index, 310, "ks", 8000.0)
+            process.fill(event, rng, table, Tune.tune_a())
+            vertex = event.particles_with_pdg(310)[0].decay_vertex
+            flights.append(math.hypot(vertex[0], vertex[1]))
+        # ctau = 26.8 mm boosted by beta*gamma of a few.
+        assert 20.0 < statistics.median(flights) < 300.0
+
+
+class TestDisplacedTracking:
+    def test_d0_allowance_recovers_displaced_tracks(self):
+        geometry = generic_lhc_detector()
+        generator = ToyGenerator(GeneratorConfig(
+            processes=[KshortProduction()], seed=8900,
+            underlying_event=False))
+        simulation = DetectorSimulation(geometry, seed=8901)
+        digitizer = Digitizer(geometry, run_number=42, seed=8902)
+        from repro.reconstruction import TrackFinder
+
+        prompt = TrackFinder(geometry, TrackFinderConfig())
+        displaced = TrackFinder(geometry,
+                                TrackFinderConfig(d0_allowance_mm=40.0))
+        n_prompt = 0
+        n_displaced = 0
+        for event in generator.generate(60):
+            raw = digitizer.digitize(simulation.simulate(event))
+            n_prompt += len(prompt.find(raw.tracker_hits))
+            n_displaced += len(displaced.find(raw.tracker_hits))
+        assert n_displaced >= n_prompt
+
+
+class TestV0Candidates:
+    def test_candidates_peak_at_kshort_mass(self, v0_level2):
+        masses = [candidate["mass"]
+                  for event in v0_level2
+                  for candidate in event.candidates]
+        assert len(masses) > 30
+        assert statistics.median(masses) == pytest.approx(0.4976,
+                                                          abs=0.003)
+
+    def test_candidates_are_displaced(self, v0_level2):
+        flights = [candidate["flight_mm"]
+                   for event in v0_level2
+                   for candidate in event.candidates]
+        assert min(flights) >= 2.0
+        assert statistics.median(flights) > 5.0
+
+    def test_exercise_measures_mass(self, v0_level2):
+        report = V0Exercise().run(v0_level2)
+        assert report["measured"] == pytest.approx(0.4976, abs=0.002)
+        assert report["n_candidates"] > 30
+
+    def test_exercise_needs_v0s(self, z_aods):
+        converter = Level2Converter()
+        from repro.errors import OutreachError
+
+        with pytest.raises(OutreachError):
+            V0Exercise().run(converter.convert_many(z_aods))
+
+
+class TestTable1Coverage:
+    def test_alice_v0_use_now_covered(self):
+        from repro.experiments import (
+            get_experiment,
+            verify_outreach_capabilities,
+        )
+
+        result = verify_outreach_capabilities(get_experiment("ALICE"))
+        coverage = result["masterclass_coverage"]
+        assert coverage["V0 analyses"] == "V0Exercise"
+
+    def test_all_lhc_masterclass_uses_covered(self):
+        from repro.experiments import (
+            lhc_experiments,
+            verify_outreach_capabilities,
+        )
+
+        for profile in lhc_experiments():
+            result = verify_outreach_capabilities(profile)
+            named_uses = [
+                use for use in result["masterclass_coverage"]
+                if any(keyword in use for keyword in
+                       ("W", "Z", "Higgs", "D lifetime", "V0"))
+            ]
+            for use in named_uses:
+                assert result["masterclass_coverage"][use] is not None

@@ -1,0 +1,58 @@
+"""Package-level integrity checks."""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def _all_module_names():
+    names = []
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+class TestImports:
+    def test_every_module_importable(self):
+        names = _all_module_names()
+        assert len(names) > 70
+        for name in names:
+            importlib.import_module(name)
+
+    def test_every_module_has_docstring(self):
+        for name in _all_module_names():
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} has no module docstring"
+
+    def test_public_api_exports_resolve(self):
+        packages = [
+            "repro.kinematics", "repro.generation", "repro.detector",
+            "repro.conditions", "repro.reconstruction",
+            "repro.datamodel", "repro.workflow", "repro.provenance",
+            "repro.stats", "repro.rivet", "repro.recast",
+            "repro.hepdata", "repro.core", "repro.outreach",
+            "repro.interview", "repro.experiments", "repro.trigger",
+        ]
+        for package_name in packages:
+            package = importlib.import_module(package_name)
+            assert hasattr(package, "__all__"), package_name
+            for symbol in package.__all__:
+                assert hasattr(package, symbol), (
+                    f"{package_name}.__all__ lists missing {symbol!r}"
+                )
+
+    def test_public_callables_documented(self):
+        undocumented = []
+        for package_name in ("repro.core", "repro.rivet",
+                             "repro.recast", "repro.outreach"):
+            package = importlib.import_module(package_name)
+            for symbol in package.__all__:
+                obj = getattr(package, symbol)
+                if callable(obj) and not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{package_name}.{symbol}")
+        assert undocumented == []
+
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"

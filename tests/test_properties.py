@@ -1,0 +1,247 @@
+"""Cross-package property-based tests (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.archive import canonical_json, sha256_digest
+from repro.datamodel import GoodRunList, RunRecord, RunRegistry
+from repro.outreach.format import Level2Event, SimplifiedParticle
+from repro.stats import Histogram1D
+
+# ----------------------------------------------------------------------
+# Level-2 format round trips
+# ----------------------------------------------------------------------
+
+particle_strategy = st.builds(
+    SimplifiedParticle,
+    particle_type=st.sampled_from(("electron", "muon", "photon",
+                                   "jet")),
+    energy=st.floats(min_value=0.1, max_value=1000.0),
+    pt=st.floats(min_value=0.1, max_value=500.0),
+    eta=st.floats(min_value=-5.0, max_value=5.0),
+    phi=st.floats(min_value=-math.pi, max_value=math.pi),
+    charge=st.sampled_from((-1, 0, 1)),
+)
+
+event_strategy = st.builds(
+    Level2Event,
+    run_number=st.integers(min_value=0, max_value=10**6),
+    event_number=st.integers(min_value=0, max_value=10**9),
+    collision_energy_tev=st.floats(min_value=0.9, max_value=100.0),
+    particles=st.lists(particle_strategy, max_size=10),
+    met=st.floats(min_value=0.0, max_value=500.0),
+    met_phi=st.floats(min_value=-math.pi, max_value=math.pi),
+)
+
+
+class TestLevel2Properties:
+    @given(event=event_strategy)
+    @settings(max_examples=100)
+    def test_roundtrip(self, event):
+        restored = Level2Event.from_dict(event.to_dict())
+        assert restored.to_dict() == event.to_dict()
+
+    @given(event=event_strategy)
+    @settings(max_examples=100)
+    def test_leptons_subset_and_sorted(self, event):
+        leptons = event.leptons()
+        assert all(p.particle_type in ("electron", "muon")
+                   for p in leptons)
+        pts = [p.pt for p in leptons]
+        assert pts == sorted(pts, reverse=True)
+        assert len(leptons) <= len(event.particles)
+
+    @given(event=event_strategy)
+    @settings(max_examples=50)
+    def test_type_partition(self, event):
+        total = sum(len(event.of_type(kind))
+                    for kind in ("electron", "muon", "photon", "jet"))
+        assert total == len(event.particles)
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+
+json_scalars = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+)
+json_payloads = st.dictionaries(
+    st.text(min_size=1, max_size=12), json_scalars, max_size=10,
+)
+
+
+class TestContentAddressingProperties:
+    @given(payload=json_payloads)
+    @settings(max_examples=150)
+    def test_digest_deterministic(self, payload):
+        assert sha256_digest(canonical_json(payload)) == \
+            sha256_digest(canonical_json(dict(payload)))
+
+    @given(payload=json_payloads, key=st.text(min_size=1, max_size=12))
+    @settings(max_examples=100)
+    def test_digest_sensitive_to_content(self, payload, key):
+        modified = dict(payload)
+        sentinel = "__sentinel__"
+        if modified.get(key) == sentinel:
+            return
+        modified[key] = sentinel
+        assert sha256_digest(canonical_json(payload)) != \
+            sha256_digest(canonical_json(modified))
+
+
+# ----------------------------------------------------------------------
+# Good-run lists
+# ----------------------------------------------------------------------
+
+range_lists = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=500),
+              st.integers(min_value=1, max_value=500)),
+    max_size=10,
+)
+
+
+class TestGoodRunListProperties:
+    @given(raw_ranges=range_lists)
+    @settings(max_examples=100)
+    def test_certified_sections_equals_point_count(self, raw_ranges):
+        grl = GoodRunList("prop")
+        accepted = []
+        for first, last in raw_ranges:
+            first, last = min(first, last), max(first, last)
+            try:
+                grl.certify(1, first, last)
+            except Exception:
+                continue  # overlap with an accepted range
+            accepted.append((first, last))
+        by_count = grl.certified_sections(1)
+        by_points = sum(1 for section in range(1, 501)
+                        if grl.is_good(1, section))
+        assert by_count == by_points
+        assert by_count == sum(last - first + 1
+                               for first, last in accepted)
+
+    @given(sections=st.integers(min_value=1, max_value=300),
+           lumi=st.floats(min_value=0.001, max_value=10.0))
+    @settings(max_examples=50)
+    def test_full_certification_matches_delivered(self, sections, lumi):
+        registry = RunRegistry("prop")
+        registry.add(RunRecord(1, sections, lumi))
+        grl = GoodRunList("prop")
+        grl.certify(1, 1, sections)
+        assert grl.certified_luminosity_ipb(registry) == \
+            pytest.approx(registry.total_luminosity_ipb())
+
+
+# ----------------------------------------------------------------------
+# Histogram algebra
+# ----------------------------------------------------------------------
+
+fill_lists = st.lists(
+    st.floats(min_value=-10.0, max_value=110.0), min_size=1,
+    max_size=60,
+)
+
+
+class TestHistogramAlgebraProperties:
+    @given(values_a=fill_lists, values_b=fill_lists)
+    @settings(max_examples=100)
+    def test_addition_commutes(self, values_a, values_b):
+        a = Histogram1D("a", 20, 0.0, 100.0)
+        b = Histogram1D("b", 20, 0.0, 100.0)
+        a.fill_array(values_a)
+        b.fill_array(values_b)
+        assert np.allclose((a + b).values(), (b + a).values())
+        assert np.allclose((a + b).errors(), (b + a).errors())
+
+    @given(values=fill_lists,
+           scale=st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=100)
+    def test_scaling_distributes_over_addition(self, values, scale):
+        a = Histogram1D("a", 20, 0.0, 100.0)
+        a.fill_array(values)
+        left = (a + a).scaled(scale)
+        right = a.scaled(scale) + a.scaled(scale)
+        assert np.allclose(left.values(), right.values())
+
+    @given(values=fill_lists)
+    @settings(max_examples=100)
+    def test_subtracting_self_leaves_zero_values(self, values):
+        a = Histogram1D("a", 20, 0.0, 100.0)
+        a.fill_array(values)
+        difference = a - a
+        assert np.allclose(difference.values(), 0.0)
+        # ... but not zero *errors*: uncertainties add in quadrature.
+        if a.integral() > 0.0:
+            assert difference.errors().sum() > 0.0
+
+
+# ----------------------------------------------------------------------
+# Selection-cut serialisation over generated trees
+# ----------------------------------------------------------------------
+
+
+def _cut_strategy():
+    from repro.datamodel import (
+        AndCut,
+        CountCut,
+        HtCut,
+        MetCut,
+        NotCut,
+        OrCut,
+    )
+
+    leaves = st.one_of(
+        st.builds(CountCut,
+                  collection=st.sampled_from(("electrons", "muons",
+                                              "jets", "leptons")),
+                  min_count=st.integers(min_value=0, max_value=4),
+                  min_pt=st.floats(min_value=0.0, max_value=100.0)),
+        st.builds(MetCut,
+                  min_met=st.floats(min_value=0.0, max_value=200.0)),
+        st.builds(HtCut,
+                  min_ht=st.floats(min_value=0.0, max_value=500.0)),
+    )
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.builds(lambda items: AndCut(tuple(items)),
+                      st.lists(children, min_size=1, max_size=3)),
+            st.builds(lambda items: OrCut(tuple(items)),
+                      st.lists(children, min_size=1, max_size=3)),
+            st.builds(NotCut, children),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestCutTreeProperties:
+    @given(cut=_cut_strategy())
+    @settings(max_examples=100)
+    def test_serialisation_roundtrip(self, cut):
+        from repro.datamodel import cut_from_dict
+
+        assert cut_from_dict(cut.to_dict()).to_dict() == cut.to_dict()
+
+    _shared_aods: list = []
+
+    @given(cut=_cut_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_preserves_semantics(self, cut):
+        from repro.datamodel import AODEvent, cut_from_dict
+
+        if not self._shared_aods:
+            self._shared_aods.extend(
+                AODEvent(1, index) for index in range(3)
+            )
+        restored = cut_from_dict(cut.to_dict())
+        for aod in self._shared_aods:
+            assert restored.passes(aod) == cut.passes(aod)

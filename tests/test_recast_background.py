@@ -1,0 +1,106 @@
+"""Tests for end-to-end background estimation."""
+
+import pytest
+
+from repro.datamodel import AndCut, CountCut, MassWindowCut, SkimSpec
+from repro.errors import BackendError
+from repro.generation import DrellYanZ, WProduction
+from repro.recast.background import (
+    BackgroundEstimate,
+    combine_estimates,
+    estimate_background,
+)
+
+
+@pytest.fixture(scope="module")
+def z_window_selection():
+    return SkimSpec("z_window", AndCut((
+        CountCut("muons", 2, min_pt=15.0),
+        MassWindowCut("muons", 80.0, 100.0, opposite_charge=True),
+    )))
+
+
+class TestEstimates:
+    def test_dominant_background_identified(self, gpd_geometry,
+                                            conditions_store,
+                                            z_window_selection):
+        estimates = estimate_background(
+            processes=[DrellYanZ(cross_section_pb=1100.0),
+                       WProduction(cross_section_pb=11000.0)],
+            selection=z_window_selection,
+            luminosity_ipb=100.0,
+            geometry=gpd_geometry,
+            conditions=conditions_store,
+            n_events_per_process=120,
+            seed=7100,
+        )
+        by_name = {estimate.process_name: estimate
+                   for estimate in estimates}
+        z_estimate = by_name["z_to_mumu"]
+        w_estimate = by_name["wplus_to_munu"]
+        # Drell-Yan dominates a Z-window dimuon selection; W with one
+        # real muon barely enters.
+        assert z_estimate.efficiency > 0.3
+        assert w_estimate.efficiency < 0.05
+        assert z_estimate.expected_events > 10.0
+
+    def test_combination(self):
+        estimates = [
+            BackgroundEstimate("a", 10.0, 100, 50, 2.0),
+            BackgroundEstimate("b", 1.0, 100, 0, 2.0),
+        ]
+        total, uncertainty = combine_estimates(estimates)
+        assert total == pytest.approx(10.0)  # 10*0.5*2 + 0
+        assert uncertainty > 0.0
+
+    def test_zero_selected_uses_upper_bound(self):
+        estimate = BackgroundEstimate("x", 5.0, 100, 0, 10.0)
+        assert estimate.expected_events == 0.0
+        assert estimate.statistical_uncertainty == pytest.approx(0.5)
+
+    def test_validation(self, gpd_geometry, z_window_selection):
+        with pytest.raises(BackendError):
+            estimate_background([], z_window_selection, 10.0,
+                                gpd_geometry)
+        with pytest.raises(BackendError):
+            estimate_background([DrellYanZ()], z_window_selection,
+                                0.0, gpd_geometry)
+        with pytest.raises(BackendError):
+            combine_estimates([])
+
+    def test_feeds_a_preserved_search(self, gpd_geometry,
+                                      conditions_store,
+                                      z_window_selection):
+        """The catalogue numbers are now derivable, not asserted."""
+        from repro.recast import PreservedSearch
+
+        estimates = estimate_background(
+            processes=[DrellYanZ(cross_section_pb=1100.0)],
+            selection=z_window_selection,
+            luminosity_ipb=50.0,
+            geometry=gpd_geometry,
+            conditions=conditions_store,
+            n_events_per_process=80,
+            seed=7200,
+        )
+        background, uncertainty = combine_estimates(estimates)
+        search = PreservedSearch(
+            analysis_id="GPD-SMP-Z", title="Z window counting",
+            experiment="GPD", selection=z_window_selection,
+            n_observed=int(round(background)),
+            background=background,
+            background_uncertainty=uncertainty,
+            luminosity_ipb=50.0,
+        )
+        assert search.background > 0.0
+
+
+class TestWorkflowDot:
+    def test_dot_export(self):
+        from repro.experiments import build_workflow, get_experiment
+
+        dot = build_workflow(get_experiment("CMS")).to_dot()
+        assert dot.startswith('digraph "CMS"')
+        assert '"raw" -> "reconstruction"' in dot
+        assert "shape=diamond" in dot  # the conditions DB external
+        assert dot.rstrip().endswith("}")

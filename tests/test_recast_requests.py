@@ -1,0 +1,157 @@
+"""Tests for RECAST requests, catalog, and the state machine."""
+
+import pytest
+
+from repro.datamodel import AndCut, CountCut, MassWindowCut, SkimSpec
+from repro.errors import RecastError, RequestStateError
+from repro.recast import (
+    AnalysisCatalog,
+    ModelSpec,
+    PreservedSearch,
+    RecastRequest,
+    RequestStatus,
+)
+
+
+def make_search(analysis_id="GPD-EXO-01", experiment="GPD"):
+    selection = SkimSpec("highmass", AndCut((
+        CountCut("muons", 2, min_pt=30.0),
+        MassWindowCut("muons", 500.0, 1e9, opposite_charge=True),
+    )))
+    return PreservedSearch(
+        analysis_id=analysis_id,
+        title="High-mass dimuon search",
+        experiment=experiment,
+        selection=selection,
+        n_observed=3,
+        background=2.5,
+        background_uncertainty=0.6,
+        luminosity_ipb=20000.0,
+    )
+
+
+class TestPreservedSearch:
+    def test_validation(self):
+        with pytest.raises(RecastError):
+            PreservedSearch("x", "t", "GPD",
+                            SkimSpec("s", CountCut("muons", 1)),
+                            n_observed=-1, background=1.0,
+                            background_uncertainty=0.1,
+                            luminosity_ipb=10.0)
+
+    def test_public_metadata_hides_internals(self):
+        search = make_search()
+        public = search.public_metadata()
+        assert "selection" not in public
+        assert "background" not in public
+        assert public["analysis_id"] == "GPD-EXO-01"
+
+    def test_roundtrip(self):
+        search = make_search()
+        restored = PreservedSearch.from_dict(search.to_dict())
+        assert restored.analysis_id == search.analysis_id
+        assert restored.selection.to_dict() == search.selection.to_dict()
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        catalog = AnalysisCatalog("GPD")
+        catalog.register(make_search())
+        assert "GPD-EXO-01" in catalog
+        assert catalog.get("GPD-EXO-01").n_observed == 3
+
+    def test_wrong_experiment_rejected(self):
+        catalog = AnalysisCatalog("FWD")
+        with pytest.raises(RecastError):
+            catalog.register(make_search(experiment="GPD"))
+
+    def test_duplicate_rejected(self):
+        catalog = AnalysisCatalog("GPD")
+        catalog.register(make_search())
+        with pytest.raises(RecastError):
+            catalog.register(make_search())
+
+    def test_public_listing(self):
+        catalog = AnalysisCatalog("GPD")
+        catalog.register(make_search())
+        catalog.register(make_search(analysis_id="GPD-EXO-02"))
+        listing = catalog.public_listing()
+        assert len(listing) == 2
+        assert all("selection" not in entry for entry in listing)
+
+
+class TestModelSpec:
+    def test_unknown_process_rejected(self):
+        with pytest.raises(RecastError):
+            ModelSpec("bad", "magic_process")
+
+    def test_roundtrip(self):
+        model = ModelSpec("Zp", "zprime", {"mass": 1500.0})
+        assert ModelSpec.from_dict(model.to_dict()) == model
+
+
+class TestStateMachine:
+    def _request(self):
+        return RecastRequest(
+            request_id="req-1", analysis_id="GPD-EXO-01",
+            requester="theorist",
+            model=ModelSpec("Zp", "zprime", {"mass": 1500.0}),
+        )
+
+    def test_happy_path(self):
+        request = self._request()
+        request.transition(RequestStatus.ACCEPTED)
+        request.transition(RequestStatus.PROCESSING)
+        request.transition(RequestStatus.PENDING_APPROVAL)
+        request.transition(RequestStatus.APPROVED)
+        assert request.is_terminal
+        assert len(request.history) == 4
+
+    def test_rejection_path(self):
+        request = self._request()
+        request.transition(RequestStatus.REJECTED, "out of scope")
+        assert request.is_terminal
+        assert "out of scope" in request.history[0]
+
+    def test_illegal_jump_rejected(self):
+        request = self._request()
+        with pytest.raises(RequestStateError):
+            request.transition(RequestStatus.APPROVED)
+
+    def test_terminal_state_frozen(self):
+        request = self._request()
+        request.transition(RequestStatus.REJECTED)
+        with pytest.raises(RequestStateError):
+            request.transition(RequestStatus.ACCEPTED)
+
+    def test_cannot_skip_processing(self):
+        request = self._request()
+        request.transition(RequestStatus.ACCEPTED)
+        with pytest.raises(RequestStateError):
+            request.transition(RequestStatus.PENDING_APPROVAL)
+
+    def test_public_view_hides_result_until_approved(self):
+        from repro.recast import RecastResult
+
+        request = self._request()
+        request.transition(RequestStatus.ACCEPTED)
+        request.transition(RequestStatus.PROCESSING)
+        request.result = RecastResult(
+            analysis_id="GPD-EXO-01", model_name="Zp", n_generated=10,
+            n_selected=5, signal_efficiency=0.5, efficiency_error=0.1,
+            upper_limit_pb=0.1, model_cross_section_pb=0.05,
+            excluded=False, backend="test",
+        )
+        request.transition(RequestStatus.PENDING_APPROVAL)
+        assert "result" not in request.public_view()
+        request.transition(RequestStatus.APPROVED)
+        assert request.public_view()["result"]["signal_efficiency"] == 0.5
+
+    def test_failure_reason_visible(self):
+        request = self._request()
+        request.transition(RequestStatus.ACCEPTED)
+        request.transition(RequestStatus.PROCESSING)
+        request.failure_reason = "generator crashed"
+        request.transition(RequestStatus.FAILED)
+        assert request.public_view()["failure_reason"] == \
+            "generator crashed"

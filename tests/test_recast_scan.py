@@ -1,0 +1,105 @@
+"""Tests for exclusion scans."""
+
+import math
+
+import pytest
+
+from repro.datamodel import AndCut, CountCut, MassWindowCut, SkimSpec
+from repro.errors import RecastError
+from repro.recast import (
+    ExclusionScan,
+    PreservedSearch,
+    RecastResult,
+    ScanPoint,
+    run_mass_scan,
+)
+from repro.recast.bridge import RivetBridgeBackend, RivetSignalRegion
+from repro.rivet import standard_repository
+
+
+def _search():
+    selection = SkimSpec("highmass", AndCut((
+        CountCut("muons", 2, min_pt=30.0),
+        MassWindowCut("muons", 500.0, 1e9, opposite_charge=True),
+    )))
+    return PreservedSearch(
+        analysis_id="GPD-EXO-2013-01", title="High-mass dimuon search",
+        experiment="GPD", selection=selection, n_observed=3,
+        background=2.5, background_uncertainty=0.6,
+        luminosity_ipb=20000.0,
+    )
+
+
+def _point(mass, limit, efficiency=0.7):
+    return ScanPoint(mass=mass, result=RecastResult(
+        analysis_id="A", model_name=f"m{mass}", n_generated=100,
+        n_selected=int(100 * efficiency),
+        signal_efficiency=efficiency, efficiency_error=0.05,
+        upper_limit_pb=limit, model_cross_section_pb=0.05,
+        excluded=limit < 0.05, backend="test",
+    ))
+
+
+class TestExclusionScanLogic:
+    def test_limits_mass_ordered(self):
+        scan = ExclusionScan("A", "zprime", points=[
+            _point(2000.0, 0.01), _point(1000.0, 0.001),
+        ])
+        assert scan.limits() == [(1000.0, 0.001), (2000.0, 0.01)]
+
+    def test_excluded_masses(self):
+        scan = ExclusionScan("A", "zprime", points=[
+            _point(1000.0, 0.001), _point(2000.0, 0.1),
+        ])
+        assert scan.excluded_masses(0.05) == [1000.0]
+
+    def test_mass_reach_contiguous(self):
+        scan = ExclusionScan("A", "zprime", points=[
+            _point(1000.0, 0.001),
+            _point(1500.0, 0.001),
+            _point(2000.0, 0.1),   # gap: allowed
+            _point(2500.0, 0.001),  # excluded again, but beyond the gap
+        ])
+        assert scan.mass_reach(0.05) == 1500.0
+
+    def test_no_reach_when_lightest_allowed(self):
+        scan = ExclusionScan("A", "zprime", points=[
+            _point(1000.0, 0.1),
+        ])
+        assert scan.mass_reach(0.05) is None
+
+    def test_infinite_limit_never_excludes(self):
+        scan = ExclusionScan("A", "zprime", points=[
+            _point(1000.0, math.inf),
+        ])
+        assert scan.excluded_masses(1e6) == []
+
+    def test_render(self):
+        scan = ExclusionScan("A", "zprime", points=[
+            _point(1000.0, 0.001),
+        ])
+        text = scan.render(0.05)
+        assert "mass reach" in text
+        assert "EXCL" in text
+
+
+class TestScanDriver:
+    def test_empty_grid_rejected(self):
+        backend = RivetBridgeBackend(standard_repository(), {},
+                                     n_events=10)
+        with pytest.raises(RecastError):
+            run_mass_scan(backend, _search(), [])
+
+    def test_bridge_scan_small_grid(self):
+        search = _search()
+        backend = RivetBridgeBackend(
+            standard_repository(),
+            signal_regions={search.analysis_id: RivetSignalRegion(
+                "TOY_2013_I0007", "mass", 500.0, 3000.0)},
+            n_events=150, n_limit_toys=600, seed=6400,
+        )
+        scan = run_mass_scan(backend, search, [800.0, 1600.0],
+                             cross_section_pb=0.05)
+        assert len(scan.points) == 2
+        assert all(point.efficiency > 0.4 for point in scan.points)
+        assert scan.mass_reach(0.05) == 1600.0

@@ -1,0 +1,103 @@
+"""Tests for calorimeter clustering."""
+
+import pytest
+
+from repro.detector import generic_lhc_detector
+from repro.detector.digitization import CaloCellHit
+from repro.errors import ReconstructionError
+from repro.reconstruction import CaloCluster, CaloClusterer
+from repro.reconstruction.clustering import ClustererConfig
+
+
+@pytest.fixture(scope="module")
+def clusterer():
+    return CaloClusterer(generic_lhc_detector())
+
+
+def _cells(sub, entries):
+    return [CaloCellHit(sub, ieta, iphi, energy)
+            for ieta, iphi, energy in entries]
+
+
+class TestClustering:
+    def test_single_cluster_from_neighbourhood(self, clusterer):
+        cells = _cells("ecal", [(60, 64, 10.0), (60, 65, 2.0),
+                                (61, 64, 1.5)])
+        clusters = clusterer.cluster(cells, "ecal")
+        assert len(clusters) == 1
+        assert clusters[0].energy == pytest.approx(13.5)
+        assert clusters[0].n_cells == 3
+
+    def test_two_separated_clusters(self, clusterer):
+        cells = _cells("ecal", [(20, 10, 8.0), (80, 100, 12.0)])
+        clusters = clusterer.cluster(cells, "ecal")
+        assert len(clusters) == 2
+        energies = sorted(c.energy for c in clusters)
+        assert energies == pytest.approx([8.0, 12.0])
+
+    def test_highest_seed_claims_shared_cells(self, clusterer):
+        # Two seeds two cells apart share a middle cell; the higher seed
+        # claims it first.
+        cells = _cells("ecal", [(50, 50, 10.0), (50, 51, 3.0),
+                                (50, 52, 9.0)])
+        clusters = clusterer.cluster(cells, "ecal")
+        total = sum(c.energy for c in clusters)
+        assert total == pytest.approx(22.0)
+        leading = max(clusters, key=lambda c: c.energy)
+        assert leading.energy == pytest.approx(13.0)
+
+    def test_sub_threshold_cells_ignored(self, clusterer):
+        cells = _cells("ecal", [(30, 30, 0.05)])
+        assert clusterer.cluster(cells, "ecal") == []
+
+    def test_seed_threshold_respected(self, clusterer):
+        cells = _cells("ecal", [(30, 30, 0.4)])
+        assert clusterer.cluster(cells, "ecal") == []
+
+    def test_min_cluster_energy(self):
+        clusterer = CaloClusterer(
+            generic_lhc_detector(),
+            config=ClustererConfig(cluster_min_energy=20.0),
+        )
+        cells = _cells("ecal", [(30, 30, 10.0)])
+        assert clusterer.cluster(cells, "ecal") == []
+
+    def test_phi_wraparound_neighbourhood(self, clusterer):
+        # Cells at iphi = 0 and iphi = 127 are adjacent on the cylinder.
+        cells = _cells("ecal", [(40, 0, 10.0), (40, 127, 2.0)])
+        clusters = clusterer.cluster(cells, "ecal")
+        assert len(clusters) == 1
+        assert clusters[0].energy == pytest.approx(12.0)
+
+    def test_energy_scale_correction(self, clusterer):
+        cells = _cells("ecal", [(60, 64, 10.0)])
+        corrected = clusterer.cluster(cells, "ecal", energy_scale=1.05)
+        assert corrected[0].energy == pytest.approx(10.0 / 1.05)
+
+    def test_bad_scale_rejected(self, clusterer):
+        with pytest.raises(ReconstructionError):
+            clusterer.cluster([], "ecal", energy_scale=0.0)
+
+    def test_centroid_position(self, clusterer):
+        cells = _cells("ecal", [(60, 64, 10.0)])
+        cluster = clusterer.cluster(cells, "ecal")[0]
+        # ieta 60 of 120 cells over |eta|<3 -> eta ~ 0.0 + half cell.
+        assert abs(cluster.eta) < 0.05
+
+    def test_wrong_subdetector_cells_ignored(self, clusterer):
+        cells = _cells("hcal", [(40, 30, 10.0)])
+        assert clusterer.cluster(cells, "ecal") == []
+
+
+class TestCaloClusterDataclass:
+    def test_p4_points_at_centroid(self):
+        cluster = CaloCluster("ecal", 50.0, 1.0, 0.5, 3)
+        p4 = cluster.p4()
+        assert p4.eta == pytest.approx(1.0, rel=1e-6)
+        assert p4.phi == pytest.approx(0.5, rel=1e-6)
+        assert p4.e == pytest.approx(50.0, rel=1e-6)
+        assert p4.mass == pytest.approx(0.0, abs=1e-6)
+
+    def test_serialisation_roundtrip(self):
+        cluster = CaloCluster("hcal", 22.0, -1.2, 2.2, 5)
+        assert CaloCluster.from_dict(cluster.to_dict()) == cluster

@@ -1,0 +1,76 @@
+"""Tests for cone jet clustering."""
+
+import math
+
+import pytest
+
+from repro.reconstruction import CaloCluster
+from repro.reconstruction.jets import ConeJetConfig, ConeJetFinder
+
+
+@pytest.fixture
+def finder():
+    return ConeJetFinder()
+
+
+def _cluster(energy, eta, phi, sub="hcal"):
+    return CaloCluster(sub, energy, eta, phi, 2)
+
+
+class TestConeJets:
+    def test_collimated_clusters_form_one_jet(self, finder):
+        clusters = [_cluster(30.0, 0.5, 1.0), _cluster(10.0, 0.55, 1.1),
+                    _cluster(5.0, 0.45, 0.95)]
+        jets = finder.find(clusters)
+        assert len(jets) == 1
+        assert jets[0].n_constituents == 3
+        assert jets[0].p4.e == pytest.approx(45.0, rel=1e-6)
+
+    def test_back_to_back_dijet(self, finder):
+        clusters = [_cluster(60.0, 0.2, 0.5),
+                    _cluster(55.0, -0.3, 0.5 - math.pi)]
+        jets = finder.find(clusters)
+        assert len(jets) == 2
+        assert jets[0].p4.pt >= jets[1].p4.pt
+
+    def test_soft_activity_ignored(self, finder):
+        clusters = [_cluster(2.0, 1.0, 1.0), _cluster(2.5, -1.0, -1.0)]
+        assert finder.find(clusters) == []
+
+    def test_jet_min_pt(self):
+        finder = ConeJetFinder(ConeJetConfig(jet_min_pt=100.0))
+        clusters = [_cluster(50.0, 0.0, 1.0)]
+        assert finder.find(clusters) == []
+
+    def test_cone_radius_controls_merging(self):
+        narrow = ConeJetFinder(ConeJetConfig(cone_radius=0.2))
+        wide = ConeJetFinder(ConeJetConfig(cone_radius=0.8))
+        clusters = [_cluster(40.0, 0.0, 1.0), _cluster(35.0, 0.5, 1.0)]
+        assert len(narrow.find(clusters)) == 2
+        assert len(wide.find(clusters)) == 1
+
+    def test_em_fraction(self, finder):
+        clusters = [_cluster(30.0, 0.5, 1.0, sub="hcal"),
+                    _cluster(10.0, 0.52, 1.05, sub="ecal")]
+        jets = finder.find(clusters)
+        assert jets[0].em_fraction == pytest.approx(0.25, rel=1e-6)
+
+    def test_jets_sorted_by_pt(self, finder):
+        clusters = [_cluster(30.0, 2.0, 0.0),
+                    _cluster(80.0, 0.0, 2.0),
+                    _cluster(50.0, -1.0, -2.0)]
+        jets = finder.find(clusters)
+        pts = [jet.p4.pt for jet in jets]
+        assert pts == sorted(pts, reverse=True)
+
+    def test_empty_input(self, finder):
+        assert finder.find([]) == []
+
+
+class TestOnRealEvents:
+    def test_dijet_events_have_jets(self, mixed_pairs):
+        dijet_recos = [reco for gen, reco in mixed_pairs
+                       if gen.process_name == "qcd_dijets"]
+        assert dijet_recos, "mixed sample should contain dijet events"
+        with_jets = sum(1 for reco in dijet_recos if reco.jets)
+        assert with_jets / len(dijet_recos) > 0.4

@@ -1,0 +1,151 @@
+"""Tests for candidate-object building and the RECO container."""
+
+import math
+
+import pytest
+
+from repro.detector.digitization import MuonChamberHit
+from repro.kinematics import invariant_mass
+from repro.reconstruction import CaloCluster, RecoEvent, Track
+from repro.reconstruction.objects import (
+    ELECTRON_MASS,
+    MUON_MASS,
+    ObjectBuilder,
+)
+
+
+@pytest.fixture
+def builder():
+    return ObjectBuilder()
+
+
+def _track(pt, eta, phi, charge=1):
+    return Track(pt, eta, phi, charge, 0.0, 0.0, 1.0, 8)
+
+
+class TestMuonBuilding:
+    def test_matched_track_becomes_muon(self, builder):
+        track = _track(30.0, 0.5, 1.0)
+        hits = [MuonChamberHit(0, 0.5, 1.0), MuonChamberHit(1, 0.51, 1.0)]
+        muons = builder.build_muons([track], hits)
+        assert len(muons) == 1
+        assert muons[0].n_stations == 2
+        assert muons[0].p4.mass == pytest.approx(MUON_MASS, rel=1e-6)
+
+    def test_single_station_rejected(self, builder):
+        track = _track(30.0, 0.5, 1.0)
+        hits = [MuonChamberHit(0, 0.5, 1.0)]
+        assert builder.build_muons([track], hits) == []
+
+    def test_unmatched_direction_rejected(self, builder):
+        track = _track(30.0, 0.5, 1.0)
+        hits = [MuonChamberHit(0, -1.5, 2.0), MuonChamberHit(1, -1.5, 2.0)]
+        assert builder.build_muons([track], hits) == []
+
+    def test_low_pt_rejected(self, builder):
+        track = _track(1.0, 0.5, 1.0)
+        hits = [MuonChamberHit(0, 0.5, 1.0), MuonChamberHit(1, 0.5, 1.0)]
+        assert builder.build_muons([track], hits) == []
+
+    def test_isolation_sums_nearby_tracks(self, builder):
+        track = _track(30.0, 0.5, 1.0)
+        nearby = _track(5.0, 0.55, 1.05)
+        far = _track(50.0, -2.0, -2.0)
+        hits = [MuonChamberHit(0, 0.5, 1.0), MuonChamberHit(1, 0.5, 1.0)]
+        muons = builder.build_muons([track, nearby, far], hits)
+        muon = next(m for m in muons if m.p4.pt > 25.0)
+        assert muon.isolation == pytest.approx(5.0)
+
+
+class TestElectronBuilding:
+    def test_track_cluster_match(self, builder):
+        track = _track(25.0, 0.3, -1.0, charge=-1)
+        momentum = track.p4(ELECTRON_MASS).p
+        cluster = CaloCluster("ecal", momentum * 1.0, 0.3, -1.0, 4)
+        electrons = builder.build_electrons([track], [cluster], [])
+        assert len(electrons) == 1
+        assert electrons[0].charge == -1
+        assert electrons[0].e_over_p == pytest.approx(1.0, rel=0.01)
+
+    def test_bad_e_over_p_rejected(self, builder):
+        track = _track(25.0, 0.3, -1.0)
+        momentum = track.p4(ELECTRON_MASS).p
+        cluster = CaloCluster("ecal", momentum * 3.0, 0.3, -1.0, 4)
+        assert builder.build_electrons([track], [cluster], []) == []
+
+    def test_muon_track_not_reused(self, builder):
+        track = _track(25.0, 0.3, -1.0)
+        hits = [MuonChamberHit(0, 0.3, -1.0),
+                MuonChamberHit(1, 0.3, -1.0)]
+        muons = builder.build_muons([track], hits)
+        momentum = track.p4(ELECTRON_MASS).p
+        cluster = CaloCluster("ecal", momentum, 0.3, -1.0, 4)
+        assert builder.build_electrons([track], [cluster], muons) == []
+
+    def test_cluster_used_once(self, builder):
+        track1 = _track(25.0, 0.3, -1.0)
+        track2 = _track(24.0, 0.31, -0.99)
+        momentum = track1.p4(ELECTRON_MASS).p
+        cluster = CaloCluster("ecal", momentum, 0.3, -1.0, 4)
+        electrons = builder.build_electrons([track1, track2], [cluster],
+                                            [])
+        assert len(electrons) == 1
+
+
+class TestPhotonBuilding:
+    def test_trackless_cluster_is_photon(self, builder):
+        cluster = CaloCluster("ecal", 30.0, 1.0, 2.0, 3)
+        photons = builder.build_photons([], [cluster], [])
+        assert len(photons) == 1
+        assert photons[0].p4.e == pytest.approx(30.0, rel=1e-6)
+
+    def test_cluster_near_track_rejected(self, builder):
+        cluster = CaloCluster("ecal", 30.0, 1.0, 2.0, 3)
+        track = _track(28.0, 1.02, 2.01)
+        assert builder.build_photons([track], [cluster], []) == []
+
+    def test_soft_cluster_rejected(self, builder):
+        cluster = CaloCluster("ecal", 0.8, 1.0, 2.0, 1)
+        assert builder.build_photons([], [cluster], []) == []
+
+
+class TestMet:
+    def test_met_balances_single_cluster(self, builder):
+        cluster = CaloCluster("hcal", 40.0, 0.0, 0.5, 4)
+        met = builder.build_met([], [cluster], [])
+        assert met.met == pytest.approx(cluster.p4().pt, rel=1e-6)
+        expected_phi = 0.5 - math.pi
+        assert met.phi == pytest.approx(expected_phi, abs=1e-6)
+
+    def test_balanced_event_has_no_met(self, builder):
+        cluster1 = CaloCluster("hcal", 40.0, 0.0, 0.5, 4)
+        cluster2 = CaloCluster("hcal", 40.0, 0.0, 0.5 - math.pi, 4)
+        met = builder.build_met([], [cluster1, cluster2], [])
+        assert met.met == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRecoEventContainer:
+    def test_serialisation_roundtrip(self, z_recos):
+        reco = z_recos[0]
+        restored = RecoEvent.from_dict(reco.to_dict())
+        assert restored.to_dict() == reco.to_dict()
+
+    def test_size_grows_with_content(self, z_recos):
+        empty = RecoEvent(1, 1)
+        assert (z_recos[0].approximate_size_bytes()
+                > empty.approximate_size_bytes())
+
+
+class TestPhysicsOutput:
+    def test_z_mass_from_reco_muons(self, z_recos):
+        masses = []
+        for reco in z_recos:
+            positive = [m for m in reco.muons if m.charge > 0]
+            negative = [m for m in reco.muons if m.charge < 0]
+            if positive and negative:
+                masses.append(invariant_mass(
+                    [positive[0].p4, negative[0].p4]
+                ))
+        assert len(masses) > 40
+        median = sorted(masses)[len(masses) // 2]
+        assert median == pytest.approx(91.2, abs=2.0)

@@ -1,0 +1,100 @@
+"""Tests for the reconstruction orchestrator and its conditions use."""
+
+import pytest
+
+from repro.conditions import default_conditions
+from repro.conditions.calibration import (
+    FOLDER_ECAL_SCALE,
+    FOLDER_HCAL_SCALE,
+)
+from repro.detector import DetectorSimulation, Digitizer, generic_lhc_detector
+from repro.errors import ConditionsError
+from repro.generation import DrellYanZ, GeneratorConfig, ToyGenerator
+from repro.reconstruction import GlobalTagView, Reconstructor
+
+
+@pytest.fixture(scope="module")
+def raw_events(gpd_geometry_module):
+    geometry = gpd_geometry_module
+    events = ToyGenerator(GeneratorConfig(
+        processes=[DrellYanZ()], seed=150)).generate(10)
+    simulation = DetectorSimulation(geometry, seed=151)
+    digitizer = Digitizer(geometry, run_number=33, seed=152)
+    return [digitizer.digitize(simulation.simulate(event))
+            for event in events]
+
+
+@pytest.fixture(scope="module")
+def gpd_geometry_module():
+    return generic_lhc_detector()
+
+
+class TestReconstructor:
+    def test_produces_all_collections(self, raw_events,
+                                      gpd_geometry_module):
+        store = default_conditions()
+        reconstructor = Reconstructor(
+            gpd_geometry_module, GlobalTagView(store, "GT-FINAL")
+        )
+        recos = reconstructor.reconstruct_many(raw_events)
+        assert len(recos) == 10
+        assert any(reco.tracks for reco in recos)
+        assert any(reco.muons for reco in recos)
+        assert all(reco.met.met >= 0.0 for reco in recos)
+
+    def test_conditions_reads_logged(self, raw_events,
+                                     gpd_geometry_module):
+        store = default_conditions()
+        reconstructor = Reconstructor(
+            gpd_geometry_module, GlobalTagView(store, "GT-FINAL")
+        )
+        reconstructor.reconstruct(raw_events[0])
+        folders = {folder for folder, _ in reconstructor.conditions_reads}
+        assert folders == {FOLDER_ECAL_SCALE, FOLDER_HCAL_SCALE}
+
+    def test_external_dependencies_report(self, raw_events,
+                                          gpd_geometry_module):
+        store = default_conditions()
+        reconstructor = Reconstructor(
+            gpd_geometry_module, GlobalTagView(store, "GT-FINAL")
+        )
+        reconstructor.reconstruct_many(raw_events[:3])
+        report = reconstructor.external_dependencies()
+        assert report["runs"] == [33]
+        assert report["conditions"]["global_tag"] == "GT-FINAL"
+        assert report["conditions"]["mode"] == "database"
+
+    def test_unknown_global_tag_fails_fast(self, gpd_geometry_module):
+        store = default_conditions()
+        with pytest.raises(ConditionsError):
+            GlobalTagView(store, "GT-NOPE")
+
+    def test_calibration_tag_changes_energies(self, raw_events,
+                                              gpd_geometry_module):
+        store = default_conditions()
+        prompt = Reconstructor(gpd_geometry_module,
+                               GlobalTagView(store, "GT-PROMPT"))
+        final = Reconstructor(gpd_geometry_module,
+                              GlobalTagView(store, "GT-FINAL"))
+        raw = raw_events[0]
+        clusters_prompt = prompt.reconstruct(raw).ecal_clusters
+        clusters_final = final.reconstruct(raw).ecal_clusters
+        # Same clusters, shifted energy scale.
+        assert len(clusters_prompt) == len(clusters_final)
+        if clusters_prompt:
+            ratio = clusters_prompt[0].energy / clusters_final[0].energy
+            scale_final = store.payload(FOLDER_ECAL_SCALE, "final",
+                                        33)["scale"]
+            scale_prompt = store.payload(FOLDER_ECAL_SCALE, "prompt",
+                                         33)["scale"]
+            assert ratio == pytest.approx(scale_final / scale_prompt,
+                                          rel=1e-9)
+
+    def test_describe_block(self, gpd_geometry_module):
+        store = default_conditions()
+        reconstructor = Reconstructor(
+            gpd_geometry_module, GlobalTagView(store, "GT-FINAL")
+        )
+        record = reconstructor.describe()
+        assert record["producer"] == "repro-reco"
+        assert record["geometry"] == "GPD"

@@ -1,0 +1,144 @@
+"""Tests for track finding and fitting."""
+
+import numpy as np
+import pytest
+
+from repro.detector import Digitizer, generic_lhc_detector
+from repro.detector.digitization import DigitizerConfig, TrackerHit
+from repro.detector.simulation import Traversal
+from repro.errors import ReconstructionError
+from repro.kinematics import FourVector
+from repro.reconstruction import Track, TrackFinder, two_track_vertex
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return generic_lhc_detector()
+
+
+def _hits_for(geometry, pt, eta, phi, charge, origin=(0.0, 0.0, 0.0),
+              seed=7, noise=0.0):
+    digitizer = Digitizer(
+        geometry,
+        config=DigitizerConfig(layer_inefficiency=0.0,
+                               tracker_noise_hits=noise),
+        seed=seed,
+    )
+    momentum = FourVector.from_ptetaphim(pt, eta, phi, 0.105)
+    traversal = Traversal(0, 13, float(charge), momentum, origin, True)
+    return digitizer._tracker_hits_for(traversal)
+
+
+class TestSingleTrack:
+    def test_reconstructs_kinematics(self, geometry):
+        finder = TrackFinder(geometry)
+        hits = _hits_for(geometry, 40.0, 0.8, 1.2, -1)
+        tracks = finder.find(hits)
+        assert len(tracks) == 1
+        track = tracks[0]
+        assert track.pt == pytest.approx(40.0, rel=0.1)
+        assert track.eta == pytest.approx(0.8, abs=0.05)
+        assert track.phi == pytest.approx(1.2, abs=0.01)
+        assert track.charge == -1
+
+    def test_charge_from_curvature_sign(self, geometry):
+        finder = TrackFinder(geometry)
+        positive = finder.find(_hits_for(geometry, 20.0, 0.0, 0.0, +1))
+        negative = finder.find(_hits_for(geometry, 20.0, 0.0, 0.0, -1))
+        assert positive[0].charge == 1
+        assert negative[0].charge == -1
+
+    def test_pt_resolution_scales(self, geometry):
+        # Relative resolution should be percent-level at 10 GeV.
+        finder = TrackFinder(geometry)
+        pulls = []
+        for seed in range(30):
+            hits = _hits_for(geometry, 10.0, 0.3, 0.5, 1, seed=seed)
+            tracks = finder.find(hits)
+            if tracks:
+                pulls.append(tracks[0].pt / 10.0 - 1.0)
+        assert len(pulls) > 25
+        assert float(np.std(pulls)) < 0.05
+
+    def test_impact_parameter_measured(self, geometry):
+        finder = TrackFinder(geometry)
+        # Origin offset of 0.8 mm transverse to the direction phi=0:
+        # d0 = x0 sin(phi) - y0 cos(phi) = -y0 for phi=0.
+        hits = _hits_for(geometry, 20.0, 0.2, 0.0, 1,
+                         origin=(0.0, -0.8, 0.0))
+        tracks = finder.find(hits)
+        assert len(tracks) == 1
+        assert tracks[0].d0_mm == pytest.approx(0.8, abs=0.1)
+
+    def test_too_few_hits_no_track(self, geometry):
+        finder = TrackFinder(geometry)
+        hits = _hits_for(geometry, 20.0, 0.0, 0.0, 1)[:3]
+        assert finder.find(hits) == []
+
+
+class TestMultiTrack:
+    def test_separated_tracks_found(self, geometry):
+        finder = TrackFinder(geometry)
+        hits = (_hits_for(geometry, 30.0, 0.5, 0.3, 1, seed=1)
+                + _hits_for(geometry, 25.0, -1.0, 2.4, -1, seed=2))
+        tracks = finder.find(hits)
+        assert len(tracks) == 2
+        charges = sorted(track.charge for track in tracks)
+        assert charges == [-1, 1]
+
+    def test_noise_does_not_fake_tracks(self, geometry):
+        finder = TrackFinder(geometry)
+        rng = np.random.default_rng(3)
+        noise_hits = [
+            TrackerHit(
+                layer=int(rng.integers(0, 8)),
+                r_mm=geometry.tracker.layer_radii_mm[
+                    int(rng.integers(0, 8))],
+                phi=float(rng.uniform(-3.14, 3.14)),
+                z_mm=float(rng.uniform(-2000, 2000)),
+            )
+            for _ in range(30)
+        ]
+        assert len(finder.find(noise_hits)) == 0
+
+    def test_track_survives_moderate_noise(self, geometry):
+        finder = TrackFinder(geometry)
+        hits = _hits_for(geometry, 40.0, 0.2, -1.0, 1, noise=10.0,
+                         seed=4)
+        tracks = finder.find(hits)
+        assert any(abs(track.pt - 40.0) / 40.0 < 0.2 for track in tracks)
+
+
+class TestTrackDataclass:
+    def test_serialisation_roundtrip(self):
+        track = Track(10.0, 0.5, -1.0, 1, 0.02, 3.0, 1.5, 7)
+        assert Track.from_dict(track.to_dict()) == track
+
+    def test_p4_mass_hypothesis(self):
+        track = Track(10.0, 0.5, -1.0, 1, 0.0, 0.0, 1.0, 8)
+        assert track.p4(0.494).mass == pytest.approx(0.494)
+
+
+class TestVertexing:
+    def test_common_origin_reconstructed(self, geometry):
+        finder = TrackFinder(geometry)
+        origin = (1.5, 0.5, 10.0)
+        tracks = []
+        for seed, (pt, eta, phi, charge) in enumerate(
+            [(8.0, 2.4, 0.4, 1), (6.0, 2.2, 1.2, -1)]
+        ):
+            hits = _hits_for(geometry, pt, eta, phi, charge,
+                             origin=origin, seed=seed + 10)
+            found = finder.find(hits)
+            assert len(found) == 1
+            tracks.append(found[0])
+        vertex, doca = two_track_vertex(tracks[0], tracks[1])
+        assert vertex[0] == pytest.approx(1.5, abs=0.5)
+        assert vertex[1] == pytest.approx(0.5, abs=0.5)
+        assert doca < 1.0
+
+    def test_parallel_tracks_raise(self):
+        track = Track(10.0, 0.5, 1.0, 1, 0.0, 0.0, 1.0, 8)
+        other = Track(20.0, 0.5, 1.0, -1, 5.0, 2.0, 1.0, 8)
+        with pytest.raises(ReconstructionError):
+            two_track_vertex(track, other)

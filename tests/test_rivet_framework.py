@@ -1,0 +1,220 @@
+"""Tests for the RIVET-analogue analysis framework."""
+
+import pytest
+
+from repro.errors import AnalysisNotFoundError, RivetError
+from repro.generation import (
+    DrellYanZ,
+    GeneratorConfig,
+    ToyGenerator,
+)
+from repro.generation.processes import Tune
+from repro.rivet import (
+    Analysis,
+    AnalysisMetadata,
+    AnalysisRepository,
+    ReferenceData,
+    RivetRunner,
+    standard_repository,
+)
+from repro.rivet.standard_analyses import register_generated_catalog
+from repro.stats import Histogram1D
+
+
+@pytest.fixture(scope="module")
+def z_events():
+    return ToyGenerator(GeneratorConfig(
+        processes=[DrellYanZ()], seed=710)).generate(150)
+
+
+@pytest.fixture(scope="module")
+def repository():
+    return standard_repository()
+
+
+class TestAnalysisBase:
+    def test_metadata_required(self):
+        class Nameless(Analysis):
+            def init(self):
+                pass
+
+            def analyze(self, event):
+                pass
+
+        with pytest.raises(RivetError):
+            Nameless()
+
+    def test_double_booking_rejected(self):
+        class Doubles(Analysis):
+            metadata = AnalysisMetadata("D", "doubles")
+
+            def init(self):
+                self.book("h", 10, 0.0, 1.0)
+                self.book("h", 10, 0.0, 1.0)
+
+            def analyze(self, event):
+                pass
+
+        analysis = Doubles()
+        with pytest.raises(RivetError):
+            analysis._run_init()
+
+    def test_lifecycle_enforced(self):
+        class Simple(Analysis):
+            metadata = AnalysisMetadata("S", "simple")
+
+            def init(self):
+                self.book("h", 10, 0.0, 1.0)
+
+            def analyze(self, event):
+                pass
+
+        analysis = Simple()
+        with pytest.raises(RivetError):
+            analysis._run_finalize()
+        analysis._run_init()
+        with pytest.raises(RivetError):
+            analysis._run_init()
+
+    def test_unknown_histogram_raises(self):
+        class Simple(Analysis):
+            metadata = AnalysisMetadata("S2", "simple")
+
+            def init(self):
+                self.book("h", 10, 0.0, 1.0)
+
+            def analyze(self, event):
+                pass
+
+        analysis = Simple()
+        analysis._run_init()
+        with pytest.raises(RivetError):
+            analysis.histogram("missing")
+
+
+class TestRepository:
+    def test_standard_catalogue_registered(self, repository):
+        assert len(repository) == 7
+        assert "TOY_2013_I0001" in repository
+
+    def test_create_gives_fresh_instances(self, repository):
+        first = repository.create("TOY_2013_I0001")
+        second = repository.create("TOY_2013_I0001")
+        assert first is not second
+
+    def test_unknown_analysis_raises(self, repository):
+        with pytest.raises(AnalysisNotFoundError):
+            repository.create("NOPE")
+
+    def test_duplicate_registration_rejected(self, repository):
+        from repro.rivet.standard_analyses import ZMuMuMassAnalysis
+
+        with pytest.raises(RivetError):
+            repository.register(ZMuMuMassAnalysis)
+
+    def test_metadata_listing(self, repository):
+        listing = repository.listing()
+        assert len(listing) == 7
+        assert all("description" in entry for entry in listing)
+
+    def test_generated_catalog_scales(self):
+        repository = AnalysisRepository("big")
+        names = register_generated_catalog(repository, 120)
+        assert len(repository) == 120
+        assert len(set(names)) == 120
+
+    def test_footprint_reports_shared_classes(self):
+        repository = AnalysisRepository("big")
+        register_generated_catalog(repository, 60)
+        footprint = repository.footprint()
+        assert footprint["n_analyses"] == 60
+        # All 60 share the one parameterised plugin class.
+        assert footprint["n_plugin_classes"] == 1
+        assert footprint["source_bytes"] > 0
+
+
+class TestRunner:
+    def test_z_mass_analysis(self, repository, z_events):
+        runner = RivetRunner(repository)
+        result = runner.run_one("TOY_2013_I0001", z_events)
+        histogram = result.histogram("mass")
+        assert histogram.integral() == pytest.approx(1.0, rel=1e-6)
+        assert histogram.mean() == pytest.approx(91.2, abs=1.5)
+
+    def test_multiple_analyses_one_pass(self, repository, z_events):
+        runner = RivetRunner(repository)
+        results = runner.run(["TOY_2013_I0001", "TOY_2013_I0003"],
+                             z_events)
+        assert set(results) == {"TOY_2013_I0001", "TOY_2013_I0003"}
+        assert all(r.n_events == len(z_events)
+                   for r in results.values())
+
+    def test_result_serialisation(self, repository, z_events):
+        from repro.rivet.runner import AnalysisResult
+
+        runner = RivetRunner(repository)
+        result = runner.run_one("TOY_2013_I0001", z_events,
+                                generator_info={"tune": "TUNE-A"})
+        restored = AnalysisResult.from_dict(result.to_dict())
+        assert restored.generator_info["tune"] == "TUNE-A"
+        assert restored.histogram("mass").integral() == pytest.approx(
+            result.histogram("mass").integral()
+        )
+
+
+class TestReferenceComparison:
+    def test_same_tune_compatible(self, repository, z_events):
+        runner = RivetRunner(repository)
+        reference_run = runner.run_one(
+            "TOY_2013_I0003",
+            ToyGenerator(GeneratorConfig(processes=[DrellYanZ()],
+                                         seed=711)).generate(150),
+        )
+        reference = ReferenceData("TOY_2013_I0003", source="pseudo-data")
+        for key, histogram in reference_run.histograms.items():
+            reference.add(key, histogram)
+        repository.attach_reference(reference)
+        result = runner.run_one("TOY_2013_I0003", z_events)
+        comparisons = runner.compare_to_reference(result)
+        assert set(comparisons) == {"nch", "pt"}
+        assert comparisons["nch"].compatible
+
+    def test_different_tune_discrepant(self, repository):
+        runner = RivetRunner(repository)
+        data_events = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=712,
+            tune=Tune.tune_a())).generate(400)
+        mc_events = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=713,
+            tune=Tune.tune_b())).generate(400)
+        reference = ReferenceData("TOY_2013_I0003")
+        for key, histogram in runner.run_one(
+            "TOY_2013_I0003", data_events
+        ).histograms.items():
+            reference.add(key, histogram)
+        repository.attach_reference(reference)
+        result = runner.run_one("TOY_2013_I0003", mc_events)
+        comparisons = runner.compare_to_reference(result)
+        assert not comparisons["nch"].compatible
+
+    def test_no_reference_returns_empty(self, z_events):
+        repository = standard_repository()
+        runner = RivetRunner(repository)
+        result = runner.run_one("TOY_2013_I0001", z_events)
+        assert runner.compare_to_reference(result) == {}
+
+    def test_reference_persistence(self, tmp_path):
+        reference = ReferenceData("X", source="paper")
+        histogram = Histogram1D("X/mass", 10, 0.0, 10.0)
+        histogram.fill(5.0)
+        reference.add("mass", histogram)
+        path = tmp_path / "ref.json"
+        reference.save(path)
+        loaded = ReferenceData.load(path)
+        assert loaded.analysis_name == "X"
+        assert loaded.histogram("mass").integral() == 1.0
+
+    def test_mismatched_reference_rejected(self, repository):
+        reference = ReferenceData("SOMETHING_ELSE")
+        with pytest.raises(AnalysisNotFoundError):
+            repository.attach_reference(reference)

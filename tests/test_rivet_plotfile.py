@@ -1,0 +1,71 @@
+"""Tests for the distributable plot-data files."""
+
+import pytest
+
+from repro.errors import RivetError
+from repro.generation import DrellYanZ, GeneratorConfig, ToyGenerator
+from repro.rivet import (
+    ReferenceData,
+    RivetRunner,
+    format_plot_file,
+    standard_repository,
+    write_plot_files,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    repository = standard_repository()
+    runner = RivetRunner(repository)
+    data_events = ToyGenerator(GeneratorConfig(
+        processes=[DrellYanZ()], seed=6200)).generate(150)
+    mc_events = ToyGenerator(GeneratorConfig(
+        processes=[DrellYanZ()], seed=6201)).generate(150)
+    reference = ReferenceData("TOY_2013_I0001", source="pseudo-data")
+    for key, histogram in runner.run_one(
+        "TOY_2013_I0001", data_events
+    ).histograms.items():
+        reference.add(key, histogram)
+    result = runner.run_one("TOY_2013_I0001", mc_events,
+                            generator_info={"generator": "toygen",
+                                            "tune": "TUNE-A"})
+    return result, reference
+
+
+class TestFormat:
+    def test_structure(self, comparison):
+        result, reference = comparison
+        text = format_plot_file(result, reference, "mass")
+        assert text.startswith("# BEGIN PLOT TOY_2013_I0001/mass")
+        assert text.endswith("# END PLOT")
+        assert "tune=TUNE-A" in text
+        assert "comparison: chi2" in text
+
+    def test_one_row_per_bin(self, comparison):
+        result, reference = comparison
+        text = format_plot_file(result, reference, "mass")
+        data_rows = [line for line in text.splitlines()
+                     if not line.startswith("#")]
+        assert len(data_rows) == result.histogram("mass").nbins
+        # Every row has the eight documented columns.
+        assert all(len(row.split()) == 8 for row in data_rows)
+
+    def test_unknown_key_rejected(self, comparison):
+        result, reference = comparison
+        with pytest.raises(RivetError):
+            format_plot_file(result, reference, "nope")
+
+
+class TestWriting:
+    def test_files_written(self, comparison, tmp_path):
+        result, reference = comparison
+        paths = write_plot_files(result, reference, tmp_path / "plots")
+        assert len(paths) == 1
+        assert paths[0].name == "TOY_2013_I0001_mass.dat"
+        assert paths[0].read_text().startswith("# BEGIN PLOT")
+
+    def test_no_shared_keys_rejected(self, comparison, tmp_path):
+        result, _ = comparison
+        empty_reference = ReferenceData("TOY_2013_I0001")
+        with pytest.raises(RivetError):
+            write_plot_files(result, empty_reference, tmp_path)

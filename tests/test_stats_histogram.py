@@ -1,0 +1,187 @@
+"""Unit and property tests for histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HistogramError
+from repro.stats import Histogram1D, Histogram2D
+
+
+class TestConstruction:
+    def test_uniform_binning(self):
+        histogram = Histogram1D("h", 10, 0.0, 100.0)
+        assert histogram.nbins == 10
+        assert histogram.bin_widths()[0] == pytest.approx(10.0)
+
+    def test_variable_binning(self):
+        histogram = Histogram1D("h", edges=[0.0, 1.0, 10.0, 100.0])
+        assert histogram.nbins == 3
+        assert histogram.bin_widths().tolist() == [1.0, 9.0, 90.0]
+
+    def test_non_monotonic_edges_rejected(self):
+        with pytest.raises(HistogramError):
+            Histogram1D("h", edges=[0.0, 2.0, 1.0])
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(HistogramError):
+            Histogram1D("h", 10, 5.0, 5.0)
+
+    def test_missing_arguments_rejected(self):
+        with pytest.raises(HistogramError):
+            Histogram1D("h", nbins=10)
+
+
+class TestFilling:
+    def test_fill_lands_in_correct_bin(self):
+        histogram = Histogram1D("h", 10, 0.0, 10.0)
+        histogram.fill(3.5)
+        assert histogram.values()[3] == 1.0
+
+    def test_underflow_overflow(self):
+        histogram = Histogram1D("h", 10, 0.0, 10.0)
+        histogram.fill(-1.0)
+        histogram.fill(15.0)
+        assert histogram.underflow == 1.0
+        assert histogram.overflow == 1.0
+        assert histogram.integral() == 0.0
+        assert histogram.integral(include_flow=True) == 2.0
+
+    def test_upper_edge_is_overflow(self):
+        histogram = Histogram1D("h", 10, 0.0, 10.0)
+        histogram.fill(10.0)
+        assert histogram.overflow == 1.0
+
+    def test_weighted_fill(self):
+        histogram = Histogram1D("h", 4, 0.0, 4.0)
+        histogram.fill(1.5, weight=2.5)
+        assert histogram.values()[1] == 2.5
+        assert histogram.errors()[1] == pytest.approx(2.5)
+
+    def test_array_fill_matches_scalar(self, rng):
+        values = rng.uniform(-1.0, 11.0, 500)
+        weights = rng.uniform(0.5, 2.0, 500)
+        one = Histogram1D("a", 20, 0.0, 10.0)
+        two = Histogram1D("b", 20, 0.0, 10.0)
+        one.fill_array(values, weights)
+        for value, weight in zip(values, weights):
+            two.fill(value, weight)
+        assert np.allclose(one.values(), two.values())
+        assert np.allclose(one.errors(), two.errors())
+        assert one.underflow == pytest.approx(two.underflow)
+        assert one.overflow == pytest.approx(two.overflow)
+
+    def test_mismatched_weights_rejected(self):
+        histogram = Histogram1D("h", 4, 0.0, 4.0)
+        with pytest.raises(HistogramError):
+            histogram.fill_array([1.0, 2.0], [1.0])
+
+    @given(values=st.lists(st.floats(min_value=-100.0, max_value=100.0),
+                           min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_total_weight_conserved(self, values):
+        histogram = Histogram1D("h", 13, -50.0, 50.0)
+        histogram.fill_array(values)
+        assert histogram.integral(include_flow=True) == pytest.approx(
+            len(values)
+        )
+
+
+class TestStatistics:
+    def test_mean_and_std(self, rng):
+        histogram = Histogram1D("h", 100, 0.0, 200.0)
+        histogram.fill_array(rng.normal(100.0, 10.0, 20000))
+        assert histogram.mean() == pytest.approx(100.0, abs=0.5)
+        assert histogram.std() == pytest.approx(10.0, rel=0.05)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(HistogramError):
+            Histogram1D("h", 5, 0.0, 5.0).mean()
+
+
+class TestArithmetic:
+    def test_addition(self):
+        a = Histogram1D("a", 5, 0.0, 5.0)
+        b = Histogram1D("b", 5, 0.0, 5.0)
+        a.fill(1.0)
+        b.fill(1.0)
+        total = a + b
+        assert total.values()[1] == 2.0
+        assert total.errors()[1] == pytest.approx(np.sqrt(2.0))
+
+    def test_subtraction_errors_add(self):
+        a = Histogram1D("a", 5, 0.0, 5.0)
+        b = Histogram1D("b", 5, 0.0, 5.0)
+        a.fill(1.0, weight=4.0)
+        b.fill(1.0, weight=1.0)
+        difference = a - b
+        assert difference.values()[1] == 3.0
+        assert difference.errors()[1] == pytest.approx(np.sqrt(17.0))
+
+    def test_incompatible_binning_rejected(self):
+        a = Histogram1D("a", 5, 0.0, 5.0)
+        b = Histogram1D("b", 6, 0.0, 5.0)
+        with pytest.raises(HistogramError):
+            _ = a + b
+
+    def test_scaling_preserves_relative_error(self):
+        histogram = Histogram1D("h", 5, 0.0, 5.0)
+        histogram.fill(1.0)
+        histogram.fill(1.0)
+        scaled = histogram.scaled(3.0)
+        original_rel = histogram.errors()[1] / histogram.values()[1]
+        scaled_rel = scaled.errors()[1] / scaled.values()[1]
+        assert scaled_rel == pytest.approx(original_rel)
+
+    def test_normalized(self, rng):
+        histogram = Histogram1D("h", 10, 0.0, 10.0)
+        histogram.fill_array(rng.uniform(0.0, 10.0, 100))
+        assert histogram.normalized().integral() == pytest.approx(1.0)
+        assert histogram.normalized(to=7.0).integral() == pytest.approx(
+            7.0
+        )
+
+    def test_normalize_empty_raises(self):
+        with pytest.raises(HistogramError):
+            Histogram1D("h", 5, 0.0, 5.0).normalized()
+
+
+class TestSerialisation:
+    def test_roundtrip(self, rng):
+        histogram = Histogram1D("h", 20, -5.0, 5.0, label="x")
+        histogram.fill_array(rng.normal(0.0, 2.0, 300))
+        restored = Histogram1D.from_dict(histogram.to_dict())
+        assert np.allclose(restored.values(), histogram.values())
+        assert np.allclose(restored.errors(), histogram.errors())
+        assert restored.label == "x"
+        assert restored.n_entries == 300
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(HistogramError):
+            Histogram1D.from_dict({"type": "other"})
+
+
+class TestHistogram2D:
+    def test_fill_and_integral(self):
+        histogram = Histogram2D("h", 4, 0.0, 4.0, 4, 0.0, 4.0)
+        histogram.fill(1.5, 2.5)
+        histogram.fill(1.5, 2.5, weight=2.0)
+        assert histogram.values()[1, 2] == 3.0
+        assert histogram.integral() == 3.0
+
+    def test_out_of_range_dropped(self):
+        histogram = Histogram2D("h", 4, 0.0, 4.0, 4, 0.0, 4.0)
+        histogram.fill(-1.0, 2.0)
+        histogram.fill(2.0, 10.0)
+        assert histogram.integral() == 0.0
+
+    def test_roundtrip(self):
+        histogram = Histogram2D("h", 3, 0.0, 3.0, 2, 0.0, 2.0)
+        histogram.fill(0.5, 0.5, weight=4.0)
+        restored = Histogram2D.from_dict(histogram.to_dict())
+        assert np.allclose(restored.values(), histogram.values())
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(HistogramError):
+            Histogram2D("h", 0, 0.0, 1.0, 2, 0.0, 2.0)

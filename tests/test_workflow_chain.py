@@ -1,0 +1,185 @@
+"""Tests for processing chains, the runner, and resource accounting."""
+
+import pytest
+
+from repro.conditions import default_conditions
+from repro.datamodel import (
+    AndCut,
+    CountCut,
+    DataTier,
+    MassWindowCut,
+    SkimSpec,
+    SlimSpec,
+)
+from repro.detector import DetectorSimulation, Digitizer, generic_lhc_detector
+from repro.errors import WorkflowError
+from repro.generation import DrellYanZ, GeneratorConfig, ToyGenerator
+from repro.provenance import ProvenanceCapture, audit_artifact
+from repro.reconstruction import GlobalTagView, Reconstructor
+from repro.workflow import (
+    AODProductionStep,
+    ChainRunner,
+    DigitizationStep,
+    GenerationStep,
+    ProcessingChain,
+    ReconstructionStep,
+    SimulationStep,
+    SkimStep,
+    SlimStep,
+    StepContext,
+    summarize_resources,
+)
+
+
+def _standard_chain(geometry, store, n_events=30, seed=500):
+    generator = ToyGenerator(GeneratorConfig(processes=[DrellYanZ()],
+                                             seed=seed))
+    return ProcessingChain("zmumu", [
+        GenerationStep(generator, n_events),
+        SimulationStep(DetectorSimulation(geometry, seed=seed + 1)),
+        DigitizationStep(Digitizer(geometry, run_number=42,
+                                   seed=seed + 2)),
+        ReconstructionStep(Reconstructor(
+            geometry, GlobalTagView(store, "GT-FINAL"))),
+        AODProductionStep(),
+        SkimStep(SkimSpec("dimuon", AndCut((
+            CountCut("muons", 2, min_pt=10.0),
+            MassWindowCut("muons", 60.0, 120.0, opposite_charge=True),
+        )))),
+        SlimStep(SlimSpec("zntuple", ("dimuon_mass", "met"))),
+    ])
+
+
+@pytest.fixture(scope="module")
+def chain_result():
+    geometry = generic_lhc_detector()
+    store = default_conditions()
+    runner = ChainRunner()
+    chain = _standard_chain(geometry, store)
+    result = runner.run(chain, StepContext(run_number=42))
+    return runner, result
+
+
+class TestChainValidation:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(WorkflowError):
+            ProcessingChain("empty", [])
+
+    def test_tier_mismatch_rejected(self):
+        generator = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=1))
+        with pytest.raises(WorkflowError):
+            ProcessingChain("bad", [
+                GenerationStep(generator, 5),
+                AODProductionStep(),  # expects RECO, gets GEN
+            ])
+
+    def test_derivation_chain_accepted(self):
+        chain = ProcessingChain("post-aod", [
+            SkimStep(SkimSpec("s", CountCut("muons", 1))),
+            SlimStep(SlimSpec("n", ("met",))),
+        ])
+        assert not chain.is_source_chain
+
+    def test_describe_lists_steps(self):
+        chain = ProcessingChain("post-aod", [
+            SkimStep(SkimSpec("s", CountCut("muons", 1))),
+        ])
+        record = chain.describe()
+        assert record["steps"][0]["name"] == "skim:s"
+        assert record["steps"][0]["configuration"]["name"] == "s"
+
+
+class TestRunner:
+    def test_all_datasets_produced(self, chain_result):
+        _, result = chain_result
+        assert len(result.datasets) == 7
+        assert len(result.dataset("zmumu/generation")) == 30
+
+    def test_reduction_monotonic_after_skim(self, chain_result):
+        _, result = chain_result
+        n_aod = len(result.dataset("zmumu/aod_production"))
+        n_skim = len(result.dataset("zmumu/skim:dimuon"))
+        assert n_skim <= n_aod
+        assert n_skim > 0
+
+    def test_unknown_dataset_raises(self, chain_result):
+        _, result = chain_result
+        with pytest.raises(WorkflowError):
+            result.dataset("zmumu/nope")
+
+    def test_final_dataset(self, chain_result):
+        _, result = chain_result
+        assert result.final_dataset() is result.dataset(
+            "zmumu/slim:zntuple"
+        )
+
+    def test_source_chain_rejects_input(self):
+        geometry = generic_lhc_detector()
+        store = default_conditions()
+        chain = _standard_chain(geometry, store)
+        with pytest.raises(WorkflowError):
+            ChainRunner().run(chain, initial_records=[1, 2, 3])
+
+    def test_derivation_chain_requires_input(self):
+        chain = ProcessingChain("post", [
+            SkimStep(SkimSpec("s", CountCut("muons", 1))),
+        ])
+        with pytest.raises(WorkflowError):
+            ChainRunner().run(chain)
+
+    def test_step_failure_wrapped(self):
+        chain = ProcessingChain("post", [
+            SkimStep(SkimSpec("s", CountCut("muons", 1))),
+        ])
+        with pytest.raises(WorkflowError, match="skim:s"):
+            # Ints are not AOD events; the skim will blow up.
+            ChainRunner().run(chain, initial_records=[1, 2, 3])
+
+
+class TestProvenanceIntegration:
+    def test_every_dataset_reported(self, chain_result):
+        runner, result = chain_result
+        for artifact_id in result.artifact_ids.values():
+            assert artifact_id in runner.capture.graph
+
+    def test_final_dataset_fully_reproducible(self, chain_result):
+        runner, result = chain_result
+        final_id = result.artifact_ids["zmumu/slim:zntuple"]
+        report = audit_artifact(runner.capture.graph, final_id)
+        assert report.reproducible
+        assert report.n_ancestors_referenced == 6
+
+    def test_disabled_capture_loses_history(self):
+        geometry = generic_lhc_detector()
+        store = default_conditions()
+        runner = ChainRunner(ProvenanceCapture(enabled=False))
+        runner.run(_standard_chain(geometry, store, n_events=5,
+                                   seed=600))
+        assert len(runner.capture.graph) == 0
+
+    def test_producer_configuration_recorded(self, chain_result):
+        runner, result = chain_result
+        skim_id = result.artifact_ids["zmumu/skim:dimuon"]
+        record = runner.capture.graph.get(skim_id)
+        assert record.producer.configuration["name"] == "dimuon"
+        assert record.attributes["n_events"] >= 0
+
+
+class TestResourceAccounting:
+    def test_conditions_dependency_enumerated(self, chain_result):
+        _, result = chain_result
+        report = summarize_resources(result)
+        assert not report.is_self_contained
+        assert "calo/ecal_energy_scale" in report.conditions_folders
+        assert report.global_tags == {"GT-FINAL"}
+        assert report.runs == {42}
+
+    def test_self_contained_chain(self, z_aods):
+        chain = ProcessingChain("post", [
+            SkimStep(SkimSpec("s", CountCut("muons", 1))),
+        ])
+        result = ChainRunner().run(chain, initial_records=list(z_aods))
+        report = summarize_resources(result)
+        assert report.is_self_contained
+        assert "self-contained" in report.summary()

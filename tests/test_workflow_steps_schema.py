@@ -1,0 +1,157 @@
+"""Unit tests for workflow steps, schema validation, and small APIs."""
+
+import pytest
+
+from repro.datamodel import DataTier, SkimSpec, SlimSpec, CountCut
+from repro.datamodel.schema import field_documentation, validate_record
+from repro.errors import SchemaError, StepError
+from repro.generation import DrellYanZ, GeneratorConfig, ToyGenerator
+from repro.workflow import GenerationStep, SkimStep, SlimStep, StepContext
+
+
+class TestSchema:
+    def test_docs_exist_for_all_tiers(self):
+        for tier in DataTier:
+            docs = field_documentation(tier)
+            assert docs
+            assert all(isinstance(text, str) and text
+                       for text in docs.values())
+
+    def test_validate_per_tier(self):
+        validate_record({"run": 1, "event": 2, "tracker_hits": [],
+                         "calo_hits": []}, DataTier.RAW)
+        with pytest.raises(SchemaError, match="tracker_hits"):
+            validate_record({"run": 1, "event": 2, "calo_hits": []},
+                            DataTier.RAW)
+
+    def test_error_names_all_missing_fields(self):
+        with pytest.raises(SchemaError) as excinfo:
+            validate_record({}, DataTier.NTUPLE)
+        message = str(excinfo.value)
+        for field_name in ("run", "event", "cols"):
+            assert field_name in message
+
+
+class TestSteps:
+    def test_generation_step_validation(self):
+        generator = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=1))
+        with pytest.raises(StepError):
+            GenerationStep(generator, 0)
+
+    def test_generation_step_rejects_input(self):
+        generator = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=1))
+        step = GenerationStep(generator, 5)
+        with pytest.raises(StepError):
+            step.run([1, 2], StepContext())
+
+    def test_generation_configuration_has_run_info(self):
+        generator = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=42))
+        step = GenerationStep(generator, 5)
+        configuration = step.configuration()
+        assert configuration["n_events"] == 5
+        assert configuration["run_info"]["seed"] == 42
+
+    def test_skim_step_name_embeds_spec(self):
+        step = SkimStep(SkimSpec("loose", CountCut("muons", 1)))
+        assert step.name == "skim:loose"
+        assert step.configuration()["name"] == "loose"
+        assert step.describe()["input_tier"] == "AOD"
+
+    def test_slim_step_tiers(self):
+        step = SlimStep(SlimSpec("cols", ("met",)))
+        assert step.input_tier == DataTier.AOD
+        assert step.output_tier == DataTier.NTUPLE
+
+    def test_default_externals_empty(self):
+        step = SkimStep(SkimSpec("s", CountCut("muons", 1)))
+        assert step.external_dependencies() == {}
+
+
+class TestRivetFinalize:
+    def test_default_finalize_normalises(self, z_aods):
+        from repro.generation import GeneratorConfig, ToyGenerator
+        from repro.rivet import RivetRunner, standard_repository
+
+        events = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=700)).generate(40)
+        runner = RivetRunner(standard_repository())
+        result = runner.run_one("TOY_2013_I0001", events)
+        histogram = result.histogram("mass")
+        assert histogram.integral() == pytest.approx(1.0, rel=1e-9)
+
+    def test_sum_of_weights_tracked(self):
+        from repro.rivet import RivetRunner, standard_repository
+
+        events = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=701)).generate(15)
+        for event in events:
+            event.weight = 2.0
+        runner = RivetRunner(standard_repository())
+        analysis = runner.repository.create("TOY_2013_I0001")
+        analysis._run_init()
+        for event in events:
+            analysis._run_event(event)
+        assert analysis.sum_of_weights == pytest.approx(30.0)
+
+
+class TestInspireEdges:
+    def test_resolve_skips_missing_records(self):
+        from repro.hepdata import (
+            HepDataArchive,
+            InspireCatalog,
+            InspireEntry,
+        )
+
+        catalog = InspireCatalog()
+        catalog.register(InspireEntry("I1", "t", ("a",), 2013))
+        catalog.link_record("I1", "not-in-archive")
+        assert catalog.resolve_data("I1", HepDataArchive()) == []
+
+
+class TestFourVectorEdges:
+    def test_boost_vector_of_null_rejected(self):
+        from repro.errors import KinematicsError
+        from repro.kinematics import FourVector
+
+        with pytest.raises(KinematicsError):
+            FourVector.zero().boost_vector()
+
+    def test_phi_of_null_transverse(self):
+        from repro.kinematics import FourVector
+
+        assert FourVector(5.0, 0.0, 0.0, 5.0).phi == 0.0
+
+
+class TestDigitizerCellGeometry:
+    def test_cell_center_roundtrip(self, gpd_geometry):
+        from repro.detector import Digitizer
+
+        digitizer = Digitizer(gpd_geometry, seed=1)
+        index = digitizer._cell_index("ecal", 0.73, -1.1)
+        assert index is not None
+        eta, phi = digitizer.cell_center("ecal", *index)
+        sub = gpd_geometry.subdetectors["ecal"]
+        assert abs(eta - 0.73) <= 2 * sub.eta_max / sub.eta_cells
+        assert abs(phi - (-1.1)) <= 2 * 3.1416 / sub.phi_cells
+
+    def test_out_of_acceptance_cell_is_none(self, gpd_geometry):
+        from repro.detector import Digitizer
+
+        digitizer = Digitizer(gpd_geometry, seed=1)
+        assert digitizer._cell_index("ecal", 4.5, 0.0) is None
+
+
+class TestGeneratorPileup:
+    def test_pileup_multiplicity_scales_with_mu(self):
+        light = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=9, pileup_mu=1.0))
+        heavy = ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=9, pileup_mu=10.0))
+        n_light = sum(len(e.final_state())
+                      for e in light.generate(30))
+        n_heavy = sum(len(e.final_state())
+                      for e in heavy.generate(30))
+        assert n_heavy > 2 * n_light
