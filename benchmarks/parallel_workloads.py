@@ -1,0 +1,160 @@
+"""Shared workload builders for the parallel-execution benchmarks.
+
+Used by both ``bench_parallel.py`` (the pytest-collected benchmark) and
+``run_bench.py`` (the standalone baseline harness), so the two always
+measure the same workloads. Not collected by pytest itself.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _ensure_importable() -> None:
+    import sys
+
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        try:
+            import repro  # noqa: F401
+        except ImportError:
+            sys.path.insert(0, src)
+
+
+_ensure_importable()
+
+from repro.conditions import (  # noqa: E402
+    CachedConditionsView,
+    ConditionsStore,
+    GlobalTag,
+    IOV,
+    default_conditions,
+)
+from repro.conditions.calibration import (  # noqa: E402
+    FOLDER_ECAL_SCALE,
+    FOLDER_HCAL_SCALE,
+)
+from repro.datamodel import (  # noqa: E402
+    AndCut,
+    CountCut,
+    GoodRunList,
+    MassWindowCut,
+    RunRecord,
+    RunRegistry,
+    SkimSpec,
+)
+from repro.detector import (  # noqa: E402
+    DetectorSimulation,
+    Digitizer,
+    generic_lhc_detector,
+)
+from repro.generation import (  # noqa: E402
+    DrellYanZ,
+    GeneratorConfig,
+    ToyGenerator,
+)
+from repro.recast.backend import FullChainBackend  # noqa: E402
+from repro.recast.catalog import PreservedSearch  # noqa: E402
+from repro.reconstruction import GlobalTagView, Reconstructor  # noqa: E402
+from repro.workflow import ProcessingCampaign  # noqa: E402
+
+#: Benchmarked worker count — the acceptance point of the speedup claim.
+BENCH_JOBS = 4
+
+DENSE_GLOBAL_TAG = "GT-DENSE"
+
+
+def time_call(fn, *args, **kwargs):
+    """(wall seconds, result) of one call."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def build_campaign_workload(n_runs: int = 20, sections: int = 50,
+                            seed: int = 6100):
+    """A fresh campaign + run range sized for wall-clock timing.
+
+    ``sections`` certified sections at one event per section gives
+    ``sections`` events per run (capped at 50), across ``n_runs`` runs
+    spaced to cross the default conditions' 10-run IOV blocks.
+    """
+    registry = RunRegistry("BenchRuns")
+    good_runs = GoodRunList("BenchGRL")
+    run_numbers = [1 + index * 5 for index in range(n_runs)]
+    for run_number in run_numbers:
+        registry.add(RunRecord(run_number, sections, 0.5))
+        good_runs.certify(run_number, 1, sections)
+    campaign = ProcessingCampaign(
+        name="bench-parallel",
+        geometry=generic_lhc_detector(),
+        conditions=default_conditions(),
+        global_tag="GT-FINAL",
+        generator=ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=seed)),
+        events_per_section=1.0,
+        max_events_per_run=50,
+        seed=seed,
+    )
+    return campaign, registry, good_runs
+
+
+def build_dense_store(n_iovs: int = 2000) -> ConditionsStore:
+    """A conditions store with realistic IOV cardinality.
+
+    The seed's toy store holds ten IOVs per tag; production stores hold
+    thousands, which is the regime where per-event re-resolution hurts.
+    """
+    store = ConditionsStore("dense-conditions")
+    for folder in (FOLDER_ECAL_SCALE, FOLDER_HCAL_SCALE):
+        for index in range(n_iovs):
+            store.add_payload(
+                folder, "v1", IOV(index * 2, index * 2 + 1),
+                {"scale": 1.0 + index * 1.0e-5},
+            )
+    store.register_global_tag(GlobalTag.from_mapping(
+        DENSE_GLOBAL_TAG,
+        {FOLDER_ECAL_SCALE: "v1", FOLDER_HCAL_SCALE: "v1"},
+    ))
+    return store
+
+
+def build_raw_events(n_events: int = 250, run_number: int = 3501,
+                     seed: int = 9400):
+    """RAW Z -> mumu events for the reconstruction benchmarks."""
+    geometry = generic_lhc_detector()
+    generator = ToyGenerator(GeneratorConfig(
+        processes=[DrellYanZ()], seed=seed))
+    simulation = DetectorSimulation(geometry, seed=seed + 1)
+    digitizer = Digitizer(geometry, run_number=run_number, seed=seed + 2)
+    raws = [digitizer.digitize(simulation.simulate(event))
+            for event in generator.generate(n_events)]
+    return geometry, raws
+
+
+def make_reconstructor(geometry, store: ConditionsStore,
+                       cached: bool) -> Reconstructor:
+    """A reconstructor over the dense store, cached or not."""
+    view_type = CachedConditionsView if cached else GlobalTagView
+    return Reconstructor(geometry, view_type(store, DENSE_GLOBAL_TAG))
+
+
+def build_scan_workload(n_events: int = 250, n_limit_toys: int = 800):
+    """(backend, search, masses) for the exclusion-scan benchmark."""
+    selection = SkimSpec("highmass", AndCut((
+        CountCut("muons", 2, min_pt=30.0),
+        MassWindowCut("muons", 500.0, 1e9, opposite_charge=True),
+    )))
+    search = PreservedSearch(
+        analysis_id="GPD-EXO-2013-01", title="High-mass dimuon search",
+        experiment="GPD", selection=selection, n_observed=3,
+        background=2.5, background_uncertainty=0.6,
+        luminosity_ipb=20000.0,
+    )
+    backend = FullChainBackend("GPD", n_events=n_events,
+                               n_limit_toys=n_limit_toys, seed=6400)
+    masses = [600.0, 1000.0, 1400.0, 1800.0]
+    return backend, search, masses

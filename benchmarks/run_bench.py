@@ -1,0 +1,147 @@
+"""Baseline harness: run the parallel + throughput benchmarks and
+record a machine-readable perf trajectory at the repo root.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--jobs N] [--quick]
+
+Writes ``BENCH_parallel.json`` next to ``README.md`` so future PRs can
+diff their measured numbers against this one's. All determinism checks
+are re-asserted while timing — a baseline that silently changed the
+physics would poison every later comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from parallel_workloads import (  # noqa: E402
+    BENCH_JOBS,
+    REPO_ROOT,
+    build_campaign_workload,
+    build_dense_store,
+    build_raw_events,
+    build_scan_workload,
+    make_reconstructor,
+    time_call,
+)
+from repro.recast.scan import run_mass_scan  # noqa: E402
+from repro.runtime import ExecutionPolicy  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_parallel.json"
+
+
+def bench_campaign(n_jobs: int, n_runs: int) -> dict:
+    serial, registry, good_runs = build_campaign_workload(n_runs=n_runs)
+    serial_s, results = time_call(serial.process, registry, good_runs)
+    parallel, registry, good_runs = build_campaign_workload(n_runs=n_runs)
+    parallel_s, _ = time_call(parallel.process, registry, good_runs,
+                              policy=ExecutionPolicy.processes(n_jobs))
+    identical = ([a.to_dict() for a in serial.all_aods()]
+                 == [a.to_dict() for a in parallel.all_aods()])
+    return {
+        "n_runs": len(results),
+        "n_events": sum(r.n_events for r in results.values()),
+        "n_jobs": n_jobs,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3),
+        "bit_identical": identical,
+    }
+
+
+def bench_conditions_cache(n_events: int) -> dict:
+    store = build_dense_store()
+    geometry, raws = build_raw_events(n_events=n_events)
+    uncached = make_reconstructor(geometry, store, cached=False)
+    uncached_s, uncached_recos = time_call(uncached.reconstruct_many, raws)
+    cached = make_reconstructor(geometry, store, cached=True)
+    cached_s, cached_recos = time_call(cached.reconstruct_many, raws)
+    identical = ([r.met.met for r in uncached_recos]
+                 == [r.met.met for r in cached_recos])
+    stats = cached.conditions.stats
+    return {
+        "n_events": len(raws),
+        "uncached_seconds": round(uncached_s, 4),
+        "cached_seconds": round(cached_s, 4),
+        "speedup": round(uncached_s / cached_s, 3),
+        "cache_hit_rate": round(stats.hit_rate, 5),
+        "bit_identical": identical,
+    }
+
+
+def bench_scan(n_jobs: int, n_events: int) -> dict:
+    backend, search, masses = build_scan_workload(n_events=n_events)
+    serial_s, serial_scan = time_call(run_mass_scan, backend, search,
+                                      masses)
+    parallel_s, parallel_scan = time_call(
+        run_mass_scan, backend, search, masses,
+        policy=ExecutionPolicy.processes(n_jobs))
+    return {
+        "n_mass_points": len(masses),
+        "n_jobs": n_jobs,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3),
+        "limits_identical": serial_scan.limits() == parallel_scan.limits(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=BENCH_JOBS,
+                        help="parallel worker count to benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (smoke test, noisier)")
+    parser.add_argument("--output", default=str(BASELINE_PATH),
+                        help="where to write the baseline JSON")
+    args = parser.parse_args(argv)
+
+    n_runs = 8 if args.quick else 20
+    n_cache_events = 80 if args.quick else 250
+    n_scan_events = 60 if args.quick else 250
+
+    try:
+        available_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        available_cpus = os.cpu_count() or 1
+    record = {
+        "benchmark": "repro.runtime parallel execution",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "available_cpus": available_cpus,
+        "workloads": {},
+    }
+    print("campaign sweep (serial vs process pool) ...")
+    record["workloads"]["campaign"] = bench_campaign(args.jobs, n_runs)
+    print("conditions cache (serial, dense store) ...")
+    record["workloads"]["conditions_cache"] = bench_conditions_cache(
+        n_cache_events)
+    print("exclusion scan (serial vs process pool) ...")
+    record["workloads"]["scan"] = bench_scan(args.jobs, n_scan_events)
+
+    output = Path(args.output)
+    with output.open("w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for name, workload in record["workloads"].items():
+        print(f"  {name:18s}: {workload['speedup']:.2f}x")
+    print(f"baseline written to {output}")
+    ok = all(w.get("bit_identical", True)
+             and w.get("limits_identical", True)
+             for w in record["workloads"].values())
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

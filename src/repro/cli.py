@@ -52,6 +52,42 @@ def _build_parser() -> argparse.ArgumentParser:
     process.add_argument("--geometry", default="GPD",
                          choices=("GPD", "FWD"))
     process.add_argument("--seed", type=int, default=99)
+    process.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for reconstruction "
+                              "(default 1 = serial; -1 = all CPUs)")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="process a multi-run campaign to an AOD file",
+    )
+    campaign.add_argument("--name", default="campaign")
+    campaign.add_argument("--process", dest="physics_process",
+                          default="z_to_mumu",
+                          choices=("z_to_mumu", "z_to_ee", "w_to_munu",
+                                   "higgs_4l", "qcd_dijets", "d0_to_kpi",
+                                   "jpsi", "minbias"))
+    campaign.add_argument("--first-run", type=int, default=1)
+    campaign.add_argument("--runs", type=int, default=8,
+                          help="number of runs in the range")
+    campaign.add_argument("--run-step", type=int, default=5,
+                          help="run-number spacing (crosses the 10-run "
+                               "IOV blocks of the default conditions)")
+    campaign.add_argument("--sections", type=int, default=40,
+                          help="certified lumi sections per run")
+    campaign.add_argument("--events-per-section", type=float, default=0.2)
+    campaign.add_argument("--max-events-per-run", type=int, default=50)
+    campaign.add_argument("--global-tag", default="GT-FINAL")
+    campaign.add_argument("--geometry", default="GPD",
+                          choices=("GPD", "FWD"))
+    campaign.add_argument("--seed", type=int, default=6000)
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the run sweep "
+                               "(default 1 = serial; -1 = all CPUs)")
+    campaign.add_argument("--output", required=True,
+                          help="AOD output file (JSON lines)")
+    campaign.add_argument("--manifest",
+                          help="also write the campaign conditions "
+                               "manifest to this JSON file")
 
     skim = sub.add_parser("skim",
                           help="apply a JSON skim spec to an AOD file")
@@ -137,7 +173,7 @@ def _geometry_for(name: str):
 
 
 def _cmd_process(args) -> int:
-    from repro.conditions import default_conditions
+    from repro.conditions import CachedConditionsView, default_conditions
     from repro.datamodel import (
         DataTier,
         DatasetReader,
@@ -146,14 +182,16 @@ def _cmd_process(args) -> int:
     )
     from repro.detector import DetectorSimulation, Digitizer
     from repro.generation import GenEvent
-    from repro.reconstruction import GlobalTagView, Reconstructor
+    from repro.reconstruction import Reconstructor
+    from repro.runtime import ExecutionPolicy
 
     geometry = _geometry_for(args.geometry)
     simulation = DetectorSimulation(geometry, seed=args.seed)
     digitizer = Digitizer(geometry, run_number=args.run,
                           seed=args.seed + 1)
     reconstructor = Reconstructor(
-        geometry, GlobalTagView(default_conditions(), args.global_tag),
+        geometry,
+        CachedConditionsView(default_conditions(), args.global_tag),
     )
     reader = DatasetReader(args.input)
     if reader.header.tier != DataTier.GEN:
@@ -161,11 +199,14 @@ def _cmd_process(args) -> int:
             f"{args.input} is a {reader.header.tier.value} file, "
             f"expected GEN"
         )
-    aods = []
-    for record in reader.records():
-        event = GenEvent.from_dict(record)
-        raw = digitizer.digitize(simulation.simulate(event))
-        aods.append(make_aod(reconstructor.reconstruct(raw)))
+    # Simulation and digitisation consume one sequential RNG stream, so
+    # they stay serial; reconstruction is pure per event and fans out.
+    raws = [digitizer.digitize(simulation.simulate(
+                GenEvent.from_dict(record)))
+            for record in reader.records()]
+    policy = ExecutionPolicy.from_jobs(args.jobs)
+    aods = [make_aod(reco)
+            for reco in reconstructor.reconstruct_many(raws, policy)]
     header = write_dataset(
         args.output, f"aod-run{args.run}", DataTier.AOD,
         (aod.to_dict() for aod in aods),
@@ -176,6 +217,66 @@ def _cmd_process(args) -> int:
         },
     )
     print(f"wrote {header.n_events} AOD events to {args.output}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.conditions import default_conditions
+    from repro.datamodel import (
+        DataTier,
+        GoodRunList,
+        RunRecord,
+        RunRegistry,
+        write_dataset,
+    )
+    from repro.generation import GeneratorConfig, ToyGenerator
+    from repro.runtime import ExecutionPolicy
+    from repro.workflow import ProcessingCampaign
+
+    if args.runs < 1:
+        raise ReproError(f"--runs must be >= 1, got {args.runs}")
+    registry = RunRegistry(args.name)
+    good_runs = GoodRunList(f"GRL-{args.name}")
+    run_numbers = [args.first_run + index * args.run_step
+                   for index in range(args.runs)]
+    for run_number in run_numbers:
+        registry.add(RunRecord(run_number, args.sections, 0.5))
+        good_runs.certify(run_number, 1, args.sections)
+
+    campaign = ProcessingCampaign(
+        name=args.name,
+        geometry=_geometry_for(args.geometry),
+        conditions=default_conditions(),
+        global_tag=args.global_tag,
+        generator=ToyGenerator(GeneratorConfig(
+            processes=[_process_registry(args.physics_process)],
+            seed=args.seed,
+        )),
+        events_per_section=args.events_per_section,
+        max_events_per_run=args.max_events_per_run,
+        seed=args.seed,
+    )
+    policy = ExecutionPolicy.from_jobs(args.jobs)
+    results = campaign.process(registry, good_runs, policy=policy)
+    aods = campaign.all_aods()
+    header = write_dataset(
+        args.output, f"aod-{args.name}", DataTier.AOD,
+        (aod.to_dict() for aod in aods),
+        provenance={
+            "campaign": campaign.describe(),
+            "execution": policy.describe(),
+            "conditions_manifest": campaign.conditions_manifest(),
+        },
+    )
+    if args.manifest:
+        with open(args.manifest, "w", encoding="utf-8") as handle:
+            json.dump(campaign.conditions_manifest(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote conditions manifest to {args.manifest}")
+    print(f"processed {len(results)} runs "
+          f"({policy.mode}, {policy.n_jobs} jobs): "
+          f"{header.n_events} AOD events -> {args.output}")
     return 0
 
 
@@ -296,6 +397,7 @@ def _cmd_maturity(args) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "process": _cmd_process,
+    "campaign": _cmd_campaign,
     "skim": _cmd_skim,
     "convert-level2": _cmd_convert_level2,
     "display": _cmd_display,

@@ -17,6 +17,7 @@ workflow.
 
 from repro.conditions.iov import IOV
 from repro.conditions.store import ConditionsStore, GlobalTag
+from repro.conditions.cache import CachedConditionsView, CacheStats
 from repro.conditions.calibration import (
     CalibrationCampaign,
     default_conditions,
@@ -31,6 +32,8 @@ __all__ = [
     "IOV",
     "ConditionsStore",
     "GlobalTag",
+    "CachedConditionsView",
+    "CacheStats",
     "CalibrationCampaign",
     "default_conditions",
     "ConditionsSnapshot",

@@ -1,0 +1,131 @@
+"""IOV-interval memoization of global-tag conditions reads.
+
+Reconstruction asks the conditions database for the same payloads over
+and over: every event of a run resolves the same global tag, the same
+folder -> tag mapping, and the same interval of validity. A
+:class:`CachedConditionsView` collapses that repeated work to a single
+dictionary hit by memoizing each resolved ``(folder, IOV)`` payload the
+first time it is read, keyed by the interval rather than the run — so a
+whole run range shares one cache entry per folder per IOV.
+
+The cache is *exact*, never stale: the underlying
+:class:`~repro.conditions.store.ConditionsStore` is immutable-per-tag by
+construction (overlapping IOVs are rejected, payloads are copied on
+write), so a payload resolved once for an interval is the payload for
+every run in that interval. The determinism tests assert byte-equality
+against an uncached :class:`~repro.reconstruction.GlobalTagView` across
+IOV boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conditions.iov import IOV
+from repro.conditions.store import ConditionsStore
+from repro.errors import IOVError
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting of one cached view."""
+
+    hits: int
+    misses: int
+
+    @property
+    def reads(self) -> int:
+        """Total payload reads served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of reads served from cache (0.0 when unused)."""
+        return self.hits / self.reads if self.reads else 0.0
+
+    def to_dict(self) -> dict:
+        """Serialise for benchmark reports."""
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": self.hit_rate}
+
+
+class CachedConditionsView:
+    """A memoizing ConditionsSource over ``(store, global_tag)``.
+
+    Drop-in replacement for :class:`~repro.reconstruction.GlobalTagView`:
+    same constructor, same ``payload(folder, run)`` answers, same
+    failure modes (unknown folders and IOV gaps still raise through the
+    store). Each ``payload`` call returns a fresh copy, exactly like the
+    store does, so callers may mutate the result freely.
+    """
+
+    def __init__(self, store: ConditionsStore, global_tag_name: str) -> None:
+        self.store = store
+        self.global_tag_name = global_tag_name
+        # Fail fast on unknown global tags, like GlobalTagView.
+        self._global_tag = store.global_tag(global_tag_name)
+        #: folder -> list of resolved (IOV, payload) entries.
+        self._resolved: dict[str, list[tuple[IOV, dict]]] = {}
+        #: folder -> the entry that served the previous read. Events
+        #: arrive in run order, so this one-slot memo serves almost
+        #: every hit with a single interval test.
+        self._last: dict[str, tuple[IOV, dict]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def payload(self, folder: str, run: int) -> dict:
+        """The payload for ``folder`` valid at ``run``, cached per IOV."""
+        last = self._last.get(folder)
+        if last is not None and last[0].contains(run):
+            self._hits += 1
+            return dict(last[1])
+        for entry in self._resolved.get(folder, ()):
+            if entry[0].contains(run):
+                self._last[folder] = entry
+                self._hits += 1
+                return dict(entry[1])
+        return dict(self._resolve(folder, run))
+
+    def _resolve(self, folder: str, run: int) -> dict:
+        """Miss path: one real store read, then remember its interval."""
+        self._misses += 1
+        tag = self._global_tag.tag_for(folder)
+        payload = self.store.payload(folder, tag, run)
+        for iov in self.store.iovs(folder, tag):
+            if iov.contains(run):
+                entry = (iov, payload)
+                self._resolved.setdefault(folder, []).append(entry)
+                self._last[folder] = entry
+                return payload
+        raise IOVError(  # pragma: no cover - store.payload raised first
+            f"{folder}/{tag}: no IOV covers run {run}"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss accounting since construction."""
+        return CacheStats(hits=self._hits, misses=self._misses)
+
+    def clear(self) -> None:
+        """Drop every memoized payload (stats included)."""
+        self._resolved.clear()
+        self._last.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def describe(self) -> dict:
+        """Provenance description of this conditions configuration.
+
+        Same shape as :meth:`GlobalTagView.describe` plus the cache
+        marker, so dependency records stay comparable across modes.
+        """
+        return {
+            "mode": "database",
+            "store": self.store.name,
+            "global_tag": self.global_tag_name,
+            "cached": True,
+        }

@@ -44,6 +44,10 @@ class ReconstructionError(ReproError):
     """Reconstruction could not interpret the raw data it was given."""
 
 
+class ExecutionError(ReproError):
+    """A parallel-execution policy or scheduler invocation was invalid."""
+
+
 class DataModelError(ReproError):
     """An event container or tier operation was invalid."""
 

@@ -9,6 +9,7 @@ module drives any :class:`RecastBackend` across a parameter grid.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 
@@ -17,6 +18,7 @@ from repro.recast.backend import RecastBackend
 from repro.recast.catalog import PreservedSearch
 from repro.recast.requests import ModelSpec
 from repro.recast.results import RecastResult
+from repro.runtime import ExecutionPolicy, parallel_map
 
 
 @dataclass(frozen=True)
@@ -101,25 +103,47 @@ class ExclusionScan:
         return "\n".join(lines)
 
 
+def _evaluate_scan_point(
+    backend: RecastBackend,
+    search: PreservedSearch,
+    cross_section_pb: float,
+    flavour: str,
+    mass: float,
+) -> ScanPoint:
+    """Evaluate one mass point (module-level for process pools).
+
+    Back ends seed their chains from their own configuration, never
+    from scan order, so each point is a pure function of ``mass``.
+    """
+    model = ModelSpec(
+        name=f"zprime-{int(mass)}",
+        process="zprime",
+        parameters={"mass": float(mass), "flavour": flavour,
+                    "cross_section_pb": cross_section_pb},
+    )
+    return ScanPoint(mass=float(mass),
+                     result=backend.process(search, model))
+
+
 def run_mass_scan(
     backend: RecastBackend,
     search: PreservedSearch,
     masses: list[float],
     cross_section_pb: float = 0.05,
     flavour: str = "mu",
+    policy: ExecutionPolicy | None = None,
 ) -> ExclusionScan:
-    """Scan a Z'-style model over a mass grid through one back end."""
+    """Scan a Z'-style model over a mass grid through one back end.
+
+    A parallel ``policy`` evaluates mass points concurrently; the scan's
+    point list (and every limit derived from it) is identical to the
+    serial scan — points land in grid order, one per requested mass.
+    """
     if not masses:
         raise RecastError("scan needs at least one mass point")
-    scan = ExclusionScan(analysis_id=search.analysis_id,
-                         model_template="zprime")
-    for mass in masses:
-        model = ModelSpec(
-            name=f"zprime-{int(mass)}",
-            process="zprime",
-            parameters={"mass": float(mass), "flavour": flavour,
-                        "cross_section_pb": cross_section_pb},
-        )
-        result = backend.process(search, model)
-        scan.points.append(ScanPoint(mass=float(mass), result=result))
-    return scan
+    worker = functools.partial(_evaluate_scan_point, backend, search,
+                               cross_section_pb, flavour)
+    points = parallel_map(worker, [float(mass) for mass in masses],
+                          policy)
+    return ExclusionScan(analysis_id=search.analysis_id,
+                         model_template="zprime", points=points)

@@ -10,6 +10,7 @@ workflow layer can enumerate external dependencies for preservation.
 
 from __future__ import annotations
 
+import functools
 from typing import Protocol
 
 from repro.conditions.calibration import (
@@ -27,6 +28,7 @@ from repro.reconstruction.objects import (
     RecoEvent,
 )
 from repro.reconstruction.tracking import TrackFinder, TrackFinderConfig
+from repro.runtime import ExecutionPolicy, chunked, default_chunk_size, parallel_map
 
 
 class ConditionsSource(Protocol):
@@ -139,9 +141,54 @@ class Reconstructor:
             met=met,
         )
 
-    def reconstruct_many(self, raw_events: list[RawEvent]) -> list[RecoEvent]:
-        """Reconstruct a list of RAW events in order."""
-        return [self.reconstruct(raw) for raw in raw_events]
+    def reconstruct_many(
+        self,
+        raw_events: list[RawEvent],
+        policy: ExecutionPolicy | None = None,
+        chunk_size: int | None = None,
+    ) -> list[RecoEvent]:
+        """Reconstruct a list of RAW events in order.
+
+        Under a parallel ``policy`` the events are split into contiguous
+        chunks, each chunk is reconstructed by an isolated worker clone,
+        and both the RECO events *and* the workers' conditions reads are
+        merged back in chunk order — so the output list and the
+        :attr:`conditions_reads` log are bit-identical to the serial
+        loop. Event reconstruction is pure per event (no cross-event
+        state), which is what makes the chunk boundary free to move.
+        """
+        if policy is None or policy.is_serial:
+            return [self.reconstruct(raw) for raw in raw_events]
+        events = list(raw_events)
+        if not events:
+            return []
+        size = (chunk_size if chunk_size is not None
+                else policy.chunk_size if policy.chunk_size is not None
+                else default_chunk_size(len(events), policy.n_jobs))
+        chunks = list(chunked(events, size))
+        worker = functools.partial(_reconstruct_chunk, self)
+        recos: list[RecoEvent] = []
+        for chunk_recos, chunk_reads in parallel_map(worker, chunks,
+                                                     policy, chunk_size=1):
+            recos.extend(chunk_recos)
+            self._conditions_reads.extend(chunk_reads)
+        return recos
+
+    def _clone_for_worker(self) -> "Reconstructor":
+        """A fresh reconstructor with this one's exact configuration.
+
+        Shares the (read-only) conditions source but owns an empty
+        conditions-read log, so concurrent workers never interleave
+        their dependency records.
+        """
+        return Reconstructor(
+            self.geometry,
+            self.conditions,
+            track_config=self._track_finder.config,
+            cluster_config=self._clusterer.config,
+            object_config=self._object_builder.config,
+            jet_config=self._jet_finder.config,
+        )
 
     @property
     def conditions_reads(self) -> list[tuple[str, int]]:
@@ -167,3 +214,13 @@ class Reconstructor:
             "min_track_hits": self._track_finder.config.min_hits,
             "jet_cone_radius": self._jet_finder.config.cone_radius,
         }
+
+
+def _reconstruct_chunk(
+    reconstructor: Reconstructor, chunk: list[RawEvent]
+) -> tuple[list[RecoEvent], list[tuple[str, int]]]:
+    """Worker-side chunk driver (module-level so process pools can
+    pickle it). Clones per chunk so thread workers are isolated too."""
+    worker = reconstructor._clone_for_worker()
+    recos = [worker.reconstruct(raw) for raw in chunk]
+    return recos, worker.conditions_reads

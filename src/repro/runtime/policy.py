@@ -1,0 +1,107 @@
+"""Execution policies: how much parallelism, and of which kind.
+
+The preservation claim of the paper is that an archived chain can be
+*re-executed at will* — which only matters in practice if re-execution is
+fast enough to repeat routinely. An :class:`ExecutionPolicy` describes how
+a re-execution should be scheduled (serially, across threads, or across
+processes) without changing *what* is computed: every consumer of a policy
+must produce bit-identical results for every policy value, and the test
+suite enforces that guarantee.
+
+Policies are small frozen value objects so they can travel inside
+provenance records and be pickled to worker processes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+#: The scheduling modes :func:`repro.runtime.parallel_map` understands.
+MODES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a parallelizable workload should be scheduled.
+
+    ``mode`` selects the executor: ``"serial"`` runs in the calling
+    thread, ``"thread"`` uses a thread pool (useful when the workload
+    releases the GIL or is I/O bound), ``"process"`` uses a process pool
+    (the right choice for the pure-Python reconstruction chain).
+    ``n_jobs`` is the worker count; ``chunk_size`` overrides the
+    scheduler's automatic work-unit size.
+    """
+
+    mode: str = "serial"
+    n_jobs: int = 1
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ExecutionError(
+                f"unknown execution mode {self.mode!r}; "
+                f"expected one of {MODES}"
+            )
+        if self.n_jobs < 1:
+            raise ExecutionError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ExecutionError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def serial(cls) -> "ExecutionPolicy":
+        """The default single-threaded policy."""
+        return cls(mode="serial", n_jobs=1)
+
+    @classmethod
+    def threads(cls, n_jobs: int,
+                chunk_size: int | None = None) -> "ExecutionPolicy":
+        """A thread-pool policy with ``n_jobs`` workers."""
+        return cls(mode="thread", n_jobs=n_jobs, chunk_size=chunk_size)
+
+    @classmethod
+    def processes(cls, n_jobs: int,
+                  chunk_size: int | None = None) -> "ExecutionPolicy":
+        """A process-pool policy with ``n_jobs`` workers."""
+        return cls(mode="process", n_jobs=n_jobs, chunk_size=chunk_size)
+
+    @classmethod
+    def from_jobs(cls, n_jobs: int | None,
+                  mode: str = "process") -> "ExecutionPolicy":
+        """The policy a ``--jobs N`` CLI flag maps to.
+
+        ``None``, ``0`` and ``1`` mean serial (current behaviour);
+        negative values mean "one worker per CPU".
+        """
+        if n_jobs is None:
+            return cls.serial()
+        if n_jobs < 0:
+            n_jobs = os.cpu_count() or 1
+        if n_jobs <= 1:
+            return cls.serial()
+        return cls(mode=mode, n_jobs=n_jobs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def is_serial(self) -> bool:
+        """True when this policy schedules no concurrency at all."""
+        return self.mode == "serial" or self.n_jobs == 1
+
+    def describe(self) -> dict:
+        """Serialise for provenance records and benchmark reports."""
+        return {
+            "mode": self.mode,
+            "n_jobs": self.n_jobs,
+            "chunk_size": self.chunk_size,
+        }

@@ -6,12 +6,22 @@ per run. A :class:`ProcessingCampaign` models that sweep — the thing a
 "processing version" names in the experiments' data catalogues — and its
 :meth:`conditions_manifest` is the complete external-dependency record
 the preservation layer must archive for the whole campaign.
+
+Runs are independent work units: each owns a generator, simulation and
+digitisation seed derived deterministically from the campaign seed and
+the run number, and its own cached conditions view. That independence is
+what lets :meth:`ProcessingCampaign.process` fan runs out across an
+:class:`~repro.runtime.ExecutionPolicy`'s workers while producing output
+bit-identical to the serial sweep.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+import functools
+from dataclasses import dataclass, field, replace
 
+from repro.conditions.cache import CachedConditionsView
 from repro.conditions.store import ConditionsStore
 from repro.datamodel.event import AODEvent, make_aod
 from repro.datamodel.luminosity import GoodRunList, RunRegistry
@@ -20,10 +30,8 @@ from repro.detector.geometry import DetectorGeometry
 from repro.detector.simulation import DetectorSimulation
 from repro.errors import WorkflowError
 from repro.generation.generator import ToyGenerator
-from repro.reconstruction.reconstructor import (
-    GlobalTagView,
-    Reconstructor,
-)
+from repro.reconstruction.reconstructor import Reconstructor
+from repro.runtime import ExecutionPolicy, derive_seed, parallel_map
 
 
 @dataclass
@@ -47,6 +55,12 @@ class ProcessingCampaign:
     section (capped by ``max_events_per_run`` to keep toys fast). Runs
     not in the good-run list are skipped entirely — certified data is
     the only data a campaign processes.
+
+    ``policy`` sets the default execution policy of :meth:`process`;
+    the default is serial. Every policy produces identical results —
+    each run derives its generator seed from the campaign's generator
+    seed and its run number, so no run depends on how many events any
+    other run drew.
     """
 
     def __init__(
@@ -59,6 +73,7 @@ class ProcessingCampaign:
         events_per_section: float = 0.2,
         max_events_per_run: int = 50,
         seed: int = 6000,
+        policy: ExecutionPolicy | None = None,
     ) -> None:
         if events_per_section <= 0.0:
             raise WorkflowError("events_per_section must be positive")
@@ -70,11 +85,21 @@ class ProcessingCampaign:
         self.events_per_section = events_per_section
         self.max_events_per_run = max_events_per_run
         self.seed = seed
+        self.policy = policy
         self._results: dict[int, RunResult] = {}
 
-    def process(self, registry: RunRegistry,
-                good_runs: GoodRunList) -> dict[int, RunResult]:
-        """Process every certified run of the registry."""
+    def process(self, registry: RunRegistry, good_runs: GoodRunList,
+                policy: ExecutionPolicy | None = None
+                ) -> dict[int, RunResult]:
+        """Process every certified run of the registry.
+
+        ``policy`` overrides the campaign's default policy for this
+        sweep. Results are merged back in run order regardless of which
+        worker finished first.
+        """
+        if policy is None:
+            policy = self.policy
+        tasks = []
         for run_number in registry.run_numbers():
             n_sections = good_runs.certified_sections(run_number)
             if n_sections == 0:
@@ -83,26 +108,41 @@ class ProcessingCampaign:
                 self.max_events_per_run,
                 max(1, int(n_sections * self.events_per_section)),
             )
-            self._results[run_number] = self._process_run(run_number,
-                                                          n_events)
+            tasks.append((run_number, n_events))
+        worker = functools.partial(_process_run_worker,
+                                   self._worker_template())
+        for result in parallel_map(worker, tasks, policy):
+            self._results[result.run_number] = result
         return dict(self._results)
+
+    def _worker_template(self) -> "ProcessingCampaign":
+        """A results-free copy to ship to workers.
+
+        Shallow-copying keeps the pickled task payload constant-size
+        instead of shipping every previously processed run along.
+        """
+        template = copy.copy(self)
+        template._results = {}
+        return template
 
     def _process_run(self, run_number: int,
                      n_events: int) -> RunResult:
+        generator = self._run_generator(run_number)
         simulation = DetectorSimulation(self.geometry,
                                         seed=self.seed + run_number)
         digitizer = Digitizer(self.geometry, run_number=run_number,
                               seed=self.seed + run_number + 1)
-        reconstructor = Reconstructor(
-            self.geometry,
-            GlobalTagView(self.conditions, self.global_tag),
-        )
+        # One cached view per run: the per-event double store lookup
+        # collapses to a dict hit after the first event of the run.
+        view = CachedConditionsView(self.conditions, self.global_tag)
+        reconstructor = Reconstructor(self.geometry, view)
         result = RunResult(run_number=run_number)
-        for event in self.generator.stream(n_events):
+        for event in generator.stream(n_events):
             raw = digitizer.digitize(simulation.simulate(event))
             result.aods.append(make_aod(reconstructor.reconstruct(raw)))
-        # Record exactly which payloads this run's reconstruction used.
-        view = GlobalTagView(self.conditions, self.global_tag)
+        # Record exactly which payloads this run's reconstruction used —
+        # read back through the *same* view the reconstructor used, so
+        # the dependency record cannot drift from the payloads applied.
         result.conditions_used = {
             folder: view.payload(folder, run_number)
             for folder in sorted(
@@ -110,6 +150,19 @@ class ProcessingCampaign:
             )
         }
         return result
+
+    def _run_generator(self, run_number: int) -> ToyGenerator:
+        """A private generator for one run.
+
+        The seed derives from the campaign generator's seed and the run
+        number alone, making every run's event sample independent of
+        execution order — the property the parallel sweep relies on.
+        """
+        config = replace(
+            self.generator.config,
+            seed=derive_seed(self.generator.config.seed, "run", run_number),
+        )
+        return ToyGenerator(config, table=self.generator.table)
 
     def results(self) -> dict[int, RunResult]:
         """All per-run results processed so far."""
@@ -148,3 +201,10 @@ class ProcessingCampaign:
             "events_per_section": self.events_per_section,
             "max_events_per_run": self.max_events_per_run,
         }
+
+
+def _process_run_worker(campaign: ProcessingCampaign,
+                        task: tuple[int, int]) -> RunResult:
+    """Module-level worker driver so process pools can pickle it."""
+    run_number, n_events = task
+    return campaign._process_run(run_number, n_events)

@@ -79,6 +79,11 @@ class ChainResult:
 
     def final_dataset(self) -> list:
         """The last dataset the chain produced."""
+        if not self.datasets:
+            raise WorkflowError(
+                f"chain {self.chain_name!r} produced no datasets; "
+                f"was the chain run?"
+            )
         last_name = list(self.datasets)[-1]
         return self.datasets[last_name]
 

@@ -1,0 +1,132 @@
+"""Tests for the IOV-memoizing conditions cache."""
+
+import pytest
+
+from repro.conditions import (
+    CachedConditionsView,
+    ConditionsStore,
+    GlobalTag,
+    IOV,
+    default_conditions,
+)
+from repro.conditions.calibration import (
+    FOLDER_BEAMSPOT,
+    FOLDER_ECAL_SCALE,
+    FOLDER_HCAL_SCALE,
+)
+from repro.errors import ConditionsError, IOVError
+from repro.reconstruction import GlobalTagView
+
+
+class TestCacheEquivalence:
+    def test_identical_to_uncached_across_iov_boundaries(self):
+        store = default_conditions()
+        uncached = GlobalTagView(store, "GT-FINAL")
+        cached = CachedConditionsView(store, "GT-FINAL")
+        # The default calibration splits runs 1..100 into 10-run IOV
+        # blocks; sweep across every boundary in both directions.
+        runs = list(range(1, 101)) + list(range(100, 0, -7))
+        for folder in (FOLDER_ECAL_SCALE, FOLDER_HCAL_SCALE,
+                       FOLDER_BEAMSPOT):
+            for run in runs:
+                assert (cached.payload(folder, run)
+                        == uncached.payload(folder, run)), (
+                    f"{folder} diverged at run {run}"
+                )
+
+    def test_equivalent_for_both_global_tags(self):
+        store = default_conditions()
+        for tag in ("GT-PROMPT", "GT-FINAL"):
+            cached = CachedConditionsView(store, tag)
+            uncached = GlobalTagView(store, tag)
+            for run in (1, 10, 11, 55, 99, 100):
+                assert (cached.payload(FOLDER_ECAL_SCALE, run)
+                        == uncached.payload(FOLDER_ECAL_SCALE, run))
+
+    def test_returned_payloads_are_isolated_copies(self):
+        store = default_conditions()
+        cached = CachedConditionsView(store, "GT-FINAL")
+        first = cached.payload(FOLDER_ECAL_SCALE, 5)
+        first["scale"] = -999.0
+        # Neither the cache nor the store saw the mutation.
+        assert cached.payload(FOLDER_ECAL_SCALE, 5)["scale"] != -999.0
+        assert (cached.payload(FOLDER_ECAL_SCALE, 5)
+                == GlobalTagView(store, "GT-FINAL").payload(
+                    FOLDER_ECAL_SCALE, 5))
+
+
+class TestCacheBehaviour:
+    def test_hits_within_one_iov(self):
+        store = default_conditions()
+        cached = CachedConditionsView(store, "GT-FINAL")
+        for run in range(1, 11):  # all inside the first IOV block
+            cached.payload(FOLDER_ECAL_SCALE, run)
+        stats = cached.stats
+        assert stats.misses == 1
+        assert stats.hits == 9
+        assert stats.hit_rate == pytest.approx(0.9)
+
+    def test_miss_per_iov_block(self):
+        store = default_conditions()
+        cached = CachedConditionsView(store, "GT-FINAL")
+        for run in (5, 15, 25, 5, 15, 25):
+            cached.payload(FOLDER_ECAL_SCALE, run)
+        # Three blocks resolved once each; revisits hit the cache even
+        # out of order.
+        assert cached.stats.misses == 3
+        assert cached.stats.hits == 3
+
+    def test_clear_resets_cache_and_stats(self):
+        store = default_conditions()
+        cached = CachedConditionsView(store, "GT-FINAL")
+        cached.payload(FOLDER_ECAL_SCALE, 5)
+        cached.clear()
+        assert cached.stats.reads == 0
+        cached.payload(FOLDER_ECAL_SCALE, 5)
+        assert cached.stats.misses == 1
+
+    def test_empty_stats(self):
+        cached = CachedConditionsView(default_conditions(), "GT-FINAL")
+        assert cached.stats.hit_rate == 0.0
+        assert cached.stats.to_dict()["hits"] == 0
+
+    def test_access_reaches_store_once_per_block(self):
+        store = default_conditions()
+        store.clear_access_log()  # drop the builder's own reads
+        cached = CachedConditionsView(store, "GT-FINAL")
+        for run in range(1, 21):
+            cached.payload(FOLDER_ECAL_SCALE, run)
+        reads = [entry for entry in store.access_log
+                 if entry[0] == FOLDER_ECAL_SCALE]
+        assert len(reads) == 2  # two IOV blocks, one real read each
+
+
+class TestCacheFailureModes:
+    def test_unknown_global_tag_fails_fast(self):
+        with pytest.raises(ConditionsError):
+            CachedConditionsView(default_conditions(), "GT-NOPE")
+
+    def test_unmapped_folder_raises(self):
+        cached = CachedConditionsView(default_conditions(), "GT-FINAL")
+        with pytest.raises(ConditionsError):
+            cached.payload("no/such_folder", 5)
+
+    def test_iov_gap_raises(self):
+        store = ConditionsStore("gappy")
+        store.add_payload("f", "v1", IOV(1, 10), {"x": 1.0})
+        store.add_payload("f", "v1", IOV(21, 30), {"x": 2.0})
+        store.register_global_tag(
+            GlobalTag.from_mapping("GT-G", {"f": "v1"}))
+        cached = CachedConditionsView(store, "GT-G")
+        assert cached.payload("f", 5) == {"x": 1.0}
+        with pytest.raises(IOVError):
+            cached.payload("f", 15)
+        # The failed read must not poison later valid reads.
+        assert cached.payload("f", 25) == {"x": 2.0}
+
+    def test_describe_marks_cache(self):
+        cached = CachedConditionsView(default_conditions(), "GT-FINAL")
+        record = cached.describe()
+        assert record["mode"] == "database"
+        assert record["global_tag"] == "GT-FINAL"
+        assert record["cached"] is True

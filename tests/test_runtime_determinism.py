@@ -1,0 +1,174 @@
+"""Regression tests for the parallel-execution determinism guarantee.
+
+The runtime's contract is that parallel output is *bit-identical* to
+serial output — reproducibility is the preservation claim, so these
+tests serialize everything to plain dicts and compare for equality
+between ``n_jobs=1`` and parallel policies at every wired-in layer:
+campaign processing, bulk reconstruction, and the RECAST mass scan.
+"""
+
+import pytest
+
+from repro.datamodel import (
+    AndCut,
+    CountCut,
+    GoodRunList,
+    MassWindowCut,
+    RunRecord,
+    RunRegistry,
+    SkimSpec,
+    make_aod,
+)
+from repro.detector import DetectorSimulation, Digitizer
+from repro.generation import DrellYanZ, GeneratorConfig, ToyGenerator
+from repro.recast import PreservedSearch, run_mass_scan
+from repro.recast.backend import FullChainBackend
+from repro.reconstruction import GlobalTagView, Reconstructor
+from repro.runtime import ExecutionPolicy
+from repro.workflow import ProcessingCampaign
+
+PARALLEL_POLICIES = [
+    ExecutionPolicy.processes(4),
+    ExecutionPolicy.threads(2),
+    ExecutionPolicy.processes(2, chunk_size=1),
+]
+
+
+def _build_campaign(conditions_store, gpd_geometry):
+    registry = RunRegistry("DetRuns")
+    good_runs = GoodRunList("DetGRL")
+    # Runs 5, 15 and 25 sit in different 10-run IOV blocks.
+    for run_number, sections in [(5, 20), (15, 25), (25, 30)]:
+        registry.add(RunRecord(run_number, sections, 0.5))
+        good_runs.certify(run_number, 1, sections)
+    campaign = ProcessingCampaign(
+        name="det-v1",
+        geometry=gpd_geometry,
+        conditions=conditions_store,
+        global_tag="GT-FINAL",
+        generator=ToyGenerator(GeneratorConfig(
+            processes=[DrellYanZ()], seed=6100)),
+        events_per_section=0.3,
+        max_events_per_run=8,
+    )
+    return campaign, registry, good_runs
+
+
+def _campaign_snapshot(campaign):
+    return {
+        "aods": [aod.to_dict() for aod in campaign.all_aods()],
+        "manifest": campaign.conditions_manifest(),
+        "counts": {run: result.n_events
+                   for run, result in campaign.results().items()},
+    }
+
+
+class TestCampaignDeterminism:
+    @pytest.mark.parametrize("policy", PARALLEL_POLICIES)
+    def test_parallel_identical_to_serial(self, policy,
+                                          conditions_store,
+                                          gpd_geometry):
+        serial, registry, good_runs = _build_campaign(
+            conditions_store, gpd_geometry)
+        serial.process(registry, good_runs,
+                       policy=ExecutionPolicy.serial())
+        parallel, registry, good_runs = _build_campaign(
+            conditions_store, gpd_geometry)
+        parallel.process(registry, good_runs, policy=policy)
+        assert _campaign_snapshot(serial) == _campaign_snapshot(parallel)
+
+    def test_constructor_policy_used_as_default(self, conditions_store,
+                                                gpd_geometry):
+        serial, registry, good_runs = _build_campaign(
+            conditions_store, gpd_geometry)
+        serial.process(registry, good_runs)
+        parallel, registry, good_runs = _build_campaign(
+            conditions_store, gpd_geometry)
+        parallel.policy = ExecutionPolicy.processes(3)
+        parallel.process(registry, good_runs)
+        assert _campaign_snapshot(serial) == _campaign_snapshot(parallel)
+
+    def test_dependency_record_matches_payloads_used(
+            self, conditions_store, gpd_geometry):
+        # The manifest must be read through the same view the
+        # reconstruction used (the drift bug this PR fixes).
+        campaign, registry, good_runs = _build_campaign(
+            conditions_store, gpd_geometry)
+        results = campaign.process(registry, good_runs)
+        for run_number, result in results.items():
+            for folder, payload in result.conditions_used.items():
+                expected = conditions_store.payload_for_global_tag(
+                    folder, "GT-FINAL", run_number)
+                assert payload == expected
+
+
+@pytest.fixture(scope="module")
+def raw_sample(gpd_geometry, conditions_store):
+    generator = ToyGenerator(GeneratorConfig(
+        processes=[DrellYanZ()], seed=8800))
+    simulation = DetectorSimulation(gpd_geometry, seed=8801)
+    digitizer = Digitizer(gpd_geometry, run_number=17, seed=8802)
+    return [digitizer.digitize(simulation.simulate(event))
+            for event in generator.generate(24)]
+
+
+class TestReconstructionDeterminism:
+    @pytest.mark.parametrize("policy", PARALLEL_POLICIES)
+    def test_parallel_identical_to_serial(self, policy, raw_sample,
+                                          gpd_geometry,
+                                          conditions_store):
+        serial = Reconstructor(
+            gpd_geometry, GlobalTagView(conditions_store, "GT-FINAL"))
+        serial_recos = serial.reconstruct_many(raw_sample)
+        parallel = Reconstructor(
+            gpd_geometry, GlobalTagView(conditions_store, "GT-FINAL"))
+        parallel_recos = parallel.reconstruct_many(raw_sample,
+                                                   policy=policy)
+        assert ([make_aod(reco).to_dict() for reco in serial_recos]
+                == [make_aod(reco).to_dict()
+                    for reco in parallel_recos])
+
+    @pytest.mark.parametrize("policy", PARALLEL_POLICIES)
+    def test_conditions_reads_aggregated_in_order(self, policy,
+                                                  raw_sample,
+                                                  gpd_geometry,
+                                                  conditions_store):
+        serial = Reconstructor(
+            gpd_geometry, GlobalTagView(conditions_store, "GT-FINAL"))
+        serial.reconstruct_many(raw_sample)
+        parallel = Reconstructor(
+            gpd_geometry, GlobalTagView(conditions_store, "GT-FINAL"))
+        parallel.reconstruct_many(raw_sample, policy=policy)
+        assert serial.conditions_reads == parallel.conditions_reads
+        assert (serial.external_dependencies()
+                == parallel.external_dependencies())
+
+    def test_empty_input(self, gpd_geometry, conditions_store):
+        reconstructor = Reconstructor(
+            gpd_geometry, GlobalTagView(conditions_store, "GT-FINAL"))
+        assert reconstructor.reconstruct_many(
+            [], policy=ExecutionPolicy.processes(2)) == []
+
+
+class TestScanDeterminism:
+    def test_parallel_limits_identical_to_serial(self):
+        selection = SkimSpec("highmass", AndCut((
+            CountCut("muons", 2, min_pt=30.0),
+            MassWindowCut("muons", 500.0, 1e9, opposite_charge=True),
+        )))
+        search = PreservedSearch(
+            analysis_id="GPD-EXO-2013-01", title="High-mass dimuon",
+            experiment="GPD", selection=selection, n_observed=3,
+            background=2.5, background_uncertainty=0.6,
+            luminosity_ipb=20000.0,
+        )
+        backend = FullChainBackend("GPD", n_events=60,
+                                   n_limit_toys=200, seed=6400)
+        masses = [800.0, 1600.0]
+        serial = run_mass_scan(backend, search, masses)
+        parallel = run_mass_scan(backend, search, masses,
+                                 policy=ExecutionPolicy.processes(4))
+        assert serial.limits() == parallel.limits()
+        assert ([point.efficiency for point in serial.points]
+                == [point.efficiency for point in parallel.points])
+        assert (serial.mass_reach(0.05) == parallel.mass_reach(0.05))

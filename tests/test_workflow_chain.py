@@ -114,6 +114,13 @@ class TestRunner:
             "zmumu/slim:zntuple"
         )
 
+    def test_final_dataset_of_empty_result_raises(self):
+        from repro.workflow import ChainResult
+
+        empty = ChainResult(chain_name="never-run")
+        with pytest.raises(WorkflowError, match="never-run"):
+            empty.final_dataset()
+
     def test_source_chain_rejects_input(self):
         geometry = generic_lhc_detector()
         store = default_conditions()
