@@ -48,14 +48,22 @@ def _assert_wallclock_speedup(speedup: float, floor: float,
     """Enforce a speedup floor only where the cores to reach it exist.
 
     Wall-clock gains from a process pool are bounded by the CPUs the
-    scheduler actually grants; on a 1-2 core box the determinism
-    assertions still run but the throughput floor is informational.
+    scheduler actually grants. On an under-provisioned box the
+    determinism assertions above this call have already run; the
+    throughput floor is then *skipped visibly* rather than silently
+    waved through, so a green run never implies a speedup that was
+    never measured.
     """
-    if AVAILABLE_CPUS >= BENCH_JOBS:
-        assert speedup >= floor, (
-            f"{label} speedup {speedup:.2f}x below {floor:.1f}x floor "
-            f"with {AVAILABLE_CPUS} CPUs"
+    if AVAILABLE_CPUS < BENCH_JOBS:
+        pytest.skip(
+            f"{label} speedup floor needs >= {BENCH_JOBS} CPUs; the "
+            f"scheduler grants {AVAILABLE_CPUS} "
+            f"(measured {speedup:.2f}x, informational only)"
         )
+    assert speedup >= floor, (
+        f"{label} speedup {speedup:.2f}x below {floor:.1f}x floor "
+        f"with {AVAILABLE_CPUS} CPUs"
+    )
 
 
 @pytest.fixture(scope="session")
@@ -115,6 +123,7 @@ def test_campaign_parallel_speedup(emit, emit_json):
         "serial_seconds": serial_s,
         "parallel_seconds": parallel_s,
         "speedup": speedup,
+        "speedup_meaningful": AVAILABLE_CPUS >= BENCH_JOBS,
         "bit_identical": True,
     })
     _assert_wallclock_speedup(speedup, 2.0, "campaign")
@@ -187,6 +196,7 @@ def test_scan_parallel_speedup(emit, emit_json):
         "serial_seconds": serial_s,
         "parallel_seconds": parallel_s,
         "speedup": speedup,
+        "speedup_meaningful": AVAILABLE_CPUS >= BENCH_JOBS,
         "limits_identical": True,
     })
     _assert_wallclock_speedup(speedup, 1.3, "scan")

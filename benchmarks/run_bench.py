@@ -113,21 +113,35 @@ def main(argv: list[str] | None = None) -> int:
         available_cpus = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         available_cpus = os.cpu_count() or 1
+    # A baseline recorded with fewer schedulable CPUs than worker
+    # processes cannot show a real pool speedup; flag those workloads
+    # so later PRs do not diff against a number that means nothing.
+    speedup_meaningful = available_cpus >= args.jobs
     record = {
         "benchmark": "repro.runtime parallel execution",
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
         "available_cpus": available_cpus,
         "workloads": {},
     }
     print("campaign sweep (serial vs process pool) ...")
     record["workloads"]["campaign"] = bench_campaign(args.jobs, n_runs)
+    record["workloads"]["campaign"]["speedup_meaningful"] = (
+        speedup_meaningful)
     print("conditions cache (serial, dense store) ...")
     record["workloads"]["conditions_cache"] = bench_conditions_cache(
         n_cache_events)
+    # The cache benchmark is serial; its speedup is meaningful anywhere.
+    record["workloads"]["conditions_cache"]["speedup_meaningful"] = True
     print("exclusion scan (serial vs process pool) ...")
     record["workloads"]["scan"] = bench_scan(args.jobs, n_scan_events)
+    record["workloads"]["scan"]["speedup_meaningful"] = (
+        speedup_meaningful)
+    if not speedup_meaningful:
+        print(f"note: only {available_cpus} CPU(s) schedulable for "
+              f"{args.jobs} workers; pool speedups are informational")
 
     output = Path(args.output)
     with output.open("w", encoding="utf-8") as handle:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -115,6 +116,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="re-validate a preserved-analysis bundle JSON file",
     )
     validate.add_argument("--bundle", required=True)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically lint preserved artifacts (no re-execution)",
+    )
+    lint.add_argument("targets", nargs="*",
+                      help="Python sources, artifact JSON documents, "
+                           "archive directories, or directories of them")
+    lint.add_argument("--bundled", action="store_true",
+                      help="also lint the library's own bundled "
+                           "analyses, conditions, catalogues, and "
+                           "interview records")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", dest="output_format")
+    lint.add_argument("--select", action="append", default=[],
+                      metavar="PREFIX",
+                      help="only report rules matching a code prefix "
+                           "(repeatable, e.g. --select DAS1)")
+    lint.add_argument("--ignore", action="append", default=[],
+                      metavar="PREFIX",
+                      help="drop rules matching a code prefix "
+                           "(repeatable)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
 
     interview = sub.add_parser("interview",
                                help="print an experiment's interview")
@@ -369,6 +394,41 @@ def _cmd_validate_bundle(args) -> int:
     return 0 if outcome.passed else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import (
+        LintConfig,
+        LintSession,
+        lint_bundled_artifacts,
+        lint_path,
+        render_json,
+        render_rule_catalog,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+    if not args.targets and not args.bundled:
+        raise ReproError(
+            "lint needs at least one target path (or --bundled)"
+        )
+    config = LintConfig(select=tuple(args.select),
+                        ignore=tuple(args.ignore))
+    session = LintSession(config)
+    for target in args.targets:
+        if not Path(target).exists():
+            raise ReproError(f"lint target {target!r} does not exist")
+        session.extend(lint_path(target))
+    if args.bundled:
+        session.extend(lint_bundled_artifacts())
+    report = session.report()
+    if args.output_format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code
+
+
 def _cmd_interview(args) -> int:
     from repro.experiments import get_experiment
     from repro.interview import response_for_experiment
@@ -402,6 +462,7 @@ _COMMANDS = {
     "convert-level2": _cmd_convert_level2,
     "display": _cmd_display,
     "validate-bundle": _cmd_validate_bundle,
+    "lint": _cmd_lint,
     "interview": _cmd_interview,
     "table1": _cmd_table1,
     "maturity": _cmd_maturity,
@@ -417,6 +478,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an
+        # error in the command itself. Detach stdout so the interpreter
+        # does not raise again while flushing at shutdown.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

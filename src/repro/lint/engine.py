@@ -1,0 +1,183 @@
+"""The rule registry, lint configuration, and report assembly.
+
+Every check registers itself as a :class:`Rule` with a stable ``DASnnn``
+code, a fixed default severity, and catalogue prose (rationale plus an
+example trigger) — the rule table in ``docs/linting.md`` is generated
+from exactly this metadata, so code and documentation cannot drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata of one registered lint rule."""
+
+    code: str
+    name: str
+    severity: Severity
+    subsystem: str
+    description: str
+    rationale: str
+    example: str
+
+    def finding(self, message: str, *, artifact: str = "",
+                file: str = "", line: int = 0,
+                severity: Severity | None = None) -> Finding:
+        """Build a finding carrying this rule's code and severity."""
+        return Finding(
+            code=self.code,
+            severity=self.severity if severity is None else severity,
+            message=message,
+            artifact=artifact,
+            file=file,
+            line=line,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(code: str, name: str, severity: Severity,
+                  subsystem: str, description: str, rationale: str,
+                  example: str) -> Rule:
+    """Register a rule under a stable code; duplicate codes are bugs."""
+    if code in _REGISTRY:
+        raise ConfigurationError(f"lint rule {code!r} already registered")
+    rule = Rule(code=code, name=name, severity=severity,
+                subsystem=subsystem, description=description,
+                rationale=rationale, example=example)
+    _REGISTRY[code] = rule
+    return rule
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule by code."""
+    _ensure_rules_loaded()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise ConfigurationError(f"unknown lint rule {code!r}") from None
+
+
+def _ensure_rules_loaded() -> None:
+    """Import the checker modules so their rules self-register."""
+    from repro.lint import consistency, pycheck  # noqa: F401
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run and which findings are suppressed.
+
+    ``select``/``ignore`` hold code prefixes (``"DAS1"`` matches every
+    ``DAS1xx`` rule); an empty ``select`` means all rules. The
+    ``suppressions`` map drops every finding of a code globally and must
+    give a reason — unexplained suppressions defeat the audit trail.
+    """
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    suppressions: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for code, reason in self.suppressions.items():
+            if not str(reason).strip():
+                raise ConfigurationError(
+                    f"suppression of {code} needs a non-empty reason"
+                )
+
+    def enabled(self, code: str) -> bool:
+        """True when findings of ``code`` should be reported."""
+        if self.select and not any(code.startswith(prefix)
+                                   for prefix in self.select):
+            return False
+        if any(code.startswith(prefix) for prefix in self.ignore):
+            return False
+        return code not in self.suppressions
+
+    def apply(self, findings: list[Finding]) -> list[Finding]:
+        """Filter findings down to the enabled rules."""
+        return [finding for finding in findings
+                if self.enabled(finding.code)]
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The aggregated outcome of one lint run."""
+
+    findings: tuple[Finding, ...]
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "LintReport":
+        """Build a report with deterministic finding order."""
+        return cls(findings=tuple(sorted(findings,
+                                         key=Finding.sort_key)))
+
+    def count(self, severity: Severity) -> int:
+        """Findings at exactly one severity."""
+        return sum(1 for finding in self.findings
+                   if finding.severity == severity)
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean (info only), 1 warnings, 2 errors."""
+        if self.count(Severity.ERROR):
+            return 2
+        if self.count(Severity.WARNING):
+            return 1
+        return 0
+
+    def worst(self) -> Severity | None:
+        """The most severe finding present, or None when clean."""
+        if not self.findings:
+            return None
+        return max(finding.severity for finding in self.findings)
+
+    def summary(self) -> str:
+        """One-line totals for the text reporter footer."""
+        return (
+            f"{len(self.findings)} finding(s): "
+            f"{self.count(Severity.ERROR)} error(s), "
+            f"{self.count(Severity.WARNING)} warning(s), "
+            f"{self.count(Severity.INFO)} info"
+        )
+
+    def to_dict(self) -> dict:
+        """Serialise for the JSON reporter."""
+        return {
+            "findings": [finding.to_dict()
+                         for finding in self.findings],
+            "counts": {
+                "error": self.count(Severity.ERROR),
+                "warning": self.count(Severity.WARNING),
+                "info": self.count(Severity.INFO),
+            },
+            "exit_code": self.exit_code,
+        }
+
+
+class LintSession:
+    """Accumulates findings across many artifacts into one report."""
+
+    def __init__(self, config: LintConfig | None = None) -> None:
+        self.config = config or LintConfig()
+        self._findings: list[Finding] = []
+
+    def extend(self, findings: list[Finding]) -> None:
+        """Add findings, applying the session configuration."""
+        self._findings.extend(self.config.apply(findings))
+
+    def report(self) -> LintReport:
+        """The deterministic, aggregated report."""
+        return LintReport.from_findings(self._findings)

@@ -1,0 +1,72 @@
+"""Finding and severity types shared by every lint rule."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; orders INFO < WARNING < ERROR."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        """Numeric ordering used for comparisons and exit codes."""
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank <= other.rank
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1,
+                  Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis diagnostic.
+
+    ``artifact`` is the logical name of the thing being linted (an
+    analysis name, a spec name, an archive name); ``file``/``line``
+    locate the finding in a source or document when that is meaningful.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    artifact: str = ""
+    file: str = ""
+    line: int = 0
+
+    def sort_key(self) -> tuple:
+        """Deterministic report ordering: location, then code."""
+        return (self.file, self.artifact, self.line, self.code,
+                self.message)
+
+    def location(self) -> str:
+        """``file:line`` / artifact rendering for the text reporter."""
+        if self.file:
+            return f"{self.file}:{self.line}" if self.line else self.file
+        return self.artifact or "<artifact>"
+
+    def to_dict(self) -> dict:
+        """Serialise for the JSON reporter."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "artifact": self.artifact,
+            "file": self.file,
+            "line": self.line,
+        }

@@ -1,0 +1,38 @@
+"""Text and JSON reporters for lint reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport, all_rules
+
+
+def render_text(report: LintReport) -> str:
+    """flake8-style ``location: CODE severity: message`` lines."""
+    lines = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()}: {finding.code} "
+            f"{finding.severity.value}: {finding.message}"
+        )
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order)."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render_rule_catalog() -> str:
+    """The rule table docs/linting.md embeds, generated from the registry."""
+    lines = [
+        "| Code | Name | Severity | Subsystem | Description |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for rule in all_rules():
+        lines.append(
+            f"| {rule.code} | {rule.name} | {rule.severity.value} "
+            f"| {rule.subsystem} | {rule.description} |"
+        )
+    return "\n".join(lines)

@@ -34,6 +34,13 @@ class ProvenanceGraph:
             # Roll back the offending node to keep the graph usable.
             self._graph.remove_node(record.artifact_id)
             del self._records[record.artifact_id]
+            # The removed id may have pre-existed as a dangling parent
+            # of registered records; removing the node dropped those
+            # edges too, so restore them or later audits would see a
+            # spuriously complete ancestry.
+            for child_id, child in self._records.items():
+                if record.artifact_id in child.parents:
+                    self._graph.add_edge(record.artifact_id, child_id)
             raise ProvenanceError(
                 f"adding {record.artifact_id!r} would create a cycle"
             )

@@ -262,6 +262,8 @@ class ParameterizedSpectrumAnalysis(Analysis):
     """
 
     def __init__(self, config: SpectrumConfig) -> None:
+        # lint: ignore[DAS009] -- generated spectrum analyses are
+        # parameter configs, not publications; there is no paper to link.
         self.metadata = AnalysisMetadata(
             name=config.name,
             description=(

@@ -63,6 +63,57 @@ class TestRevalidation:
             PreservedAnalysisBundle.from_dict({"format": "nope"})
 
 
+class TestRevalidationMismatchPaths:
+    def test_row_count_drift_is_reported(self, bundle):
+        record = bundle.to_dict()
+        assert record["expected_rows"], "fixture produced no rows"
+        record["expected_rows"].append(
+            dict(record["expected_rows"][-1], event=999_999))
+        padded = PreservedAnalysisBundle.from_dict(record)
+        outcome = revalidate(padded)
+        assert not outcome.passed
+        assert outcome.n_expected == outcome.n_reproduced + 1
+        assert any("row count" in m for m in outcome.mismatches)
+        assert "FAIL" in outcome.summary()
+
+    def test_field_value_drift_names_the_column(self, bundle):
+        record = bundle.to_dict()
+        assert record["expected_rows"], "fixture produced no rows"
+        record["expected_rows"][0]["cols"]["dimuon_mass"] += 5.0
+        drifted = PreservedAnalysisBundle.from_dict(record)
+        outcome = revalidate(drifted)
+        assert not outcome.passed
+        assert any("dimuon_mass" in m for m in outcome.mismatches)
+        # The drift is localised: only the tampered row mismatches.
+        assert len(outcome.mismatches) == 1
+
+    def test_event_id_drift_is_reported(self, bundle):
+        record = bundle.to_dict()
+        assert record["expected_rows"], "fixture produced no rows"
+        record["expected_rows"][0]["event"] = -1
+        drifted = PreservedAnalysisBundle.from_dict(record)
+        outcome = revalidate(drifted)
+        assert not outcome.passed
+        assert any("event" in m for m in outcome.mismatches)
+
+    def test_column_set_drift_is_reported(self, bundle):
+        record = bundle.to_dict()
+        assert record["expected_rows"], "fixture produced no rows"
+        record["expected_rows"][0]["cols"]["bogus_column"] = 1.0
+        drifted = PreservedAnalysisBundle.from_dict(record)
+        outcome = revalidate(drifted)
+        assert not outcome.passed
+        assert any("column sets differ" in m for m in outcome.mismatches)
+
+    def test_drift_below_tolerance_passes(self, bundle):
+        record = bundle.to_dict()
+        assert record["expected_rows"], "fixture produced no rows"
+        record["expected_rows"][0]["cols"]["dimuon_mass"] *= 1.0 + 1e-12
+        nudged = PreservedAnalysisBundle.from_dict(record)
+        assert revalidate(nudged, tolerance=1e-9).passed
+        assert not revalidate(nudged, tolerance=1e-15).passed
+
+
 class TestMigrations:
     def test_lossless_migration_passes(self, bundle):
         migrated = apply_migration(bundle, LosslessMigration())

@@ -1,0 +1,123 @@
+"""The `repro lint` subcommand: exit codes, formats, selection."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+
+CLEAN = "def double(x):\n    return 2 * x\n"
+
+WARNING_ONLY = textwrap.dedent("""
+    import os
+
+    def tag():
+        return os.getenv("GLOBAL_TAG")
+""")
+
+WITH_ERROR = textwrap.dedent("""
+    import time
+
+    def stamp():
+        return time.time()
+""")
+
+
+@pytest.fixture
+def module(tmp_path):
+    def write(source: str, name: str = "mod.py"):
+        path = tmp_path / name
+        path.write_text(source, encoding="utf-8")
+        return str(path)
+    return write
+
+
+class TestExitCodes:
+    def test_exit_0_on_clean_file(self, module, capsys):
+        assert main(["lint", module(CLEAN)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_1_on_warning(self, module):
+        assert main(["lint", module(WARNING_ONLY)]) == 1
+
+    def test_exit_2_on_error(self, module, capsys):
+        assert main(["lint", module(WITH_ERROR)]) == 2
+        assert "DAS001" in capsys.readouterr().out
+
+    def test_error_dominates_warning(self, module):
+        assert main(["lint", module(WARNING_ONLY, "a.py"),
+                     module(WITH_ERROR, "b.py")]) == 2
+
+
+class TestFormats:
+    def test_json_output_parses(self, module, capsys):
+        assert main(["lint", "--format", "json",
+                     module(WITH_ERROR)]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 2
+        assert payload["findings"][0]["code"] == "DAS001"
+
+    def test_json_clean_report(self, module, capsys):
+        assert main(["lint", "--format", "json", module(CLEAN)]) == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+
+
+class TestSelection:
+    def test_ignore_downgrades_exit(self, module):
+        assert main(["lint", "--ignore", "DAS001",
+                     module(WITH_ERROR)]) == 0
+
+    def test_select_limits_to_prefix(self, module, capsys):
+        assert main(["lint", "--select", "DAS005",
+                     module(WARNING_ONLY + WITH_ERROR)]) == 1
+        out = capsys.readouterr().out
+        assert "DAS005" in out
+        assert "DAS001" not in out
+
+
+class TestTargets:
+    def test_missing_target_is_an_error(self, capsys):
+        assert main(["lint", "/nonexistent/analysis.py"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_no_targets_is_an_error(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_directory_target_recurses(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "bad.py").write_text(WITH_ERROR,
+                                                 encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 2
+
+    def test_json_document_target(self, tmp_path):
+        spec = tmp_path / "skim.json"
+        spec.write_text(json.dumps({"name": "s", "cut": {
+            "kind": "count", "collection": "axions", "min_count": 1,
+        }}), encoding="utf-8")
+        assert main(["lint", str(spec)]) == 2
+
+    def test_list_rules_prints_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DAS001" in out
+        assert "DAS112" in out
+
+
+class TestBundledArtifacts:
+    def test_bundled_corpus_is_clean(self, capsys):
+        assert main(["lint", "--bundled"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_repo_examples_are_clean(self):
+        import pathlib
+
+        import repro.rivet.standard_analyses as module
+
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        examples = repo_root / "examples"
+        assert main(["lint", "--bundled", str(examples),
+                     module.__file__]) == 0

@@ -1,0 +1,395 @@
+"""Trigger/clean pairs for the cross-artifact rules (DAS101-DAS112)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conditions import IOV, ConditionsStore, default_conditions
+from repro.conditions.snapshot import export_snapshot
+from repro.conditions.store import GlobalTag
+from repro.core import PreservationArchive, PreservationMetadata
+from repro.datamodel import (
+    AndCut,
+    CountCut,
+    MassWindowCut,
+    SkimSpec,
+    SlimSpec,
+)
+from repro.interview.sharing import DataSharingGrid, SharingEntry
+from repro.lint import (
+    lint_archive_directory,
+    lint_bundle,
+    lint_conditions_coverage,
+    lint_conditions_snapshot,
+    lint_maturity_vs_sharing,
+    lint_provenance_document,
+    lint_recast_bridge,
+    lint_skim_spec,
+    lint_slim_spec,
+)
+from repro.provenance import ArtifactRecord, ProducerRecord
+from repro.provenance.graph import ProvenanceGraph
+from repro.recast.bridge import RivetSignalRegion
+from repro.recast.catalog import AnalysisCatalog, PreservedSearch
+from repro.rivet.standard_analyses import standard_repository
+
+
+def codes(findings) -> list[str]:
+    return [finding.code for finding in findings]
+
+
+def make_search(analysis_id: str = "TOY-GPD-EXO-001") -> PreservedSearch:
+    return PreservedSearch(
+        analysis_id=analysis_id,
+        title="High-mass dimuon search",
+        experiment="TOY-GPD",
+        selection=SkimSpec("highmass", AndCut((
+            CountCut("muons", 2, min_pt=30.0),
+            MassWindowCut("muons", 400.0, 3000.0,
+                          opposite_charge=True),
+        ))),
+        n_observed=3,
+        background=2.8,
+        background_uncertainty=0.9,
+        luminosity_ipb=20000.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# DAS101 / DAS102 — specs vs the tier schema
+# ----------------------------------------------------------------------
+
+def test_das101_triggers_on_unknown_collection():
+    record = {"name": "taus", "cut": {
+        "kind": "count", "collection": "taus", "min_count": 1,
+    }}
+    findings = lint_skim_spec(record)
+    assert codes(findings) == ["DAS101"]
+    assert "taus" in findings[0].message
+
+
+def test_das101_walks_nested_cut_trees():
+    record = {"name": "nested", "cut": {
+        "kind": "and", "children": [
+            {"kind": "met", "min_met": 30.0},
+            {"kind": "not", "child": {
+                "kind": "count", "collection": "sparticles",
+                "min_count": 1,
+            }},
+        ],
+    }}
+    assert codes(lint_skim_spec(record)) == ["DAS101"]
+
+
+def test_das101_clean_on_valid_skim():
+    spec = SkimSpec("dimuon", AndCut((
+        CountCut("muons", 2, min_pt=15.0),
+        MassWindowCut("leptons", 60.0, 120.0),
+    )))
+    assert lint_skim_spec(spec.to_dict()) == []
+
+
+def test_das102_triggers_on_unknown_column():
+    record = {"name": "bad", "columns": ["met", "sphericity"]}
+    findings = lint_slim_spec(record)
+    assert codes(findings) == ["DAS102"]
+    assert "sphericity" in findings[0].message
+
+
+def test_das102_clean_on_valid_slim():
+    spec = SlimSpec("zmm", ("met", "dimuon_mass", "n_muons"))
+    assert lint_slim_spec(spec.to_dict()) == []
+
+
+def test_bundle_lint_covers_both_specs():
+    record = {
+        "format": "repro-preserved-analysis",
+        "bundle_id": "b-1",
+        "input_events": [],
+        "skim": {"name": "s", "cut": {
+            "kind": "count", "collection": "gluinos", "min_count": 1,
+        }},
+        "slim": {"name": "c", "columns": ["met", "aplanarity"]},
+        "expected_rows": [],
+    }
+    assert codes(lint_bundle(record)) == ["DAS101", "DAS102"]
+
+
+# ----------------------------------------------------------------------
+# DAS103 / DAS104 — conditions coverage
+# ----------------------------------------------------------------------
+
+def _store_with_gap() -> ConditionsStore:
+    store = ConditionsStore("gappy")
+    store.add_payload("calo/scale", "v1", IOV(1, 20), {"scale": 1.0})
+    store.add_payload("calo/scale", "v1", IOV(31, 60), {"scale": 1.1})
+    store.register_global_tag(GlobalTag.from_mapping(
+        "GT-GAP", {"calo/scale": "v1"}))
+    return store
+
+
+def test_das103_triggers_on_declared_run_in_gap():
+    store = _store_with_gap()
+    findings = lint_conditions_coverage(store, "GT-GAP", [10, 25, 40])
+    assert codes(findings) == ["DAS103"]
+    assert "run 25" in findings[0].message
+
+
+def test_das103_clean_when_all_runs_covered():
+    store = _store_with_gap()
+    assert lint_conditions_coverage(store, "GT-GAP", [5, 35, 60]) == []
+
+
+def test_das103_clean_on_default_conditions_campaign_range():
+    store = default_conditions()
+    runs = list(range(1, 101))
+    for tag in ("GT-PROMPT", "GT-FINAL"):
+        assert lint_conditions_coverage(store, tag, runs) == []
+
+
+def test_das103_snapshot_gap_reports_run_interval():
+    record = {
+        "schema": {"format": "repro-conditions-snapshot",
+                   "version": "1.0"},
+        "global_tag": "GT-X",
+        "first_run": 1,
+        "last_run": 40,
+        "folders": {"calo/scale": [
+            {"iov": {"first_run": 1, "last_run": 29},
+             "payload": {"scale": 1.0}},
+        ]},
+    }
+    findings = lint_conditions_snapshot(record)
+    assert codes(findings) == ["DAS103"]
+    assert "[30, 40]" in findings[0].message
+
+
+def test_das104_triggers_on_overlapping_snapshot_iovs():
+    record = {
+        "schema": {"format": "repro-conditions-snapshot",
+                   "version": "1.0"},
+        "global_tag": "GT-X",
+        "first_run": 1,
+        "last_run": 30,
+        "folders": {"calo/scale": [
+            {"iov": {"first_run": 1, "last_run": 20},
+             "payload": {"scale": 1.0}},
+            {"iov": {"first_run": 15, "last_run": 30},
+             "payload": {"scale": 1.1}},
+        ]},
+    }
+    assert "DAS104" in codes(lint_conditions_snapshot(record))
+
+
+def test_das104_clean_on_exported_snapshot():
+    snapshot = export_snapshot(default_conditions(), "GT-FINAL", 1, 50)
+    assert lint_conditions_snapshot(snapshot.to_dict()) == []
+
+
+# ----------------------------------------------------------------------
+# DAS105 / DAS106 / DAS107 — provenance documents
+# ----------------------------------------------------------------------
+
+def _producer() -> ProducerRecord:
+    return ProducerRecord("toolchain", "1.0.0", {"seed": 7})
+
+
+def test_das105_triggers_on_dangling_parent():
+    document = {"artifacts": [
+        ArtifactRecord("aod-1", "dataset", "AOD",
+                       parents=("gen-lost",),
+                       producer=_producer()).to_dict(),
+    ]}
+    findings = lint_provenance_document(document)
+    assert codes(findings) == ["DAS105"]
+    assert "gen-lost" in findings[0].message
+
+
+def test_das106_triggers_on_cycle():
+    document = {"artifacts": [
+        {"artifact_id": "a", "kind": "dataset", "tier": "GEN",
+         "parents": ["b"], "producer": _producer().to_dict()},
+        {"artifact_id": "b", "kind": "dataset", "tier": "AOD",
+         "parents": ["a"], "producer": _producer().to_dict()},
+    ]}
+    assert "DAS106" in codes(lint_provenance_document(document))
+
+
+def test_das107_triggers_on_missing_producer():
+    document = {"artifacts": [
+        ArtifactRecord("gen-1", "dataset", "GEN").to_dict(),
+    ]}
+    assert codes(lint_provenance_document(document)) == ["DAS107"]
+
+
+def test_provenance_clean_on_well_formed_graph():
+    graph = ProvenanceGraph()
+    graph.add(ArtifactRecord("gen-1", "dataset", "GEN",
+                             producer=_producer()))
+    graph.add(ArtifactRecord("aod-1", "dataset", "AOD",
+                             parents=("gen-1",), producer=_producer()))
+    assert lint_provenance_document(graph.to_dict()) == []
+
+
+# ----------------------------------------------------------------------
+# DAS108 / DAS109 — archive directories
+# ----------------------------------------------------------------------
+
+def _metadata(title: str) -> PreservationMetadata:
+    return PreservationMetadata.build(
+        title=title, creator="curator", experiment="GPD",
+        created="2013-03-21", artifact_format="json", size_bytes=0,
+        checksum="", producer="test", access_policy="public",
+    )
+
+
+def _saved_archive(tmp_path):
+    archive = PreservationArchive("toy")
+    archive.store({"rows": [1, 2, 3]}, "table", _metadata("a"))
+    archive.store({"rows": [4, 5, 6]}, "table", _metadata("b"))
+    directory = tmp_path / "archive"
+    archive.save(directory)
+    return archive, directory
+
+
+def test_das108_triggers_on_tampered_blob(tmp_path):
+    archive, directory = _saved_archive(tmp_path)
+    digest = archive.digests()[0]
+    blob = directory / "blobs" / digest
+    blob.write_bytes(blob.read_bytes() + b" ")
+    findings = lint_archive_directory(directory)
+    assert codes(findings) == ["DAS108"]
+    assert "fixity" in findings[0].message
+
+
+def test_das108_triggers_on_missing_blob(tmp_path):
+    archive, directory = _saved_archive(tmp_path)
+    (directory / "blobs" / archive.digests()[0]).unlink()
+    findings = lint_archive_directory(directory)
+    assert codes(findings) == ["DAS108"]
+    assert "no blob file" in findings[0].message
+
+
+def test_das109_triggers_on_orphan_blob(tmp_path):
+    _, directory = _saved_archive(tmp_path)
+    (directory / "blobs" / ("f" * 64)).write_bytes(b"stray")
+    findings = lint_archive_directory(directory)
+    assert codes(findings) == ["DAS109"]
+
+
+def test_archive_clean_on_fresh_save(tmp_path):
+    _, directory = _saved_archive(tmp_path)
+    assert lint_archive_directory(directory) == []
+
+
+def test_archive_unreadable_catalogue_is_das010(tmp_path):
+    directory = tmp_path / "broken"
+    directory.mkdir()
+    (directory / "catalogue.json").write_text("{not json",
+                                              encoding="utf-8")
+    findings = lint_archive_directory(directory)
+    assert codes(findings) == ["DAS108"]
+
+
+def test_archive_metadata_checksum_mismatch(tmp_path):
+    _, directory = _saved_archive(tmp_path)
+    catalogue_path = directory / "catalogue.json"
+    catalogue = json.loads(catalogue_path.read_text(encoding="utf-8"))
+    metadata = catalogue["entries"][0]["metadata"]
+    metadata["technical"]["checksum"] = "0" * 64
+    catalogue_path.write_text(json.dumps(catalogue), encoding="utf-8")
+    findings = lint_archive_directory(directory)
+    assert codes(findings) == ["DAS108"]
+    assert "metadata checksum" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# DAS110 / DAS111 — RECAST catalogue vs RIVET repository
+# ----------------------------------------------------------------------
+
+def test_das110_triggers_on_unregistered_analysis():
+    catalog = AnalysisCatalog("TOY-GPD")
+    catalog.register(make_search())
+    regions = {"TOY-GPD-EXO-001": RivetSignalRegion(
+        analysis_name="TOY_2013_I9999", histogram_key="mass",
+        window_low=400.0, window_high=3000.0,
+    )}
+    findings = lint_recast_bridge(catalog, regions,
+                                  standard_repository())
+    assert codes(findings) == ["DAS110"]
+    assert "TOY_2013_I9999" in findings[0].message
+
+
+def test_das111_triggers_on_unmapped_search():
+    catalog = AnalysisCatalog("TOY-GPD")
+    catalog.register(make_search())
+    findings = lint_recast_bridge(catalog, {}, standard_repository())
+    assert codes(findings) == ["DAS111"]
+
+
+def test_recast_clean_on_wired_bridge():
+    catalog = AnalysisCatalog("TOY-GPD")
+    catalog.register(make_search())
+    regions = {"TOY-GPD-EXO-001": RivetSignalRegion(
+        analysis_name="TOY_2013_I0007", histogram_key="mass",
+        window_low=400.0, window_high=3000.0,
+    )}
+    assert lint_recast_bridge(catalog, regions,
+                              standard_repository()) == []
+
+
+# ----------------------------------------------------------------------
+# DAS112 — maturity rating vs sharing grid
+# ----------------------------------------------------------------------
+
+def _grid(audience: str) -> DataSharingGrid:
+    grid = DataSharingGrid(experiment="TOY")
+    grid.add(SharingEntry("preservation", audience, "on request"))
+    return grid
+
+
+def test_das112_triggers_on_high_rating_closed_grid():
+    findings = lint_maturity_vs_sharing(
+        "TOY", 5, _grid("project collaborators"))
+    assert codes(findings) == ["DAS112"]
+
+
+def test_das112_triggers_on_low_rating_open_grid():
+    findings = lint_maturity_vs_sharing("TOY", 1, _grid("whole world"))
+    assert codes(findings) == ["DAS112"]
+
+
+def test_das112_triggers_on_missing_preservation_row():
+    grid = DataSharingGrid(experiment="TOY")
+    findings = lint_maturity_vs_sharing("TOY", 4, grid)
+    assert codes(findings) == ["DAS112"]
+
+
+@pytest.mark.parametrize("rating,audience", [
+    (5, "whole world"),
+    (4, "others in the field"),
+    (3, "project collaborators"),
+    (2, "host institution"),
+])
+def test_das112_clean_on_consistent_pairs(rating, audience):
+    assert lint_maturity_vs_sharing("TOY", rating,
+                                    _grid(audience)) == []
+
+
+def test_bundled_experiment_corpus_is_consistent():
+    from repro.experiments import all_experiments
+    from repro.interview.maturity import (
+        SHARING_ACCESS_SCALE,
+        rate_from_evidence,
+    )
+    from repro.interview.responses import response_for_experiment
+
+    for profile in all_experiments():
+        rating = rate_from_evidence(SHARING_ACCESS_SCALE,
+                                    profile.interview_evidence)
+        response = response_for_experiment(profile)
+        assert response.sharing_grid is not None
+        assert lint_maturity_vs_sharing(
+            profile.name, rating, response.sharing_grid) == []

@@ -1,0 +1,227 @@
+"""The rule engine: findings, config, reports, and the catalogue."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    Finding,
+    LintConfig,
+    LintReport,
+    LintSession,
+    Severity,
+    all_rules,
+    get_rule,
+    render_json,
+    render_rule_catalog,
+    render_text,
+)
+
+
+def finding(code="DAS001", severity=Severity.ERROR, message="m",
+            file="a.py", line=1, artifact=""):
+    return Finding(code=code, severity=severity, message=message,
+                   artifact=artifact, file=file, line=line)
+
+
+# ----------------------------------------------------------------------
+# Findings and severities
+# ----------------------------------------------------------------------
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_rank_is_stable(self):
+        assert [s.rank for s in
+                (Severity.INFO, Severity.WARNING, Severity.ERROR)] \
+            == [0, 1, 2]
+
+
+class TestFinding:
+    def test_location_prefers_file_line(self):
+        assert finding(file="x.py", line=7).location() == "x.py:7"
+
+    def test_location_falls_back_to_artifact(self):
+        f = finding(file="", line=0, artifact="bundle-1")
+        assert f.location() == "bundle-1"
+
+    def test_sort_is_deterministic(self):
+        unordered = [
+            finding(file="b.py", line=1),
+            finding(file="a.py", line=9),
+            finding(file="a.py", line=2, code="DAS009"),
+            finding(file="a.py", line=2, code="DAS002"),
+        ]
+        report = LintReport.from_findings(unordered)
+        keys = [(f.file, f.line, f.code) for f in report.findings]
+        assert keys == sorted(keys)
+
+    def test_to_dict_round_trips_fields(self):
+        record = finding(code="DAS003", line=12).to_dict()
+        assert record["code"] == "DAS003"
+        assert record["severity"] == "error"
+        assert record["line"] == 12
+
+
+# ----------------------------------------------------------------------
+# LintConfig
+# ----------------------------------------------------------------------
+
+class TestLintConfig:
+    def test_default_enables_everything(self):
+        config = LintConfig()
+        assert config.enabled("DAS001")
+        assert config.enabled("DAS112")
+
+    def test_select_is_prefix_match(self):
+        config = LintConfig(select=("DAS00",))
+        assert config.enabled("DAS001")
+        assert not config.enabled("DAS101")
+
+    def test_ignore_beats_select(self):
+        config = LintConfig(select=("DAS",), ignore=("DAS00",))
+        assert not config.enabled("DAS001")
+        assert config.enabled("DAS101")
+
+    def test_apply_filters_disabled_codes(self):
+        config = LintConfig(ignore=("DAS001",))
+        kept = config.apply([finding(code="DAS001"),
+                             finding(code="DAS002")])
+        assert [f.code for f in kept] == ["DAS002"]
+
+    def test_suppression_requires_reason(self):
+        with pytest.raises(ConfigurationError):
+            LintConfig(suppressions={"DAS001": ""})
+
+    def test_suppression_disables_code(self):
+        config = LintConfig(
+            suppressions={"DAS004": "archive API wraps file io"})
+        assert not config.enabled("DAS004")
+        assert config.enabled("DAS001")
+
+
+# ----------------------------------------------------------------------
+# LintReport exit-code contract
+# ----------------------------------------------------------------------
+
+class TestLintReport:
+    def test_exit_0_on_clean(self):
+        assert LintReport.from_findings([]).exit_code == 0
+
+    def test_exit_0_on_info_only(self):
+        report = LintReport.from_findings(
+            [finding(code="DAS009", severity=Severity.INFO)])
+        assert report.exit_code == 0
+
+    def test_exit_1_on_warnings(self):
+        report = LintReport.from_findings(
+            [finding(code="DAS004", severity=Severity.WARNING)])
+        assert report.exit_code == 1
+
+    def test_exit_2_on_any_error(self):
+        report = LintReport.from_findings([
+            finding(code="DAS009", severity=Severity.INFO),
+            finding(code="DAS004", severity=Severity.WARNING),
+            finding(code="DAS001", severity=Severity.ERROR),
+        ])
+        assert report.exit_code == 2
+        assert report.worst() is Severity.ERROR
+
+    def test_counts_by_severity(self):
+        report = LintReport.from_findings([
+            finding(code="DAS001", severity=Severity.ERROR),
+            finding(code="DAS004", severity=Severity.WARNING, line=2),
+            finding(code="DAS005", severity=Severity.WARNING, line=3),
+        ])
+        assert report.count(Severity.WARNING) == 2
+        assert report.count(Severity.ERROR) == 1
+
+    def test_summary_mentions_totals(self):
+        report = LintReport.from_findings(
+            [finding(code="DAS001", severity=Severity.ERROR)])
+        assert "1" in report.summary()
+
+
+class TestLintSession:
+    def test_session_applies_config_on_extend(self):
+        session = LintSession(config=LintConfig(ignore=("DAS004",)))
+        session.extend([finding(code="DAS004",
+                                severity=Severity.WARNING),
+                        finding(code="DAS001")])
+        assert [f.code for f in session.report().findings] \
+            == ["DAS001"]
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+
+class TestReporters:
+    def test_render_text_one_line_per_finding(self):
+        report = LintReport.from_findings([
+            finding(code="DAS001", file="x.py", line=3,
+                    message="wall clock"),
+        ])
+        text = render_text(report)
+        assert "x.py:3" in text
+        assert "DAS001" in text
+        assert "wall clock" in text
+
+    def test_render_json_is_parseable_and_sorted(self):
+        report = LintReport.from_findings([
+            finding(code="DAS002", file="y.py", line=4),
+            finding(code="DAS001", file="x.py", line=3),
+        ])
+        payload = json.loads(render_json(report))
+        assert [f["code"] for f in payload["findings"]] \
+            == ["DAS001", "DAS002"]
+        assert payload["exit_code"] == 2
+
+
+# ----------------------------------------------------------------------
+# The rule catalogue itself
+# ----------------------------------------------------------------------
+
+class TestRuleCatalog:
+    def test_at_least_ten_rules_across_four_subsystems(self):
+        rules = all_rules()
+        assert len(rules) >= 10
+        assert len({rule.subsystem for rule in rules}) >= 4
+
+    def test_codes_are_unique_and_stable_format(self):
+        codes = [rule.code for rule in all_rules()]
+        assert len(codes) == len(set(codes))
+        assert all(code.startswith("DAS") and code[3:].isdigit()
+                   for code in codes)
+
+    def test_every_rule_documents_itself(self):
+        for rule in all_rules():
+            assert rule.description, rule.code
+            assert rule.rationale, rule.code
+
+    def test_get_rule_round_trip(self):
+        assert get_rule("DAS001").code == "DAS001"
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_rule("DAS999")
+
+    def test_catalog_table_lists_every_code(self):
+        table = render_rule_catalog()
+        for rule in all_rules():
+            assert rule.code in table
+
+    def test_docs_cover_every_rule(self):
+        import pathlib
+
+        doc = (pathlib.Path(__file__).resolve().parent.parent
+               / "docs" / "linting.md").read_text(encoding="utf-8")
+        for rule in all_rules():
+            assert rule.code in doc, (
+                f"{rule.code} missing from docs/linting.md")
+            assert rule.name in doc, (
+                f"{rule.name} missing from docs/linting.md")

@@ -148,6 +148,45 @@ class TestAudit:
         assert "REPRODUCIBLE" in audit_artifact(graph, "a").summary()
 
 
+class TestAuditAll:
+    def test_empty_graph_audits_to_nothing(self):
+        assert audit_all(ProvenanceGraph()) == []
+
+    def test_reports_come_back_sorted_by_id(self):
+        graph = ProvenanceGraph()
+        graph.add(_artifact("zeta"))
+        graph.add(_artifact("alpha"))
+        graph.add(_artifact("mid", parents=("alpha",)))
+        reports = audit_all(graph)
+        assert [r.artifact_id for r in reports] == \
+            ["alpha", "mid", "zeta"]
+
+    def test_dangling_parent_counts_against_whole_chain(self):
+        graph = ProvenanceGraph()
+        graph.add(_artifact("aod", parents=("raw-lost",)))
+        graph.add(_artifact("ntuple", parents=("aod",)))
+        by_id = {r.artifact_id: r for r in audit_all(graph)}
+        # The dangling grandparent poisons the ntuple's ancestry too.
+        assert by_id["ntuple"].missing_parents == ("raw-lost",)
+        assert by_id["ntuple"].ancestry_completeness == pytest.approx(0.5)
+        assert not by_id["ntuple"].reproducible
+        assert not by_id["aod"].reproducible
+
+    def test_cycle_rejected_and_graph_left_auditable(self):
+        graph_cyclic = ProvenanceGraph()
+        graph_cyclic.add(_artifact("x", parents=("y",)))
+        with pytest.raises(ProvenanceError):
+            # Registering y as derived from x would close the loop and
+            # make every ancestry query non-terminating; the add must
+            # be rolled back rather than half-applied.
+            graph_cyclic.add(_artifact("y", parents=("x",)))
+        # The rejected node left no trace: audits still terminate and
+        # see exactly the registered artifact.
+        reports = audit_all(graph_cyclic)
+        assert [r.artifact_id for r in reports] == ["x"]
+        assert reports[0].missing_parents == ("y",)
+
+
 class TestCapture:
     def test_report_and_export(self, tmp_path):
         capture = ProvenanceCapture()
