@@ -1,0 +1,134 @@
+"""Throughput baseline for the interprocedural lint layer.
+
+Measures what the deep pass costs on the library's own source tree:
+
+1. closure extraction over ``src/repro`` — module + call graph build
+   plus manifest serialisation, reported in files/sec,
+2. the full deep lint pass (taint propagation included) on the same
+   tree,
+3. the shallow per-file pass, as the reference point the deep pass is
+   priced against.
+
+Determinism is re-asserted while timing: every extraction must yield
+byte-identical manifests, or the numbers are meaningless.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py [--repeats N]
+
+Writes ``BENCH_lint.json`` next to ``README.md`` so future PRs can
+diff their measured throughput against this one's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_lint.json"
+TARGET = REPO_ROOT / "src" / "repro"
+
+
+def _count_files(root: Path) -> int:
+    return sum(1 for _ in root.rglob("*.py"))
+
+
+def bench_closure(repeats: int) -> dict:
+    from repro.lint import extract_closure
+
+    n_files = _count_files(TARGET)
+    manifests = []
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        manifest = extract_closure(TARGET)
+        timings.append(time.perf_counter() - start)
+        manifests.append(manifest.to_json_bytes())
+    best = min(timings)
+    assert all(m == manifests[0] for m in manifests), \
+        "closure extraction is not deterministic"
+    return {
+        "n_source_files": n_files,
+        "n_closure_modules": len(json.loads(manifests[0])["modules"]),
+        "best_seconds": round(best, 4),
+        "files_per_second": round(n_files / best, 1),
+        "byte_identical": True,
+        "repeats": repeats,
+    }
+
+
+def bench_deep_pass(repeats: int) -> dict:
+    from repro.lint import lint_tree_deep
+
+    n_files = _count_files(TARGET)
+    timings = []
+    findings = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        findings = lint_tree_deep(TARGET)
+        timings.append(time.perf_counter() - start)
+    best = min(timings)
+    return {
+        "n_source_files": n_files,
+        "n_findings": len(findings),
+        "best_seconds": round(best, 4),
+        "files_per_second": round(n_files / best, 1),
+        "repeats": repeats,
+    }
+
+
+def bench_shallow_pass(repeats: int) -> dict:
+    from repro.lint import lint_source_file
+
+    sources = sorted(TARGET.rglob("*.py"))
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for source in sources:
+            lint_source_file(source)
+        timings.append(time.perf_counter() - start)
+    best = min(timings)
+    return {
+        "n_source_files": len(sources),
+        "best_seconds": round(best, 4),
+        "files_per_second": round(len(sources) / best, 1),
+        "repeats": repeats,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions; the best run counts")
+    args = parser.parse_args(argv)
+
+    closure = bench_closure(args.repeats)
+    deep = bench_deep_pass(args.repeats)
+    shallow = bench_shallow_pass(args.repeats)
+    record = {
+        "benchmark": "repro.lint.flow interprocedural analysis",
+        "target": "src/repro",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "workloads": {
+            "closure_extraction": closure,
+            "deep_lint_pass": deep,
+            "shallow_lint_pass": shallow,
+        },
+    }
+    BASELINE_PATH.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    print(f"\nwrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -138,8 +138,46 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="PREFIX",
                       help="drop rules matching a code prefix "
                            "(repeatable)")
+    lint.add_argument("--suppress", action="append", default=[],
+                      metavar="CODE:REASON",
+                      help="suppress one rule code globally with a "
+                           "mandatory reason (repeatable, e.g. "
+                           "--suppress 'DAS204: library IO is the "
+                           "point')")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the interprocedural pass: build "
+                           "call/import graphs per target tree and "
+                           "propagate impurity facts to Analysis "
+                           "entry points (DAS2xx rules)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+
+    closure = sub.add_parser(
+        "closure",
+        help="extract the static dependency closure of an Analysis "
+             "tree as a deterministic JSON manifest",
+    )
+    closure.add_argument("target",
+                         help="Python source file or directory holding "
+                              "the Analysis subclass(es)")
+    closure.add_argument("--entry",
+                         help="restrict to one Analysis subclass "
+                              "(class name or metadata name)")
+    closure.add_argument("--output",
+                         help="write the manifest to this file instead "
+                              "of stdout")
+    closure.add_argument("--check-archive", metavar="DIR",
+                         help="cross-check the closure against a "
+                              "preservation archive directory "
+                              "(DAS207-DAS209)")
+    closure.add_argument("--check-repository", action="store_true",
+                         help="cross-check the closure against the "
+                              "standard analysis repository "
+                              "(DAS210-DAS211)")
+    closure.add_argument("--format", choices=("text", "json"),
+                         default="text", dest="output_format",
+                         help="findings report format when checks are "
+                              "requested")
 
     interview = sub.add_parser("interview",
                                help="print an experiment's interview")
@@ -394,12 +432,26 @@ def _cmd_validate_bundle(args) -> int:
     return 0 if outcome.passed else 1
 
 
+def _parse_suppressions(entries: list[str]) -> dict:
+    """``CODE:REASON`` pairs from the command line, validated."""
+    suppressions: dict[str, str] = {}
+    for entry in entries:
+        code, sep, reason = entry.partition(":")
+        if not sep or not code.strip() or not reason.strip():
+            raise ReproError(
+                f"--suppress needs CODE:REASON, got {entry!r}"
+            )
+        suppressions[code.strip()] = reason.strip()
+    return suppressions
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import (
         LintConfig,
         LintSession,
         lint_bundled_artifacts,
         lint_path,
+        lint_tree_deep,
         render_json,
         render_rule_catalog,
         render_text,
@@ -413,15 +465,70 @@ def _cmd_lint(args) -> int:
             "lint needs at least one target path (or --bundled)"
         )
     config = LintConfig(select=tuple(args.select),
-                        ignore=tuple(args.ignore))
+                        ignore=tuple(args.ignore),
+                        suppressions=_parse_suppressions(args.suppress))
     session = LintSession(config)
     for target in args.targets:
         if not Path(target).exists():
             raise ReproError(f"lint target {target!r} does not exist")
         session.extend(lint_path(target))
+        if args.deep and (Path(target).is_dir()
+                          or Path(target).suffix == ".py"):
+            session.extend(lint_tree_deep(target))
     if args.bundled:
         session.extend(lint_bundled_artifacts())
+        if args.deep:
+            import repro.rivet.standard_analyses as standard_analyses
+            session.extend(lint_tree_deep(standard_analyses.__file__))
     report = session.report()
+    if args.output_format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code
+
+
+def _cmd_closure(args) -> int:
+    from repro.lint import (
+        LintReport,
+        check_manifest_against_archive,
+        check_manifest_against_repository,
+        extract_closure,
+        render_json,
+        render_text,
+    )
+
+    if not Path(args.target).exists():
+        raise ReproError(
+            f"closure target {args.target!r} does not exist"
+        )
+    manifest = extract_closure(args.target, entry=args.entry)
+    payload = manifest.to_json_bytes()
+    if args.output:
+        Path(args.output).write_bytes(payload)
+
+    checking = bool(args.check_archive or args.check_repository)
+    if not checking:
+        if not args.output:
+            # The manifest itself is the output: deterministic bytes,
+            # so two runs over the same tree are byte-identical.
+            sys.stdout.write(payload.decode("utf-8"))
+        else:
+            print(f"wrote closure manifest to {args.output}")
+        return 0
+
+    findings = []
+    if args.check_archive:
+        findings.extend(check_manifest_against_archive(
+            manifest, args.check_archive))
+    if args.check_repository:
+        from repro.rivet.standard_analyses import standard_repository
+
+        findings.extend(check_manifest_against_repository(
+            manifest, standard_repository()))
+    report = LintReport.from_findings(findings)
+    if args.output:
+        print(f"wrote closure manifest to {args.output}")
     if args.output_format == "json":
         print(render_json(report))
     else:
@@ -463,6 +570,7 @@ _COMMANDS = {
     "display": _cmd_display,
     "validate-bundle": _cmd_validate_bundle,
     "lint": _cmd_lint,
+    "closure": _cmd_closure,
     "interview": _cmd_interview,
     "table1": _cmd_table1,
     "maturity": _cmd_maturity,

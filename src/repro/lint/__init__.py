@@ -29,6 +29,16 @@ from repro.lint.engine import (
     get_rule,
 )
 from repro.lint.findings import Finding, Severity
+from repro.lint.flow import (
+    ClosureManifest,
+    analyze_tree,
+    archive_closure_sources,
+    check_manifest_against_archive,
+    check_manifest_against_recast,
+    check_manifest_against_repository,
+    extract_closure,
+    lint_tree_deep,
+)
 from repro.lint.pycheck import lint_source, lint_source_file
 from repro.lint.report import (
     render_json,
@@ -43,6 +53,7 @@ from repro.lint.targets import (
 )
 
 __all__ = [
+    "ClosureManifest",
     "Finding",
     "LintConfig",
     "LintReport",
@@ -50,7 +61,13 @@ __all__ = [
     "Rule",
     "Severity",
     "all_rules",
+    "analyze_tree",
+    "archive_closure_sources",
+    "check_manifest_against_archive",
+    "check_manifest_against_recast",
+    "check_manifest_against_repository",
     "classify_document",
+    "extract_closure",
     "get_rule",
     "lint_archive_directory",
     "lint_bundle",
@@ -66,6 +83,7 @@ __all__ = [
     "lint_slim_spec",
     "lint_source",
     "lint_source_file",
+    "lint_tree_deep",
     "render_json",
     "render_rule_catalog",
     "render_text",

@@ -1,0 +1,137 @@
+"""Rule registrations for the interprocedural (deep) analysis layer.
+
+``DAS2xx`` codes are the second static-analysis pass: where ``DAS0xx``
+rules inspect one file one statement at a time, these rules reason over
+the *whole source tree* — impurity facts carried through call and
+import edges to an ``Analysis`` entry point (DAS201–DAS206), and the
+statically extracted dependency closure cross-checked against what was
+actually archived and catalogued (DAS207–DAS212).
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import register_rule
+from repro.lint.findings import Severity
+
+RULE_DEEP_WALLCLOCK = register_rule(
+    "DAS201", "deep-wall-clock", Severity.ERROR, "flow",
+    "An Analysis entry point reaches a wall-clock read through its "
+    "call graph.",
+    "A helper two hops from analyze() that reads the clock defeats "
+    "reproducibility exactly as thoroughly as a direct call; the "
+    "single-file pass cannot see across the call or import edge, this "
+    "pass can.",
+    "``analyze()`` calling ``helpers.smear()`` calling ``time.time()``",
+)
+
+RULE_DEEP_RANDOM = register_rule(
+    "DAS202", "deep-unseeded-random", Severity.ERROR, "flow",
+    "An Analysis entry point reaches an unseeded/global RNG through "
+    "its call graph.",
+    "Event-sample randomness smuggled in through a utility module "
+    "changes every re-run; the propagation chain names the hop that "
+    "must be given an explicit recorded seed.",
+    "``init()`` -> ``util.jitter()`` -> ``random.gauss()``",
+)
+
+RULE_DEEP_NETWORK = register_rule(
+    "DAS203", "deep-network-access", Severity.ERROR, "flow",
+    "An Analysis entry point reaches network access through its call "
+    "graph or import chain.",
+    "A transitively imported module that fetches from a URL dies with "
+    "that URL; the archive must carry the content, not the address.",
+    "``analyze()`` -> ``calib.fetch()`` -> ``urllib.request.urlopen()``",
+)
+
+RULE_DEEP_FILESYSTEM = register_rule(
+    "DAS204", "deep-filesystem-access", Severity.WARNING, "flow",
+    "An Analysis entry point reaches filesystem access outside the "
+    "archive API through its call graph.",
+    "Paths valid at preservation time rarely survive migration; a "
+    "helper that opens files ties the whole analysis to a directory "
+    "layout the archive does not record.",
+    "``finalize()`` -> ``io_utils.dump()`` -> ``open('out.txt', 'w')``",
+)
+
+RULE_DEEP_ENV = register_rule(
+    "DAS205", "deep-env-var-read", Severity.WARNING, "flow",
+    "An Analysis entry point reaches an environment-variable read "
+    "through its call graph.",
+    "Configuration pulled from the environment by a shared helper is "
+    "invisible to the preservation record yet steers every re-run.",
+    "``init()`` -> ``config.threshold()`` -> ``os.environ['CUT']``",
+)
+
+RULE_DEEP_GLOBAL_WRITE = register_rule(
+    "DAS206", "deep-mutable-global-write", Severity.WARNING, "flow",
+    "An Analysis entry point reaches a write to module-level mutable "
+    "state through its call graph.",
+    "Cross-event state hidden in a helper makes results depend on "
+    "event order and on other analyses sharing the interpreter; the "
+    "shallow pass only sees the container binding, not who mutates it.",
+    "``analyze()`` -> ``cache.remember()`` appending to a module list",
+)
+
+RULE_CLOSURE_UNRESOLVED = register_rule(
+    "DAS207", "closure-unresolved-import", Severity.WARNING, "flow",
+    "A relative import inside the source tree cannot be resolved, so "
+    "the dependency closure is incomplete.",
+    "An import the extractor cannot follow is a dependency nobody "
+    "archived; the closure manifest under-reports and every check "
+    "against it is weaker than it looks.",
+    "``from ...outside import helper`` climbing above the tree root",
+)
+
+RULE_CLOSURE_UNARCHIVED_MODULE = register_rule(
+    "DAS208", "closure-unarchived-module", Severity.ERROR, "flow",
+    "A module in the analysis dependency closure is missing from the "
+    "archive (or its archived source differs).",
+    "The closure is the set of modules a re-run will import; one "
+    "missing or drifted member makes the preserved analysis "
+    "unrunnable no matter how carefully the entry point was stored.",
+    "``helpers.py`` reachable from ``analyze()`` but absent from the "
+    "archive catalogue",
+)
+
+RULE_CLOSURE_UNARCHIVED_TAG = register_rule(
+    "DAS209", "closure-unarchived-conditions-tag", Severity.ERROR,
+    "flow",
+    "A conditions global tag used by the closure has no archived "
+    "snapshot.",
+    "Code that asks for a global tag needs the tag's payloads at "
+    "re-run time; preserving the code without the conditions snapshot "
+    "preserves a question without its answer.",
+    "``global_tag='GT-FINAL'`` with no snapshot for GT-FINAL stored",
+)
+
+RULE_CLOSURE_UNREGISTERED = register_rule(
+    "DAS210", "closure-unregistered-analysis", Severity.WARNING,
+    "flow",
+    "An Analysis in the extracted closure is not registered in the "
+    "analysis repository.",
+    "An analysis that exists only as archived source is invisible to "
+    "the catalogue every re-analysis request goes through; it is "
+    "preserved but undiscoverable.",
+    "a plugin class whose metadata name is absent from the repository",
+)
+
+RULE_CLOSURE_NO_REFERENCE = register_rule(
+    "DAS211", "closure-missing-reference-data", Severity.INFO, "flow",
+    "A closure analysis books histograms but the repository holds no "
+    "reference data for it.",
+    "Preserved measurements are validated by comparison; without "
+    "reference data the booked histograms can be regenerated but "
+    "never checked against the publication.",
+    "``book('mass', ...)`` with ``repository.reference(name) is None``",
+)
+
+RULE_RECAST_OUTSIDE_CLOSURE = register_rule(
+    "DAS212", "recast-outside-closure", Severity.WARNING, "flow",
+    "A RECAST signal-region mapping targets an analysis outside the "
+    "extracted closure.",
+    "The catalogue promises a re-interpretation through an analysis "
+    "whose code is not part of the preserved closure; the request "
+    "will fail at exactly the moment someone cares.",
+    "a mapping to ``TOY_2013_I0042`` when the closure preserves only "
+    "``TOY_2013_I0007``",
+)

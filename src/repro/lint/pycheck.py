@@ -185,24 +185,68 @@ def _ignored_codes_by_line(code: str) -> dict[int, set[str] | None]:
 
 
 class _ImportMap:
-    """Resolves local names to the dotted module paths they alias."""
+    """Resolves local names to the dotted module paths they alias.
 
-    def __init__(self) -> None:
+    ``package`` is the dotted package containing the module being
+    checked; when given, relative imports (``from . import x``,
+    ``from ..sub import y``) resolve to absolute module paths instead
+    of being dropped. Every module path named by an import statement —
+    including ``import a.b`` submodule forms, whose *binding* is only
+    the root ``a`` — is remembered in :meth:`imported_modules` so the
+    interprocedural layer can build a faithful import graph.
+    """
+
+    def __init__(self, package: str = "") -> None:
         self._aliases: dict[str, str] = {}
+        self._modules: dict[str, int] = {}
+        self.package = package
 
     def visit_import(self, node: ast.Import) -> None:
         for alias in node.names:
-            self._aliases[alias.asname or alias.name.split(".")[0]] = (
-                alias.name if alias.asname else alias.name.split(".")[0]
-            )
+            self._modules.setdefault(alias.name,
+                                     getattr(node, "lineno", 0))
+            if alias.asname:
+                # ``import a.b as c`` binds the full dotted submodule
+                # to the alias — resolving through it must yield
+                # ``a.b.<attr>``, never the bare root ``a``.
+                self._aliases[alias.asname] = alias.name
+            else:
+                root = alias.name.split(".")[0]
+                self._aliases[root] = root
 
     def visit_import_from(self, node: ast.ImportFrom) -> None:
-        if node.module is None:
+        base = self._absolute_base(node.module, node.level)
+        if base is None:
             return
+        self._modules.setdefault(base, getattr(node, "lineno", 0))
         for alias in node.names:
+            if alias.name == "*":
+                continue
             self._aliases[alias.asname or alias.name] = (
-                f"{node.module}.{alias.name}"
+                f"{base}.{alias.name}"
             )
+
+    def _absolute_base(self, module: str | None, level: int) -> str | None:
+        """Absolute dotted base of a (possibly relative) from-import."""
+        if not level:
+            return module
+        if not self.package:
+            return None  # relative import, package unknown: unresolvable
+        parts = self.package.split(".")
+        if level - 1 > len(parts):
+            return None  # climbs above the tree root
+        base_parts = parts[:len(parts) - (level - 1)]
+        if module:
+            base_parts.append(module)
+        return ".".join(base_parts) if base_parts else None
+
+    def imported_modules(self) -> list[tuple[str, int]]:
+        """Every absolute module path imported, with its first line."""
+        return sorted(self._modules.items())
+
+    def alias_target(self, name: str) -> str | None:
+        """The dotted path a bare local name aliases, if any."""
+        return self._aliases.get(name)
 
     def resolve(self, dotted: str) -> str:
         """Expand the leading segment through the alias table."""
@@ -221,6 +265,17 @@ def _dotted_name(node: ast.expr) -> str | None:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
+
+
+def _is_mutable_value(value: ast.expr) -> bool:
+    """True for expressions that build a mutable container."""
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        dotted = _dotted_name(value.func)
+        return (dotted or "").split(".")[-1] in _MUTABLE_CALLS
+    return False
 
 
 class _SourceChecker(ast.NodeVisitor):
@@ -404,15 +459,7 @@ class _SourceChecker(ast.NodeVisitor):
                         stmt,
                     )
 
-    @staticmethod
-    def _is_mutable(value: ast.expr) -> bool:
-        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
-                              ast.DictComp, ast.SetComp)):
-            return True
-        if isinstance(value, ast.Call):
-            dotted = _dotted_name(value.func)
-            return (dotted or "").split(".")[-1] in _MUTABLE_CALLS
-        return False
+    _is_mutable = staticmethod(_is_mutable_value)
 
     # -- Analysis subclass metadata ------------------------------------
 
@@ -500,6 +547,18 @@ def lint_source(code: str, filename: str = "<source>") -> list[Finding]:
 
 
 def lint_source_file(path: str | Path) -> list[Finding]:
-    """Lint one ``.py`` file from disk."""
+    """Lint one ``.py`` file from disk.
+
+    Unreadable or undecodable files yield a deterministic ``DAS010``
+    error finding instead of raising — a ``--bundled`` or directory
+    sweep must report every file it could not check and keep going,
+    never abort mid-report.
+    """
     path = Path(path)
-    return lint_source(path.read_text(encoding="utf-8"), str(path))
+    try:
+        code = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [RULE_SYNTAX.finding(
+            f"source unreadable: {exc}", file=str(path),
+        )]
+    return lint_source(code, str(path))

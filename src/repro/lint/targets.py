@@ -72,10 +72,22 @@ def lint_path(path: str | Path) -> list[Finding]:
         if (path / "catalogue.json").is_file():
             return lint_archive_directory(path)
         findings: list[Finding] = []
+        archives = sorted(catalogue.parent
+                          for catalogue in path.rglob("catalogue.json")
+                          if catalogue.is_file())
+        for archive in archives:
+            findings.extend(lint_archive_directory(archive))
+
+        def in_archive(candidate: Path) -> bool:
+            return any(archive in candidate.parents
+                       for archive in archives)
+
         for source in sorted(path.rglob("*.py")):
+            if in_archive(source):
+                continue
             findings.extend(lint_source_file(source))
         for document in sorted(path.rglob("*.json")):
-            if document.parent.name == "blobs":
+            if document.parent.name == "blobs" or in_archive(document):
                 continue
             findings.extend(_lint_json_file(document))
         return findings

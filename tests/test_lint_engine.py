@@ -225,3 +225,22 @@ class TestRuleCatalog:
                 f"{rule.code} missing from docs/linting.md")
             assert rule.name in doc, (
                 f"{rule.name} missing from docs/linting.md")
+            row = (f"| {rule.code} | {rule.name} "
+                   f"| {rule.severity.value} | {rule.subsystem} |")
+            assert row in doc, (
+                f"rule-table row for {rule.code} missing or stale "
+                f"in docs/linting.md (expected {row!r})")
+
+    def test_docs_table_has_no_unknown_rules(self):
+        import pathlib
+        import re
+
+        doc = (pathlib.Path(__file__).resolve().parent.parent
+               / "docs" / "linting.md").read_text(encoding="utf-8")
+        documented = set(re.findall(r"^\| (DAS\d+) \|", doc,
+                                    flags=re.MULTILINE))
+        registered = {rule.code for rule in all_rules()}
+        assert documented == registered, (
+            f"docs/linting.md table out of sync with the registry: "
+            f"extra={sorted(documented - registered)} "
+            f"missing={sorted(registered - documented)}")

@@ -435,3 +435,25 @@ def test_standard_analyses_source_is_clean():
     from repro.lint import lint_source_file
 
     assert lint_source_file(module.__file__) == []
+
+
+# ----------------------------------------------------------------------
+# Unreadable sources are findings, never exceptions
+# ----------------------------------------------------------------------
+
+def test_das010_on_undecodable_file(tmp_path):
+    from repro.lint import lint_source_file
+
+    path = tmp_path / "binary.py"
+    path.write_bytes(b"\xff\xfe\x00junk")
+    findings = lint_source_file(path)
+    assert [f.code for f in findings] == ["DAS010"]
+    assert "unreadable" in findings[0].message
+
+
+def test_das010_on_missing_file(tmp_path):
+    from repro.lint import lint_source_file
+
+    findings = lint_source_file(tmp_path / "ghost.py")
+    assert [f.code for f in findings] == ["DAS010"]
+    assert "unreadable" in findings[0].message
