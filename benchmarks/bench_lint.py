@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
@@ -107,20 +106,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="timed repetitions; the best run counts")
     args = parser.parse_args(argv)
 
+    from repro.obs import bench_envelope
+
     closure = bench_closure(args.repeats)
     deep = bench_deep_pass(args.repeats)
     shallow = bench_shallow_pass(args.repeats)
-    record = {
-        "benchmark": "repro.lint.flow interprocedural analysis",
-        "target": "src/repro",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "workloads": {
-            "closure_extraction": closure,
-            "deep_lint_pass": deep,
-            "shallow_lint_pass": shallow,
-        },
+    record = bench_envelope(
+        "repro.lint.flow interprocedural analysis",
+        target="src/repro",
+    )
+    record["workloads"] = {
+        "closure_extraction": closure,
+        "deep_lint_pass": deep,
+        "shallow_lint_pass": shallow,
     }
     BASELINE_PATH.write_text(
         json.dumps(record, indent=2, sort_keys=True) + "\n",

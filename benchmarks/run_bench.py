@@ -16,9 +16,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
@@ -33,6 +31,7 @@ from parallel_workloads import (  # noqa: E402
     make_reconstructor,
     time_call,
 )
+from repro.obs import bench_envelope  # noqa: E402
 from repro.recast.scan import run_mass_scan  # noqa: E402
 from repro.runtime import ExecutionPolicy  # noqa: E402
 
@@ -117,15 +116,8 @@ def main(argv: list[str] | None = None) -> int:
     # processes cannot show a real pool speedup; flag those workloads
     # so later PRs do not diff against a number that means nothing.
     speedup_meaningful = available_cpus >= args.jobs
-    record = {
-        "benchmark": "repro.runtime parallel execution",
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "cpu_count": os.cpu_count() or 1,
-        "available_cpus": available_cpus,
-        "workloads": {},
-    }
+    record = bench_envelope("repro.runtime parallel execution",
+                            available_cpus=available_cpus)
     print("campaign sweep (serial vs process pool) ...")
     record["workloads"]["campaign"] = bench_campaign(args.jobs, n_runs)
     record["workloads"]["campaign"]["speedup_meaningful"] = (

@@ -17,12 +17,55 @@ console script.
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import os
 import sys
 from pathlib import Path
 
 from repro.errors import ReproError
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the observability options shared by traced commands."""
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a run report (trace tree + metrics + environment) "
+             "to this JSON file; inspect with 'repro trace PATH'")
+    parser.add_argument(
+        "--trace-deterministic", action="store_true",
+        help="strip clocks and host identity from the run report so "
+             "two identical runs produce byte-identical files")
+
+
+def _trace_context(args, command: str):
+    """(tracer, metrics) for a traced command, or ``(None, None)``.
+
+    The trace id is derived from the command name alone, so span ids —
+    and with --trace-deterministic the whole report — reproduce across
+    invocations.
+    """
+    if not getattr(args, "trace_out", None):
+        return None, None
+    from repro.obs import MetricsRegistry, Tracer
+
+    return Tracer(f"repro-{command}"), MetricsRegistry()
+
+
+def _write_trace(args, tracer, metrics, provenance: dict | None = None) -> None:
+    """Assemble and write the run report when tracing was requested."""
+    if tracer is None:
+        return
+    from repro.obs import RunReport
+
+    report = RunReport.build(
+        tracer, metrics,
+        deterministic=bool(getattr(args, "trace_deterministic", False)),
+        provenance=provenance,
+    )
+    report.save(args.trace_out)
+    print(f"wrote run report ({report.n_spans} spans) to "
+          f"{args.trace_out}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -56,6 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
     process.add_argument("--jobs", type=int, default=1,
                          help="worker processes for reconstruction "
                               "(default 1 = serial; -1 = all CPUs)")
+    _add_trace_arguments(process)
 
     campaign = sub.add_parser(
         "campaign",
@@ -89,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--manifest",
                           help="also write the campaign conditions "
                                "manifest to this JSON file")
+    _add_trace_arguments(campaign)
 
     skim = sub.add_parser("skim",
                           help="apply a JSON skim spec to an AOD file")
@@ -151,6 +196,7 @@ def _build_parser() -> argparse.ArgumentParser:
                            "entry points (DAS2xx rules)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    _add_trace_arguments(lint)
 
     closure = sub.add_parser(
         "closure",
@@ -178,6 +224,21 @@ def _build_parser() -> argparse.ArgumentParser:
                          default="text", dest="output_format",
                          help="findings report format when checks are "
                               "requested")
+
+    trace = sub.add_parser(
+        "trace",
+        help="render the span tree of a run-report JSON file",
+    )
+    trace.add_argument("report", help="run report written by --trace-out "
+                                      "(or extracted from an archive)")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render the metrics snapshot of a run-report JSON file",
+    )
+    metrics.add_argument("report", help="run report written by --trace-out")
+    metrics.add_argument("--format", choices=("text", "json"),
+                         default="text", dest="output_format")
 
     interview = sub.add_parser("interview",
                                help="print an experiment's interview")
@@ -268,8 +329,10 @@ def _cmd_process(args) -> int:
                 GenEvent.from_dict(record)))
             for record in reader.records()]
     policy = ExecutionPolicy.from_jobs(args.jobs)
+    tracer, obs_metrics = _trace_context(args, "process")
     aods = [make_aod(reco)
-            for reco in reconstructor.reconstruct_many(raws, policy)]
+            for reco in reconstructor.reconstruct_many(
+                raws, policy, tracer=tracer, metrics=obs_metrics)]
     header = write_dataset(
         args.output, f"aod-run{args.run}", DataTier.AOD,
         (aod.to_dict() for aod in aods),
@@ -279,6 +342,13 @@ def _cmd_process(args) -> int:
             "externals": reconstructor.external_dependencies(),
         },
     )
+    _write_trace(args, tracer, obs_metrics, provenance={
+        "command": "process",
+        "input": str(args.input),
+        "output": str(args.output),
+        "dataset": header.dataset_name,
+        "global_tag": args.global_tag,
+    })
     print(f"wrote {header.n_events} AOD events to {args.output}")
     return 0
 
@@ -320,7 +390,9 @@ def _cmd_campaign(args) -> int:
         seed=args.seed,
     )
     policy = ExecutionPolicy.from_jobs(args.jobs)
-    results = campaign.process(registry, good_runs, policy=policy)
+    tracer, obs_metrics = _trace_context(args, "campaign")
+    results = campaign.process(registry, good_runs, policy=policy,
+                               tracer=tracer, metrics=obs_metrics)
     aods = campaign.all_aods()
     header = write_dataset(
         args.output, f"aod-{args.name}", DataTier.AOD,
@@ -337,6 +409,14 @@ def _cmd_campaign(args) -> int:
                       sort_keys=True)
             handle.write("\n")
         print(f"wrote conditions manifest to {args.manifest}")
+    _write_trace(args, tracer, obs_metrics, provenance={
+        "command": "campaign",
+        "campaign": campaign.name,
+        "global_tag": campaign.global_tag,
+        "output": str(args.output),
+        "runs": [str(run_number) for run_number in sorted(results)],
+        "conditions_manifest": campaign.conditions_manifest(),
+    })
     print(f"processed {len(results)} runs "
           f"({policy.mode}, {policy.n_jobs} jobs): "
           f"{header.n_events} AOD events -> {args.output}")
@@ -464,23 +544,53 @@ def _cmd_lint(args) -> int:
         raise ReproError(
             "lint needs at least one target path (or --bundled)"
         )
+    import time
+
     config = LintConfig(select=tuple(args.select),
                         ignore=tuple(args.ignore),
                         suppressions=_parse_suppressions(args.suppress))
-    session = LintSession(config)
-    for target in args.targets:
-        if not Path(target).exists():
-            raise ReproError(f"lint target {target!r} does not exist")
-        session.extend(lint_path(target))
-        if args.deep and (Path(target).is_dir()
-                          or Path(target).suffix == ".py"):
-            session.extend(lint_tree_deep(target))
-    if args.bundled:
-        session.extend(lint_bundled_artifacts())
-        if args.deep:
-            import repro.rivet.standard_analyses as standard_analyses
-            session.extend(lint_tree_deep(standard_analyses.__file__))
+    tracer, obs_metrics = _trace_context(args, "lint")
+    session = LintSession(config, tracer=tracer, metrics=obs_metrics)
+
+    def lint_target(label: str, *passes) -> None:
+        """One target under its span, timed into the histogram."""
+        with session.obs.span("lint.target", target=label) as span:
+            started = time.monotonic()
+            before = len(session.report().findings)
+            for lint_pass in passes:
+                session.extend(lint_pass())
+            span.set("n_findings",
+                     len(session.report().findings) - before)
+        if obs_metrics is not None:
+            obs_metrics.histogram("lint.target_seconds").observe(
+                time.monotonic() - started)
+
+    with session.obs.span("lint.run", n_targets=len(args.targets),
+                          bundled=bool(args.bundled)):
+        for target in args.targets:
+            if not Path(target).exists():
+                raise ReproError(
+                    f"lint target {target!r} does not exist"
+                )
+            passes = [functools.partial(lint_path, target)]
+            if args.deep and (Path(target).is_dir()
+                              or Path(target).suffix == ".py"):
+                passes.append(functools.partial(lint_tree_deep, target))
+            lint_target(target, *passes)
+        if args.bundled:
+            passes = [lint_bundled_artifacts]
+            if args.deep:
+                import repro.rivet.standard_analyses as standard_analyses
+                passes.append(functools.partial(
+                    lint_tree_deep, standard_analyses.__file__))
+            lint_target("<bundled>", *passes)
     report = session.report()
+    _write_trace(args, tracer, obs_metrics, provenance={
+        "command": "lint",
+        "targets": [str(target) for target in args.targets],
+        "bundled": bool(args.bundled),
+        "exit_code": report.exit_code,
+    })
     if args.output_format == "json":
         print(render_json(report))
     else:
@@ -536,6 +646,24 @@ def _cmd_closure(args) -> int:
     return report.exit_code
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import RunReport, render_trace
+
+    print(render_trace(RunReport.load(args.report)))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs import RunReport, render_metrics
+
+    report = RunReport.load(args.report)
+    if args.output_format == "json":
+        print(json.dumps(report.metrics, indent=1, sort_keys=True))
+    else:
+        print(render_metrics(report.metrics))
+    return 0
+
+
 def _cmd_interview(args) -> int:
     from repro.experiments import get_experiment
     from repro.interview import response_for_experiment
@@ -571,6 +699,8 @@ _COMMANDS = {
     "validate-bundle": _cmd_validate_bundle,
     "lint": _cmd_lint,
     "closure": _cmd_closure,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "interview": _cmd_interview,
     "table1": _cmd_table1,
     "maturity": _cmd_maturity,

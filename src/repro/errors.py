@@ -48,6 +48,10 @@ class ExecutionError(ReproError):
     """A parallel-execution policy or scheduler invocation was invalid."""
 
 
+class ObservabilityError(ReproError):
+    """Tracing, metrics, or run-report assembly/validation failed."""
+
+
 class DataModelError(ReproError):
     """An event container or tier operation was invalid."""
 

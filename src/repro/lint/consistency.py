@@ -125,6 +125,16 @@ RULE_MATURITY_GRID = register_rule(
     "rating 5 with a preservation row shared with 'no one'",
 )
 
+RULE_DATASET_NO_RUN_REPORT = register_rule(
+    "DAS113", "dataset-missing-run-report", Severity.WARNING, "obs",
+    "An archived dataset's provenance references no run report.",
+    "Without the run report (trace, metrics, environment) of the "
+    "producing execution, the archived dataset cannot show how it was "
+    "made — re-execution has no recorded baseline to diff against.",
+    'a ``*_dataset`` entry whose provenance block has no '
+    '``run_report`` digest',
+)
+
 
 # ----------------------------------------------------------------------
 # Skim / slim specs vs the tier schema
@@ -335,8 +345,13 @@ def _find_cycles(parents: dict[str, tuple[str, ...]]) -> list[list[str]]:
 # Archive directories
 # ----------------------------------------------------------------------
 
+def _is_dataset_kind(kind: str) -> bool:
+    """Kinds DAS113 audits: ``dataset`` and ``*_dataset`` entries."""
+    return kind == "dataset" or kind.endswith("_dataset")
+
+
 def lint_archive_directory(directory: str | Path) -> list[Finding]:
-    """DAS108/DAS109 over a saved archive directory."""
+    """DAS108/DAS109/DAS113 over a saved archive directory."""
     directory = Path(directory)
     catalogue_path = directory / "catalogue.json"
     try:
@@ -384,6 +399,25 @@ def lint_archive_directory(directory: str | Path) -> list[Finding]:
                     f"entry",
                     artifact=name, file=str(blob_path),
                 ))
+    # DAS113 needs the full digest set, so it runs after the sweep.
+    for entry in catalogue.get("entries", []):
+        if not _is_dataset_kind(str(entry.get("kind", ""))):
+            continue
+        digest = str(entry.get("digest", ""))
+        provenance = entry.get("metadata", {}).get("provenance", {})
+        run_report = provenance.get("run_report")
+        if not run_report:
+            findings.append(RULE_DATASET_NO_RUN_REPORT.finding(
+                f"dataset entry {digest[:12]}... links no run report "
+                f"in its provenance block",
+                artifact=name, file=str(catalogue_path),
+            ))
+        elif str(run_report) not in catalogued:
+            findings.append(RULE_DATASET_NO_RUN_REPORT.finding(
+                f"dataset entry {digest[:12]}... links run report "
+                f"{str(run_report)[:12]}... absent from the catalogue",
+                artifact=name, file=str(catalogue_path),
+            ))
     return findings
 
 

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.lint.findings import Finding, Severity
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, active
 
 
 @dataclass(frozen=True)
@@ -169,15 +171,35 @@ class LintReport:
 
 
 class LintSession:
-    """Accumulates findings across many artifacts into one report."""
+    """Accumulates findings across many artifacts into one report.
 
-    def __init__(self, config: LintConfig | None = None) -> None:
+    An enabled ``tracer`` lets callers time each linted target (the CLI
+    opens one ``lint.target`` span per file/archive); ``metrics``
+    receives a ``lint.findings`` counter labelled by rule code for
+    every finding that survives the session configuration.
+    """
+
+    def __init__(self, config: LintConfig | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.config = config or LintConfig()
+        self.tracer = tracer
+        self.metrics = metrics
         self._findings: list[Finding] = []
+
+    @property
+    def obs(self) -> Tracer:
+        """The session tracer, or the no-op tracer when untraced."""
+        return active(self.tracer)
 
     def extend(self, findings: list[Finding]) -> None:
         """Add findings, applying the session configuration."""
-        self._findings.extend(self.config.apply(findings))
+        kept = self.config.apply(findings)
+        self._findings.extend(kept)
+        if self.metrics is not None:
+            for finding in kept:
+                self.metrics.counter("lint.findings",
+                                     code=finding.code).inc()
 
     def report(self) -> LintReport:
         """The deterministic, aggregated report."""

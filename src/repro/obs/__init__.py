@@ -1,0 +1,79 @@
+"""``repro.obs`` — structured tracing, metrics, and run reports.
+
+The observability layer of the processing chain: :class:`Tracer`/
+:class:`Span` record what executed and how it nested,
+:class:`MetricsRegistry` counts what happened, and :class:`RunReport`
+bundles both with an environment capture into a schema-versioned,
+provenance-linked JSON artifact a :class:`PreservationArchive` can hold
+next to the data it describes. Deterministic exports are byte-identical
+across runs of the same seeded workload, so run evidence is
+fixity-checkable like any other preserved content.
+"""
+
+from repro.obs.env import (
+    BENCH_FORMAT,
+    BENCH_SCHEMA_VERSION,
+    ENVIRONMENT_FIELDS,
+    bench_envelope,
+    capture_environment,
+    validate_bench_report,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    is_timing_metric,
+    render_metrics,
+)
+from repro.obs.report import (
+    REPORT_FORMAT,
+    REPORT_SCHEMA_VERSION,
+    RUN_REPORT_KIND,
+    RunReport,
+    attach_report_to_archive,
+    export_spans,
+    link_run_report,
+    load_report_from_archive,
+    render_trace,
+    validate_run_report,
+)
+from repro.obs.trace import (
+    NOOP_TRACER,
+    Span,
+    Tracer,
+    active,
+    derive_span_id,
+)
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BENCH_SCHEMA_VERSION",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "ENVIRONMENT_FIELDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "REPORT_FORMAT",
+    "REPORT_SCHEMA_VERSION",
+    "RUN_REPORT_KIND",
+    "RunReport",
+    "Span",
+    "Tracer",
+    "active",
+    "attach_report_to_archive",
+    "bench_envelope",
+    "capture_environment",
+    "derive_span_id",
+    "export_spans",
+    "is_timing_metric",
+    "link_run_report",
+    "load_report_from_archive",
+    "render_metrics",
+    "render_trace",
+    "validate_bench_report",
+    "validate_run_report",
+]

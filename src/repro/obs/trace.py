@@ -1,0 +1,307 @@
+"""Structured tracing: spans, the tracer, and worker-span adoption.
+
+The evidence layer the DPHEP validation-framework work asks for: every
+run of the processing chain should leave a machine-readable record of
+*what executed* — which steps ran, nested how, for how long, with what
+attributes. A :class:`Span` is one timed, named unit of work; a
+:class:`Tracer` is the in-memory collector spans are recorded into.
+
+Three properties make the layer fit for preservation rather than mere
+debugging:
+
+1. **Deterministic span ids** — a span's id derives from
+   ``(trace id, parent id, name, sequence)`` alone, never from wall
+   clock or PIDs, so two runs of the same chain produce the same span
+   tree with the same ids and the exported trace can be fixity-checked.
+2. **Submission-order adoption** — work fanned out to thread or process
+   workers is traced by a *worker-local* tracer whose spans are merged
+   back into the parent with :meth:`Tracer.adopt` in submission order,
+   so the collected tree never depends on which worker finished first.
+3. **Near-zero cost when off** — a disabled tracer answers every
+   ``span()`` call with one shared no-op handle; instrumented library
+   code pays a single attribute check.
+
+Timing uses the monotonic clock (never wall time) and is *dropped* from
+deterministic exports — see :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ObservabilityError
+
+#: Span status values: a span either completed or raised.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+def derive_span_id(trace_id: str, parent_id: str | None, name: str,
+                   sequence: int) -> str:
+    """The deterministic 16-hex-digit id of one span.
+
+    >>> derive_span_id("t", None, "work", 0) == \\
+    ...     derive_span_id("t", None, "work", 0)
+    True
+    """
+    key = "\x00".join(
+        (trace_id, parent_id or "", name, str(int(sequence)))
+    ).encode("utf-8")
+    return hashlib.sha256(key).hexdigest()[:16]
+
+
+@dataclass
+class Span:
+    """One named, timed, attributed unit of work.
+
+    ``start``/``end`` are monotonic-clock readings; ``sequence`` is the
+    span's start-order position within its tracer — the quantity that
+    survives into deterministic exports in place of the clock.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    sequence: int
+    start: float
+    end: float | None = None
+    status: str = STATUS_OK
+    attributes: dict = field(default_factory=dict)
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute (JSON-serialisable values only)."""
+        self.attributes[key] = value
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        """True once the span has ended."""
+        return self.end is not None
+
+    def to_dict(self) -> dict:
+        """Serialise with real timings (non-deterministic export)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "sequence": self.sequence,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NoopSpan:
+    """The shared do-nothing span handle of a disabled tracer."""
+
+    __slots__ = ()
+    attributes: dict = {}
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        """Discard the attribute."""
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanHandle:
+    """Context manager that opens a span on enter and closes it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "span")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: dict | None) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._start(self._name, self._attributes)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._finish(self.span, error=exc_type is not None)
+        return False
+
+
+class Tracer:
+    """A thread-safe in-memory span collector.
+
+    Spans are recorded in *start* order; nesting follows the tracer's
+    span stack. Worker code must not share the driver's tracer — each
+    worker records into its own tracer and the driver merges the
+    finished spans back with :meth:`adopt`, in submission order.
+
+    A tracer constructed with ``enabled=False`` is the no-op variant:
+    ``span()`` returns a shared inert handle and records nothing.
+    """
+
+    def __init__(self, trace_id: str = "trace", *,
+                 enabled: bool = True,
+                 clock=time.monotonic) -> None:
+        self.trace_id = trace_id
+        self.enabled = enabled
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attributes) -> "_SpanHandle | _NoopSpan":
+        """Open a nested span as a context manager.
+
+        >>> tracer = Tracer("doc")
+        >>> with tracer.span("outer") as outer:
+        ...     with tracer.span("inner", n=3) as inner:
+        ...         pass
+        >>> [s.name for s in tracer.spans]
+        ['outer', 'inner']
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _SpanHandle(self, name, attributes or None)
+
+    def _start(self, name: str, attributes: dict | None) -> Span:
+        with self._lock:
+            parent = self._stack[-1] if self._stack else None
+            sequence = self._sequence
+            self._sequence += 1
+            span = Span(
+                name=name,
+                trace_id=self.trace_id,
+                span_id=derive_span_id(
+                    self.trace_id,
+                    parent.span_id if parent else None,
+                    name, sequence,
+                ),
+                parent_id=parent.span_id if parent else None,
+                sequence=sequence,
+                start=self._clock(),
+                attributes=dict(attributes) if attributes else {},
+            )
+            self._spans.append(span)
+            self._stack.append(span)
+            return span
+
+    def _finish(self, span: Span, *, error: bool) -> None:
+        with self._lock:
+            span.end = self._clock()
+            if error:
+                span.status = STATUS_ERROR
+            # Close any dangling children too: a worker that raised mid
+            # -span must not leave the stack pointing at dead frames.
+            while self._stack and self._stack[-1] is not span:
+                dangling = self._stack.pop()
+                if dangling.end is None:
+                    dangling.end = span.end
+                    dangling.status = STATUS_ERROR
+            if self._stack and self._stack[-1] is span:
+                self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # Worker-span adoption
+    # ------------------------------------------------------------------
+
+    def adopt(self, spans: list[Span],
+              parent: Span | None = None) -> list[Span]:
+        """Merge finished worker spans into this tracer.
+
+        ``spans`` is one worker tracer's complete span list, in that
+        tracer's start order. Roots are re-parented under ``parent``
+        (or this tracer's current span), sequences are renumbered from
+        this tracer's counter, and every span id is re-derived — so the
+        merged tree is exactly what a serial execution would have
+        recorded, provided callers adopt in submission order.
+        """
+        if not self.enabled or not spans:
+            return []
+        adopted: list[Span] = []
+        with self._lock:
+            if parent is None and self._stack:
+                parent = self._stack[-1]
+            id_map: dict[str, str] = {}
+            parent_map: dict[str, Span] = {}
+            for span in spans:
+                if not span.finished:
+                    raise ObservabilityError(
+                        f"cannot adopt unfinished span {span.name!r}"
+                    )
+                if span.parent_id is None:
+                    new_parent_id = parent.span_id if parent else None
+                elif span.parent_id in id_map:
+                    new_parent_id = id_map[span.parent_id]
+                else:
+                    raise ObservabilityError(
+                        f"span {span.name!r} references parent "
+                        f"{span.parent_id!r} outside the adopted batch"
+                    )
+                sequence = self._sequence
+                self._sequence += 1
+                clone = Span(
+                    name=span.name,
+                    trace_id=self.trace_id,
+                    span_id=derive_span_id(self.trace_id, new_parent_id,
+                                           span.name, sequence),
+                    parent_id=new_parent_id,
+                    sequence=sequence,
+                    start=span.start,
+                    end=span.end,
+                    status=span.status,
+                    attributes=dict(span.attributes),
+                )
+                id_map[span.span_id] = clone.span_id
+                parent_map[clone.span_id] = clone
+                self._spans.append(clone)
+                adopted.append(clone)
+        return adopted
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Every recorded span, in start order."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span, if any."""
+        with self._lock:
+            return self._stack[-1] if self._stack else None
+
+    def find(self, name: str) -> list[Span]:
+        """All spans recorded under one name."""
+        return [span for span in self.spans if span.name == name]
+
+
+#: The shared disabled tracer instrumented code falls back to when the
+#: caller passed no tracer: one ``enabled`` check per span site.
+NOOP_TRACER = Tracer("noop", enabled=False)
+
+
+def active(tracer: "Tracer | None") -> Tracer:
+    """The tracer to record into: the caller's, or the shared no-op."""
+    return tracer if tracer is not None else NOOP_TRACER

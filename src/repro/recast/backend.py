@@ -25,6 +25,7 @@ from repro.detector.geometry import (
 from repro.detector.simulation import DetectorSimulation
 from repro.errors import BackendError
 from repro.generation.generator import GeneratorConfig, ToyGenerator
+from repro.obs.trace import active
 from repro.generation.processes import (
     DrellYanZ,
     HiggsToFourLeptons,
@@ -85,6 +86,24 @@ class RecastBackend(abc.ABC):
                 model: ModelSpec) -> RecastResult:
         """Re-run the preserved search on the model; return the result."""
 
+    def instrument(self, tracer=None, metrics=None) -> "RecastBackend":
+        """Attach a tracer/metrics registry for request handling.
+
+        Instrumentation is driver-local: tracers hold locks and cannot
+        cross a process boundary, so :meth:`__getstate__` strips these
+        references before a scan pickles the backend to pool workers
+        (which then run uninstrumented). Returns ``self`` for chaining.
+        """
+        self._obs_tracer = tracer
+        self._obs_metrics = metrics
+        return self
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_obs_tracer", None)
+        state.pop("_obs_metrics", None)
+        return state
+
 
 _GEOMETRIES = {
     "GPD": generic_lhc_detector,
@@ -126,7 +145,30 @@ class FullChainBackend(RecastBackend):
 
     def process(self, search: PreservedSearch,
                 model: ModelSpec) -> RecastResult:
-        """Generate, simulate, reconstruct, select, and set the limit."""
+        """Generate, simulate, reconstruct, select, and set the limit.
+
+        Instrumented via :meth:`RecastBackend.instrument`: each request
+        runs under a ``recast.request`` span carrying the search id,
+        model, and selection outcome, with request/event counters.
+        """
+        obs = active(getattr(self, "_obs_tracer", None))
+        metrics = getattr(self, "_obs_metrics", None)
+        with obs.span("recast.request", analysis=search.analysis_id,
+                      model=model.name, process=model.process,
+                      n_events=self.n_events,
+                      backend=self.name) as span:
+            result = self._process_request(search, model)
+            span.set("n_selected", result.n_selected)
+            span.set("excluded", result.excluded)
+        if metrics is not None:
+            metrics.counter("recast.requests",
+                            backend=self.name).inc()
+            metrics.counter("recast.events_generated").inc(
+                result.n_generated)
+        return result
+
+    def _process_request(self, search: PreservedSearch,
+                         model: ModelSpec) -> RecastResult:
         process = build_process(model)
         generator = ToyGenerator(GeneratorConfig(
             processes=[process], seed=self.seed

@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import RecastError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, active
 from repro.recast.backend import RecastBackend
 from repro.recast.catalog import PreservedSearch
 from repro.recast.requests import ModelSpec
@@ -132,18 +134,33 @@ def run_mass_scan(
     cross_section_pb: float = 0.05,
     flavour: str = "mu",
     policy: ExecutionPolicy | None = None,
+    *,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ExclusionScan:
     """Scan a Z'-style model over a mass grid through one back end.
 
     A parallel ``policy`` evaluates mass points concurrently; the scan's
     point list (and every limit derived from it) is identical to the
     serial scan — points land in grid order, one per requested mass.
+
+    An enabled ``tracer`` records a ``recast.mass_scan`` span over the
+    grid (per-chunk worker spans nest below it); ``metrics`` counts
+    evaluated points. The backend itself can additionally be
+    instrumented in-process via :meth:`RecastBackend.instrument` —
+    that per-request tracing stays on the driver and is stripped
+    before workers pickle the backend.
     """
     if not masses:
         raise RecastError("scan needs at least one mass point")
+    obs = active(tracer)
     worker = functools.partial(_evaluate_scan_point, backend, search,
                                cross_section_pb, flavour)
-    points = parallel_map(worker, [float(mass) for mass in masses],
-                          policy)
+    with obs.span("recast.mass_scan", analysis=search.analysis_id,
+                  n_points=len(masses), backend=backend.name):
+        points = parallel_map(worker, [float(mass) for mass in masses],
+                              policy, tracer=tracer, metrics=metrics)
+    if metrics is not None:
+        metrics.counter("recast.scan_points").inc(len(points))
     return ExclusionScan(analysis_id=search.analysis_id,
                          model_template="zprime", points=points)

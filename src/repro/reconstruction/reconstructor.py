@@ -27,6 +27,8 @@ from repro.reconstruction.objects import (
     ObjectBuilderConfig,
     RecoEvent,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, active
 from repro.reconstruction.tracking import TrackFinder, TrackFinderConfig
 from repro.runtime import ExecutionPolicy, chunked, default_chunk_size, parallel_map
 
@@ -146,6 +148,9 @@ class Reconstructor:
         raw_events: list[RawEvent],
         policy: ExecutionPolicy | None = None,
         chunk_size: int | None = None,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> list[RecoEvent]:
         """Reconstruct a list of RAW events in order.
 
@@ -156,9 +161,22 @@ class Reconstructor:
         :attr:`conditions_reads` log are bit-identical to the serial
         loop. Event reconstruction is pure per event (no cross-event
         state), which is what makes the chunk boundary free to move.
+
+        An enabled ``tracer`` wraps the pass in a
+        ``reco.reconstruct_many`` span (per-chunk worker spans nest
+        below it via :func:`parallel_map`); ``metrics`` counts events
+        and conditions reads. Left at ``None``, the pass costs what it
+        always did.
         """
+        obs = active(tracer)
+        reads_before = len(self._conditions_reads)
         if policy is None or policy.is_serial:
-            return [self.reconstruct(raw) for raw in raw_events]
+            with obs.span("reco.reconstruct_many",
+                          n_events=len(raw_events), mode="serial"):
+                recos = [self.reconstruct(raw) for raw in raw_events]
+            self._record_reco_metrics(metrics, len(recos),
+                                      reads_before)
+            return recos
         events = list(raw_events)
         if not events:
             return []
@@ -167,12 +185,25 @@ class Reconstructor:
                 else default_chunk_size(len(events), policy.n_jobs))
         chunks = list(chunked(events, size))
         worker = functools.partial(_reconstruct_chunk, self)
-        recos: list[RecoEvent] = []
-        for chunk_recos, chunk_reads in parallel_map(worker, chunks,
-                                                     policy, chunk_size=1):
-            recos.extend(chunk_recos)
-            self._conditions_reads.extend(chunk_reads)
+        recos = []
+        with obs.span("reco.reconstruct_many", n_events=len(events),
+                      n_chunks=len(chunks), mode=policy.mode):
+            for chunk_recos, chunk_reads in parallel_map(
+                    worker, chunks, policy, chunk_size=1,
+                    tracer=tracer, metrics=metrics):
+                recos.extend(chunk_recos)
+                self._conditions_reads.extend(chunk_reads)
+        self._record_reco_metrics(metrics, len(recos), reads_before)
         return recos
+
+    def _record_reco_metrics(self, metrics: MetricsRegistry | None,
+                             n_events: int, reads_before: int) -> None:
+        """Count one reconstruction pass into ``metrics`` (if any)."""
+        if metrics is None:
+            return
+        metrics.counter("reco.events").inc(n_events)
+        metrics.counter("reco.conditions_reads").inc(
+            len(self._conditions_reads) - reads_before)
 
     def _clone_for_worker(self) -> "Reconstructor":
         """A fresh reconstructor with this one's exact configuration.

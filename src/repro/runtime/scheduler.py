@@ -28,10 +28,13 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import time
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.errors import ExecutionError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, active
 from repro.runtime.policy import ExecutionPolicy
 
 #: Seeds are kept inside the range every stdlib / numpy RNG accepts.
@@ -72,6 +75,21 @@ def _apply_chunk(fn: Callable, chunk: list) -> list:
     return [fn(item) for item in chunk]
 
 
+def _apply_chunk_observed(fn: Callable, index: int,
+                          chunk: list) -> tuple[list, list]:
+    """Traced worker-side driver: one span per chunk.
+
+    The span is recorded into a worker-local tracer (drivers and
+    workers never share one) and shipped back with the results; the
+    driver adopts it in submission order, so the merged trace is
+    independent of worker finish order.
+    """
+    tracer = Tracer("worker")
+    with tracer.span("runtime.chunk", chunk=index, n_items=len(chunk)):
+        results = [fn(item) for item in chunk]
+    return results, tracer.spans
+
+
 def _make_executor(policy: ExecutionPolicy) -> Executor:
     if policy.mode == "thread":
         return ThreadPoolExecutor(max_workers=policy.n_jobs)
@@ -91,6 +109,8 @@ def parallel_map(
     policy: ExecutionPolicy | None = None,
     *,
     chunk_size: int | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> list:
     """Apply ``fn`` to every item, preserving input order in the output.
 
@@ -98,21 +118,90 @@ def parallel_map(
     thread with no executor at all, so the default cost of the API is
     one list comprehension. An exception raised by any ``fn(item)``
     propagates to the caller unchanged under every policy.
+
+    An enabled ``tracer`` records one ``runtime.parallel_map`` span plus
+    a worker-timed ``runtime.chunk`` span per chunk (adopted back in
+    submission order); ``metrics`` additionally receives chunk/item
+    counters, chunk-duration and queue-wait histograms, and a
+    worker-utilization gauge. With both left at ``None`` the scheduler
+    behaves — and costs — exactly as before.
     """
     work = items if isinstance(items, Sequence) else list(items)
+    obs = active(tracer)
+    observing = obs.enabled or metrics is not None
     if policy is None or policy.is_serial:
-        return [fn(item) for item in work]
+        if not observing:
+            return [fn(item) for item in work]
+        with obs.span("runtime.parallel_map", n_items=len(work),
+                      mode="serial"):
+            results = [fn(item) for item in work]
+        if metrics is not None:
+            metrics.counter("runtime.items").inc(len(work))
+        return results
     if not work:
         return []
     size = (chunk_size if chunk_size is not None
             else policy.chunk_size if policy.chunk_size is not None
             else default_chunk_size(len(work), policy.n_jobs))
     chunks = list(chunked(work, size))
+    if not observing:
+        results = []
+        with _make_executor(policy) as executor:
+            futures = [executor.submit(_apply_chunk, fn, chunk)
+                       for chunk in chunks]
+            # Collect in *submission* order — the order-preserving merge.
+            for future in futures:
+                results.extend(future.result())
+        return results
+    return _parallel_map_observed(fn, work, chunks, policy, obs, metrics)
+
+
+def _parallel_map_observed(
+    fn: Callable,
+    work: Sequence,
+    chunks: list[list],
+    policy: ExecutionPolicy,
+    obs: Tracer,
+    metrics: MetricsRegistry | None,
+) -> list:
+    """The instrumented pooled path of :func:`parallel_map`."""
     results: list = []
-    with _make_executor(policy) as executor:
-        futures = [executor.submit(_apply_chunk, fn, chunk)
-                   for chunk in chunks]
-        # Collect in *submission* order — the order-preserving merge.
-        for future in futures:
-            results.extend(future.result())
+    busy = 0.0
+    with obs.span("runtime.parallel_map", n_items=len(work),
+                  n_chunks=len(chunks), mode=policy.mode,
+                  n_jobs=policy.n_jobs) as outer:
+        started = time.monotonic()
+        with _make_executor(policy) as executor:
+            submissions = []
+            for index, chunk in enumerate(chunks):
+                submissions.append((
+                    time.monotonic(),
+                    executor.submit(_apply_chunk_observed, fn, index,
+                                    chunk),
+                ))
+            # Collect in *submission* order — the order-preserving
+            # merge, for results and worker spans alike.
+            for submitted_at, future in submissions:
+                chunk_results, spans = future.result()
+                results.extend(chunk_results)
+                adopted = obs.adopt(spans, parent=outer)
+                if metrics is None or not adopted:
+                    continue
+                chunk_span = adopted[0]
+                busy += chunk_span.duration
+                metrics.histogram("runtime.chunk_seconds").observe(
+                    chunk_span.duration)
+                # Monotonic clocks share an epoch across local
+                # workers, so worker start minus driver submit is the
+                # time the chunk sat in the queue (clamped: clock
+                # granularity can make tiny waits read negative).
+                metrics.histogram("runtime.queue_wait_seconds").observe(
+                    max(0.0, chunk_span.start - submitted_at))
+        elapsed = time.monotonic() - started
+        if metrics is not None:
+            metrics.counter("runtime.items").inc(len(work))
+            metrics.counter("runtime.chunks").inc(len(chunks))
+            if elapsed > 0.0:
+                metrics.gauge("runtime.worker_utilization").set(
+                    min(1.0, busy / (elapsed * policy.n_jobs)))
     return results

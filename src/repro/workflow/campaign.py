@@ -30,6 +30,8 @@ from repro.detector.geometry import DetectorGeometry
 from repro.detector.simulation import DetectorSimulation
 from repro.errors import WorkflowError
 from repro.generation.generator import ToyGenerator
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, active
 from repro.reconstruction.reconstructor import Reconstructor
 from repro.runtime import ExecutionPolicy, derive_seed, parallel_map
 
@@ -41,6 +43,9 @@ class RunResult:
     run_number: int
     aods: list[AODEvent] = field(default_factory=list)
     conditions_used: dict = field(default_factory=dict)
+    #: Observability sidecar (worker spans, derived seed, read counts);
+    #: populated only when the campaign is processed under a tracer.
+    stats: dict = field(default_factory=dict)
 
     @property
     def n_events(self) -> int:
@@ -89,16 +94,26 @@ class ProcessingCampaign:
         self._results: dict[int, RunResult] = {}
 
     def process(self, registry: RunRegistry, good_runs: GoodRunList,
-                policy: ExecutionPolicy | None = None
+                policy: ExecutionPolicy | None = None,
+                *,
+                tracer: Tracer | None = None,
+                metrics: MetricsRegistry | None = None,
                 ) -> dict[int, RunResult]:
         """Process every certified run of the registry.
 
         ``policy`` overrides the campaign's default policy for this
         sweep. Results are merged back in run order regardless of which
         worker finished first.
+
+        An enabled ``tracer`` records a ``campaign.process`` span with
+        one ``campaign.run`` child per run — each carrying the run's
+        derived generator seed, event count, and conditions-read count,
+        timed on the worker that processed it and adopted back in run
+        order; ``metrics`` receives run/event/read counters.
         """
         if policy is None:
             policy = self.policy
+        obs = active(tracer)
         tasks = []
         for run_number in registry.run_numbers():
             n_sections = good_runs.certified_sections(run_number)
@@ -108,11 +123,22 @@ class ProcessingCampaign:
                 self.max_events_per_run,
                 max(1, int(n_sections * self.events_per_section)),
             )
-            tasks.append((run_number, n_events))
-        worker = functools.partial(_process_run_worker,
-                                   self._worker_template())
-        for result in parallel_map(worker, tasks, policy):
-            self._results[result.run_number] = result
+            tasks.append((len(tasks), run_number, n_events))
+        template = self._worker_template()
+        template._observe_runs = obs.enabled or metrics is not None
+        worker = functools.partial(_process_run_worker, template)
+        with obs.span("campaign.process", campaign=self.name,
+                      global_tag=self.global_tag,
+                      n_runs=len(tasks)) as sweep:
+            for result in parallel_map(worker, tasks, policy):
+                obs.adopt(result.stats.pop("spans", []), parent=sweep)
+                if metrics is not None:
+                    metrics.counter("campaign.runs").inc()
+                    metrics.counter("campaign.events").inc(
+                        result.n_events)
+                    metrics.counter("campaign.conditions_reads").inc(
+                        result.stats.get("conditions_reads", 0))
+                self._results[result.run_number] = result
         return dict(self._results)
 
     def _worker_template(self) -> "ProcessingCampaign":
@@ -125,8 +151,32 @@ class ProcessingCampaign:
         template._results = {}
         return template
 
-    def _process_run(self, run_number: int,
-                     n_events: int) -> RunResult:
+    def _process_run(self, run_number: int, n_events: int,
+                     run_index: int = 0) -> RunResult:
+        observe = getattr(self, "_observe_runs", False)
+        worker_tracer = Tracer("worker", enabled=observe)
+        try:
+            with worker_tracer.span("campaign.run", run=run_number,
+                                    n_events=n_events) as span:
+                result = self._process_certified_run(
+                    run_number, n_events, span)
+        except Exception as exc:
+            # Attribution: which run of the sweep died, under which
+            # span, at which task index. WorkflowError subclasses keep
+            # their type; anything else becomes a WorkflowError.
+            error_type = (type(exc) if isinstance(exc, WorkflowError)
+                          else WorkflowError)
+            raise error_type(
+                f"campaign {self.name!r}: run {run_number} "
+                f"(span 'campaign.run', run index {run_index}) "
+                f"failed: {exc}"
+            ) from exc
+        if observe:
+            result.stats["spans"] = worker_tracer.spans
+        return result
+
+    def _process_certified_run(self, run_number: int, n_events: int,
+                               span) -> RunResult:
         generator = self._run_generator(run_number)
         simulation = DetectorSimulation(self.geometry,
                                         seed=self.seed + run_number)
@@ -149,6 +199,11 @@ class ProcessingCampaign:
                 {f for f, _ in reconstructor.conditions_reads}
             )
         }
+        n_reads = len(reconstructor.conditions_reads)
+        result.stats["conditions_reads"] = n_reads
+        result.stats["generator_seed"] = generator.config.seed
+        span.set("generator_seed", generator.config.seed)
+        span.set("conditions_reads", n_reads)
         return result
 
     def _run_generator(self, run_number: int) -> ToyGenerator:
@@ -204,7 +259,7 @@ class ProcessingCampaign:
 
 
 def _process_run_worker(campaign: ProcessingCampaign,
-                        task: tuple[int, int]) -> RunResult:
+                        task: tuple[int, int, int]) -> RunResult:
     """Module-level worker driver so process pools can pickle it."""
-    run_number, n_events = task
-    return campaign._process_run(run_number, n_events)
+    run_index, run_number, n_events = task
+    return campaign._process_run(run_number, n_events, run_index)

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 from repro.datamodel.tiers import DataTier
 from repro.errors import WorkflowError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, active
 from repro.provenance.capture import ProvenanceCapture
 from repro.provenance.records import ProducerRecord
 from repro.workflow.step import ProcessingStep, StepContext
@@ -89,10 +91,21 @@ class ChainResult:
 
 
 class ChainRunner:
-    """Executes chains, reporting every dataset to a provenance capture."""
+    """Executes chains, reporting every dataset to a provenance capture.
 
-    def __init__(self, capture: ProvenanceCapture | None = None) -> None:
+    An enabled ``tracer`` records a ``chain.run`` span per chain with
+    one ``chain.step`` child per executed step; ``metrics`` counts
+    steps and produced records. Step failures are raised with the
+    chain name, step name, step position, and active span name
+    attached, so a failed sweep is attributable from the error alone.
+    """
+
+    def __init__(self, capture: ProvenanceCapture | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.capture = capture if capture is not None else ProvenanceCapture()
+        self.tracer = tracer
+        self.metrics = metrics
 
     def run(
         self,
@@ -122,34 +135,63 @@ class ChainRunner:
         result = ChainResult(chain_name=chain.name)
         records = initial_records if initial_records is not None else []
         parent_artifact = initial_artifact_id
+        obs = active(self.tracer)
 
-        for step in chain.steps:
-            try:
-                records = step.run(records, context)
-            except Exception as exc:
-                if isinstance(exc, WorkflowError):
-                    raise
-                raise WorkflowError(
-                    f"chain {chain.name!r}: step {step.name!r} failed: {exc}"
-                ) from exc
-            dataset_name = f"{chain.name}/{step.name}"
-            externals = step.external_dependencies()
-            artifact_id = self.capture.new_artifact_id(dataset_name)
-            self.capture.report(
-                artifact_id=artifact_id,
-                kind="dataset",
-                tier=step.output_tier.value,
-                parents=(parent_artifact,) if parent_artifact else (),
-                producer=ProducerRecord(
-                    name=step.name,
-                    version=step.version,
-                    configuration=step.configuration(),
-                ),
-                externals=externals,
-                attributes={"n_events": len(records)},
-            )
-            result.datasets[dataset_name] = records
-            result.artifact_ids[dataset_name] = artifact_id
-            result.externals[dataset_name] = externals
-            parent_artifact = artifact_id
+        with obs.span("chain.run", chain=chain.name,
+                      n_steps=len(chain.steps)):
+            for position, step in enumerate(chain.steps):
+                records = self._run_step(chain, step, position, records,
+                                         context, obs)
+                parent_artifact = self._report_step(
+                    chain, step, records, parent_artifact, result)
         return result
+
+    def _run_step(self, chain: ProcessingChain, step: ProcessingStep,
+                  position: int, records: list,
+                  context: StepContext, obs: Tracer) -> list:
+        """Execute one step under its span, attributing any failure."""
+        try:
+            with obs.span("chain.step", chain=chain.name,
+                          step=step.name, position=position) as span:
+                produced = step.run(records, context)
+                span.set("n_records", len(produced))
+        except Exception as exc:
+            # Keep WorkflowError subclasses (StepError, ...) but attach
+            # the chain, step, position, and span the failure happened
+            # under — a bare "step failed" is unattributable years on.
+            error_type = (type(exc) if isinstance(exc, WorkflowError)
+                          else WorkflowError)
+            raise error_type(
+                f"chain {chain.name!r}: step {step.name!r} "
+                f"(position {position}, span 'chain.step') "
+                f"failed: {exc}"
+            ) from exc
+        if self.metrics is not None:
+            self.metrics.counter("chain.steps").inc()
+            self.metrics.counter("chain.records").inc(len(produced))
+        return produced
+
+    def _report_step(self, chain: ProcessingChain, step: ProcessingStep,
+                     records: list, parent_artifact: str | None,
+                     result: ChainResult) -> str:
+        """Report one produced dataset to the provenance capture."""
+        dataset_name = f"{chain.name}/{step.name}"
+        externals = step.external_dependencies()
+        artifact_id = self.capture.new_artifact_id(dataset_name)
+        self.capture.report(
+            artifact_id=artifact_id,
+            kind="dataset",
+            tier=step.output_tier.value,
+            parents=(parent_artifact,) if parent_artifact else (),
+            producer=ProducerRecord(
+                name=step.name,
+                version=step.version,
+                configuration=step.configuration(),
+            ),
+            externals=externals,
+            attributes={"n_events": len(records)},
+        )
+        result.datasets[dataset_name] = records
+        result.artifact_ids[dataset_name] = artifact_id
+        result.externals[dataset_name] = externals
+        return artifact_id

@@ -1,0 +1,61 @@
+"""Every BENCH_*.json baseline shares one pinned envelope schema."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    BENCH_FORMAT,
+    BENCH_SCHEMA_VERSION,
+    ENVIRONMENT_FIELDS,
+    bench_envelope,
+    validate_bench_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINES = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+class TestBaselineFiles:
+    def test_all_expected_baselines_present(self):
+        names = [path.name for path in BASELINES]
+        for expected in ("BENCH_parallel.json", "BENCH_lint.json",
+                         "BENCH_obs.json"):
+            assert expected in names
+
+    @pytest.mark.parametrize("path", BASELINES,
+                             ids=[p.name for p in BASELINES])
+    def test_baseline_validates_against_envelope(self, path):
+        record = json.loads(path.read_text(encoding="utf-8"))
+        validate_bench_report(record)
+
+    @pytest.mark.parametrize("path", BASELINES,
+                             ids=[p.name for p in BASELINES])
+    def test_baseline_has_named_workloads(self, path):
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["workloads"], f"{path.name} records no workloads"
+
+
+class TestEnvelopePinning:
+    """The schema identity is load-bearing: bumping it must be a
+    deliberate, versioned decision, not a drive-by edit."""
+
+    def test_format_and_version_are_pinned(self):
+        assert BENCH_FORMAT == "repro-bench-report"
+        assert BENCH_SCHEMA_VERSION == 1
+
+    def test_environment_fields_are_pinned(self):
+        assert ENVIRONMENT_FIELDS == (
+            "python", "implementation", "machine", "system", "host",
+            "cpu_count", "started_at",
+        )
+
+    def test_fresh_envelope_matches_the_pin(self):
+        record = bench_envelope("pin-check")
+        assert record["schema"] == {"format": BENCH_FORMAT,
+                                    "version": BENCH_SCHEMA_VERSION}
+        assert set(record["environment"]) == set(ENVIRONMENT_FIELDS)
+        validate_bench_report(record)

@@ -1,0 +1,108 @@
+"""DAS113: archived datasets must link their run report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PreservationArchive, PreservationMetadata
+from repro.lint import Severity, get_rule
+from repro.lint.consistency import lint_archive_directory
+from repro.obs import (
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+    attach_report_to_archive,
+    link_run_report,
+)
+
+
+def _metadata(title: str) -> PreservationMetadata:
+    return PreservationMetadata.build(
+        title=title, creator="curator", experiment="GPD",
+        created="2013-03-21", artifact_format="jsonl", size_bytes=0,
+        checksum="", producer="test", access_policy="public",
+    )
+
+
+def _run_report() -> RunReport:
+    tracer = Tracer("campaign")
+    with tracer.span("campaign.process"):
+        pass
+    return RunReport.build(tracer, MetricsRegistry(),
+                           deterministic=True)
+
+
+def _save(archive: PreservationArchive, tmp_path):
+    directory = tmp_path / "archive"
+    archive.save(directory)
+    return directory
+
+
+def das113(findings):
+    return [f for f in findings if f.code == "DAS113"]
+
+
+class TestRuleRegistration:
+    def test_catalogued_as_warning_in_obs_subsystem(self):
+        rule = get_rule("DAS113")
+        assert rule.name == "dataset-missing-run-report"
+        assert rule.severity is Severity.WARNING
+        assert rule.subsystem == "obs"
+
+
+class TestUnlinkedDataset:
+    def test_dataset_without_run_report_flagged(self, tmp_path):
+        archive = PreservationArchive("toy")
+        archive.store({"events": [1]}, "dataset", _metadata("aod"))
+        findings = das113(lint_archive_directory(_save(archive,
+                                                       tmp_path)))
+        assert len(findings) == 1
+        assert "links no run report" in findings[0].message
+        assert findings[0].severity is Severity.WARNING
+
+    def test_suffixed_dataset_kinds_audited(self, tmp_path):
+        archive = PreservationArchive("toy")
+        archive.store({"events": [1]}, "aod_dataset", _metadata("aod"))
+        directory = _save(archive, tmp_path)
+        assert len(das113(lint_archive_directory(directory))) == 1
+
+    def test_non_dataset_kinds_exempt(self, tmp_path):
+        archive = PreservationArchive("toy")
+        archive.store({"rows": [1]}, "table", _metadata("a"))
+        archive.store({"a": 1}, "hepdata_record", _metadata("b"))
+        directory = _save(archive, tmp_path)
+        assert das113(lint_archive_directory(directory)) == []
+
+
+class TestDanglingLink:
+    def test_linked_digest_must_be_catalogued(self, tmp_path):
+        archive = PreservationArchive("toy")
+        metadata = _metadata("aod")
+        link_run_report(metadata, "f" * 64)
+        archive.store({"events": [1]}, "dataset", metadata)
+        findings = das113(lint_archive_directory(_save(archive,
+                                                       tmp_path)))
+        assert len(findings) == 1
+        assert "absent from the catalogue" in findings[0].message
+
+
+class TestLinkedDataset:
+    def test_properly_linked_dataset_is_clean(self, tmp_path):
+        archive = PreservationArchive("toy")
+        entry = attach_report_to_archive(_run_report(), archive)
+        metadata = _metadata("aod")
+        link_run_report(metadata, entry.digest)
+        archive.store({"events": [1]}, "dataset", metadata)
+        directory = _save(archive, tmp_path)
+        assert lint_archive_directory(directory) == []
+
+    def test_each_unlinked_dataset_flagged_once(self, tmp_path):
+        archive = PreservationArchive("toy")
+        entry = attach_report_to_archive(_run_report(), archive)
+        linked = _metadata("linked")
+        link_run_report(linked, entry.digest)
+        archive.store({"events": [1]}, "dataset", linked)
+        archive.store({"events": [2]}, "dataset", _metadata("bare"))
+        findings = das113(lint_archive_directory(_save(archive,
+                                                       tmp_path)))
+        assert len(findings) == 1

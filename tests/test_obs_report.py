@@ -1,0 +1,281 @@
+"""RunReport: schema, determinism, archive linkage, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import PreservationArchive, PreservationMetadata
+from repro.core.metadata import MetadataBlock
+from repro.errors import ObservabilityError
+from repro.obs import (
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+    attach_report_to_archive,
+    bench_envelope,
+    capture_environment,
+    export_spans,
+    link_run_report,
+    load_report_from_archive,
+    render_trace,
+    validate_bench_report,
+    validate_run_report,
+)
+from repro.obs.report import RUN_REPORT_KIND
+
+
+def _traced_workload(trace_id: str = "t") -> tuple[Tracer, MetricsRegistry]:
+    tracer = Tracer(trace_id)
+    metrics = MetricsRegistry()
+    with tracer.span("campaign.sweep", n_runs=2):
+        for run in (1, 2):
+            with tracer.span("campaign.run", run=run):
+                metrics.counter("campaign.runs").inc()
+                metrics.histogram("run_seconds",
+                                  buckets=(0.1, 1.0)).observe(0.01)
+    return tracer, metrics
+
+
+def _report(deterministic: bool = True, **kwargs) -> RunReport:
+    tracer, metrics = _traced_workload()
+    return RunReport.build(tracer, metrics,
+                           deterministic=deterministic, **kwargs)
+
+
+class TestBuild:
+    def test_collects_spans_metrics_environment(self):
+        report = _report()
+        assert report.n_spans == 3
+        assert report.metrics["counters"][0]["name"] == "campaign.runs"
+        assert report.environment["python"]
+
+    def test_provenance_is_copied(self):
+        provenance = {"command": "campaign"}
+        report = _report(provenance=provenance)
+        provenance["command"] = "mutated"
+        assert report.provenance == {"command": "campaign"}
+
+    def test_open_span_rejected(self):
+        tracer = Tracer("t")
+        tracer.span("open").__enter__()
+        with pytest.raises(ObservabilityError, match="still open"):
+            RunReport.build(tracer)
+
+    def test_introspection_walks_the_tree(self):
+        report = _report()
+        roots = report.root_spans()
+        assert [span["name"] for span in roots] == ["campaign.sweep"]
+        children = report.children_of(roots[0]["span_id"])
+        assert [span["attributes"]["run"] for span in children] == [1, 2]
+
+
+class TestDeterminism:
+    def test_two_builds_are_byte_identical(self):
+        assert _report().to_json_bytes() == _report().to_json_bytes()
+
+    def test_deterministic_spans_carry_no_clock(self):
+        for span in _report().spans:
+            assert span["start"] == float(span["sequence"])
+            assert span["duration"] == 0.0
+
+    def test_real_mode_exports_offsets_from_trace_start(self):
+        ticks = iter([100.0, 100.5, 101.25, 102.0])
+        tracer = Tracer("t", clock=lambda: next(ticks))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        report = RunReport.build(tracer, deterministic=False)
+        assert report.spans[0]["start"] == 0.0
+        assert report.spans[0]["duration"] == pytest.approx(2.0)
+        assert report.spans[1]["start"] == pytest.approx(0.5)
+        assert report.spans[1]["duration"] == pytest.approx(0.75)
+
+    def test_deterministic_environment_has_no_wall_clock(self):
+        assert _report().environment["started_at"] == ""
+        assert capture_environment()["started_at"] != ""
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_bytes(self, tmp_path):
+        report = _report(provenance={"command": "campaign"})
+        path = tmp_path / "runreport.json"
+        report.save(path)
+        assert RunReport.load(path).to_json_bytes() == \
+            report.to_json_bytes()
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            RunReport.load(tmp_path / "absent.json")
+
+    def test_load_bad_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ObservabilityError, match="not valid JSON"):
+            RunReport.load(path)
+
+
+class TestValidation:
+    def _record(self) -> dict:
+        return _report().to_dict()
+
+    def test_valid_report_passes(self):
+        validate_run_report(self._record())
+
+    def test_wrong_format_rejected(self):
+        record = self._record()
+        record["format"] = "not-a-run-report"
+        with pytest.raises(ObservabilityError, match="format"):
+            validate_run_report(record)
+
+    def test_wrong_schema_version_rejected(self):
+        record = self._record()
+        record["schema_version"] = 99
+        with pytest.raises(ObservabilityError, match="schema version"):
+            validate_run_report(record)
+
+    def test_tampered_span_id_rejected(self):
+        record = self._record()
+        record["trace"]["spans"][0]["span_id"] = "0" * 16
+        with pytest.raises(ObservabilityError, match="does not re-derive"):
+            validate_run_report(record)
+
+    def test_renamed_span_rejected(self):
+        record = self._record()
+        record["trace"]["spans"][-1]["name"] = "forged"
+        with pytest.raises(ObservabilityError, match="re-derive"):
+            validate_run_report(record)
+
+    def test_clock_values_in_deterministic_report_rejected(self):
+        record = self._record()
+        record["trace"]["spans"][0]["duration"] = 1.5
+        with pytest.raises(ObservabilityError, match="clock values"):
+            validate_run_report(record)
+
+    def test_orphan_parent_rejected(self):
+        record = self._record()
+        del record["trace"]["spans"][0]
+        with pytest.raises(ObservabilityError, match="precede"):
+            validate_run_report(record)
+
+    def test_duplicate_sequence_rejected(self):
+        record = self._record()
+        spans = record["trace"]["spans"]
+        spans[2]["sequence"] = spans[1]["sequence"]
+        with pytest.raises(ObservabilityError, match="sequence"):
+            validate_run_report(record)
+
+    def test_histogram_count_shape_enforced(self):
+        record = self._record()
+        record["metrics"]["histograms"][0]["counts"] = [0]
+        with pytest.raises(ObservabilityError, match="per bucket"):
+            validate_run_report(record)
+
+    def test_missing_environment_field_rejected(self):
+        record = self._record()
+        del record["environment"]["host"]
+        with pytest.raises(ObservabilityError, match="host"):
+            validate_run_report(record)
+
+    def test_from_dict_validates(self):
+        record = self._record()
+        record["format"] = "bogus"
+        with pytest.raises(ObservabilityError):
+            RunReport.from_dict(record)
+
+
+class TestExportSpans:
+    def test_unfinished_span_rejected(self):
+        tracer = Tracer("t")
+        tracer.span("open").__enter__()
+        with pytest.raises(ObservabilityError, match="still open"):
+            export_spans(tracer.spans)
+
+    def test_deterministic_export_uses_sequence_positions(self):
+        tracer = Tracer("t")
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        records = export_spans(tracer.spans, deterministic=True)
+        assert [r["start"] for r in records] == [0.0, 1.0]
+        assert all(r["duration"] == 0.0 for r in records)
+
+
+def _dataset_metadata(title="aod dataset"):
+    return PreservationMetadata.build(
+        title=title, creator="curator", experiment="GPD",
+        created="2013-03-21", artifact_format="jsonl", size_bytes=0,
+        checksum="", producer="test", access_policy="public",
+    )
+
+
+class TestArchiveIntegration:
+    def test_attach_and_load_round_trip(self):
+        archive = PreservationArchive()
+        report = _report(provenance={"command": "campaign"})
+        entry = attach_report_to_archive(report, archive)
+        assert entry.kind == RUN_REPORT_KIND
+        recovered = load_report_from_archive(archive, entry.digest)
+        assert recovered.to_json_bytes() == report.to_json_bytes()
+
+    def test_attach_is_idempotent_for_identical_reports(self):
+        archive = PreservationArchive()
+        first = attach_report_to_archive(_report(), archive)
+        second = attach_report_to_archive(_report(), archive)
+        assert first.digest == second.digest
+
+    def test_wrong_kind_rejected(self):
+        archive = PreservationArchive()
+        entry = archive.store({"a": 1}, "table", _dataset_metadata())
+        with pytest.raises(ObservabilityError, match="not a"):
+            load_report_from_archive(archive, entry.digest)
+
+    def test_link_run_report_writes_provenance_block(self):
+        metadata = _dataset_metadata()
+        link_run_report(metadata, "abc123")
+        block = metadata.blocks[MetadataBlock.PROVENANCE]
+        assert block["run_report"] == "abc123"
+
+
+class TestRendering:
+    def test_render_trace_shows_tree_and_attributes(self):
+        text = render_trace(_report())
+        assert "3 span(s)" in text
+        assert "deterministic (timings normalized)" in text
+        assert "├─ campaign.run" in text
+        assert "run=1" in text
+
+    def test_render_trace_real_mode_shows_timings(self):
+        text = render_trace(_report(deterministic=False))
+        assert "ms)" in text
+        assert "s total" in text
+
+    def test_error_span_flagged(self):
+        tracer = Tracer("t")
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        report = RunReport.build(tracer, deterministic=True)
+        assert "[ERROR]" in render_trace(report)
+
+
+class TestBenchEnvelope:
+    def test_envelope_validates(self):
+        record = bench_envelope("demo", target="src")
+        record["workloads"]["w"] = {"seconds": 1.0}
+        validate_bench_report(record)
+        assert record["target"] == "src"
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(ObservabilityError, match="schema"):
+            validate_bench_report({"benchmark": "demo"})
+
+    def test_workload_must_be_object(self):
+        record = bench_envelope("demo")
+        record["workloads"]["w"] = 3.0
+        with pytest.raises(ObservabilityError, match="JSON object"):
+            validate_bench_report(record)
+
+    def test_envelope_is_json_serialisable(self):
+        json.dumps(bench_envelope("demo"))

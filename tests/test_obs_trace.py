@@ -1,0 +1,227 @@
+"""Tracing core: spans, nesting, deterministic ids, adoption."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import NOOP_TRACER, Span, Tracer, active, derive_span_id
+from repro.obs.trace import STATUS_ERROR, STATUS_OK, _NOOP_SPAN
+
+
+class TestSpanIds:
+    def test_id_is_deterministic(self):
+        assert (derive_span_id("t", None, "work", 0)
+                == derive_span_id("t", None, "work", 0))
+
+    def test_id_is_16_hex_digits(self):
+        span_id = derive_span_id("t", "abc", "work", 3)
+        assert len(span_id) == 16
+        int(span_id, 16)
+
+    @pytest.mark.parametrize("other", [
+        ("u", None, "work", 0),
+        ("t", "p", "work", 0),
+        ("t", None, "other", 0),
+        ("t", None, "work", 1),
+    ])
+    def test_every_component_matters(self, other):
+        assert derive_span_id("t", None, "work", 0) != derive_span_id(*other)
+
+    def test_two_tracers_same_structure_same_ids(self):
+        ids = []
+        for _ in range(2):
+            tracer = Tracer("same")
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+            ids.append([span.span_id for span in tracer.spans])
+        assert ids[0] == ids[1]
+
+
+class TestNesting:
+    def test_nested_spans_parent_chain(self):
+        tracer = Tracer("t")
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                with tracer.span("c") as c:
+                    pass
+        assert a.parent_id is None
+        assert b.parent_id == a.span_id
+        assert c.parent_id == b.span_id
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer("t")
+        with tracer.span("root") as root:
+            with tracer.span("one") as one:
+                pass
+            with tracer.span("two") as two:
+                pass
+        assert one.parent_id == root.span_id
+        assert two.parent_id == root.span_id
+        assert one.sequence < two.sequence
+
+    def test_spans_recorded_in_start_order(self):
+        tracer = Tracer("t")
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in tracer.spans] == ["outer", "inner"]
+        assert [span.sequence for span in tracer.spans] == [0, 1]
+
+    def test_current_span_tracks_the_stack(self):
+        tracer = Tracer("t")
+        assert tracer.current_span is None
+        with tracer.span("a"):
+            with tracer.span("b"):
+                assert tracer.current_span.name == "b"
+            assert tracer.current_span.name == "a"
+        assert tracer.current_span is None
+
+
+class TestTiming:
+    def test_monotonic_duration(self):
+        ticks = iter([10.0, 12.5])
+        tracer = Tracer("t", clock=lambda: next(ticks))
+        with tracer.span("work") as span:
+            pass
+        assert span.start == 10.0
+        assert span.duration == pytest.approx(2.5)
+        assert span.finished
+
+    def test_open_span_duration_is_zero(self):
+        tracer = Tracer("t")
+        with tracer.span("work") as span:
+            assert span.duration == 0.0
+            assert not span.finished
+
+
+class TestStatus:
+    def test_clean_exit_is_ok(self):
+        tracer = Tracer("t")
+        with tracer.span("work") as span:
+            pass
+        assert span.status == STATUS_OK
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer("t")
+        with pytest.raises(ValueError):
+            with tracer.span("work") as span:
+                raise ValueError("boom")
+        assert span.status == STATUS_ERROR
+        assert span.finished
+
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = Tracer("t")
+        with tracer.span("work", run=7) as span:
+            span.set("n_events", 50)
+        assert span.attributes == {"run": 7, "n_events": 50}
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer("t", enabled=False)
+        assert tracer.span("anything") is _NOOP_SPAN
+        with tracer.span("anything") as span:
+            span.set("key", "discarded")
+        assert tracer.spans == []
+
+    def test_active_falls_back_to_noop(self):
+        assert active(None) is NOOP_TRACER
+        tracer = Tracer("mine")
+        assert active(tracer) is tracer
+
+    def test_noop_tracer_is_disabled(self):
+        assert not NOOP_TRACER.enabled
+        assert NOOP_TRACER.adopt([]) == []
+
+
+class TestAdoption:
+    def _worker_spans(self, trace_id: str = "worker") -> list[Span]:
+        worker = Tracer(trace_id)
+        with worker.span("chunk", index=0):
+            with worker.span("item"):
+                pass
+        return worker.spans
+
+    def test_adoption_reparents_roots(self):
+        driver = Tracer("driver")
+        with driver.span("map") as outer:
+            adopted = driver.adopt(self._worker_spans(), parent=outer)
+        assert adopted[0].parent_id == outer.span_id
+        assert adopted[1].parent_id == adopted[0].span_id
+
+    def test_adoption_renumbers_and_rederives_ids(self):
+        driver = Tracer("driver")
+        with driver.span("map") as outer:
+            adopted = driver.adopt(self._worker_spans(), parent=outer)
+        for span in adopted:
+            assert span.trace_id == "driver"
+            assert span.span_id == derive_span_id(
+                "driver", span.parent_id, span.name, span.sequence)
+        assert [span.sequence for span in adopted] == [1, 2]
+
+    def test_adoption_in_submission_order_is_deterministic(self):
+        trees = []
+        for _ in range(2):
+            driver = Tracer("driver")
+            with driver.span("map") as outer:
+                for index in range(3):
+                    worker = Tracer(f"w{index}")
+                    with worker.span("chunk", index=index):
+                        pass
+                    driver.adopt(worker.spans, parent=outer)
+            trees.append([(s.name, s.span_id, s.parent_id)
+                          for s in driver.spans])
+        assert trees[0] == trees[1]
+
+    def test_adoption_defaults_to_current_span(self):
+        driver = Tracer("driver")
+        with driver.span("map") as outer:
+            adopted = driver.adopt(self._worker_spans())
+        assert adopted[0].parent_id == outer.span_id
+
+    def test_unfinished_span_rejected(self):
+        worker = Tracer("w")
+        handle = worker.span("open")
+        handle.__enter__()
+        with pytest.raises(ObservabilityError, match="unfinished"):
+            Tracer("driver").adopt(worker.spans)
+
+    def test_out_of_batch_parent_rejected(self):
+        spans = self._worker_spans()
+        with pytest.raises(ObservabilityError, match="outside"):
+            Tracer("driver").adopt(spans[1:])
+
+    def test_spans_are_picklable_tracers_are_not(self):
+        spans = self._worker_spans()
+        assert pickle.loads(pickle.dumps(spans)) is not None
+        with pytest.raises(Exception):
+            pickle.dumps(Tracer("t"))
+
+
+class TestIntrospection:
+    def test_find_by_name(self):
+        tracer = Tracer("t")
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        with tracer.span("a"):
+            pass
+        assert len(tracer.find("a")) == 2
+        assert tracer.find("missing") == []
+
+    def test_to_dict_shape(self):
+        tracer = Tracer("t")
+        with tracer.span("work", run=1) as span:
+            pass
+        record = span.to_dict()
+        assert record["name"] == "work"
+        assert record["span_id"] == span.span_id
+        assert record["parent_id"] is None
+        assert record["status"] == "ok"
+        assert record["attributes"] == {"run": 1}
+        assert record["duration"] >= 0.0
