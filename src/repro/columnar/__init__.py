@@ -1,0 +1,59 @@
+"""Columnar structure-of-arrays event engine.
+
+``repro.columnar`` is the throughput layer of the library: numpy-backed
+four-vector arrays (:class:`FourVectorArray`), jagged per-event object
+containers (:class:`EventBatch`), vectorised skim/slim evaluation
+(:func:`apply_skim` / :func:`apply_slim`), matrix-based candidate-object
+building (:class:`ColumnarObjectBuilder`), and phase-streamed batch
+simulation/digitisation kernels (:mod:`repro.columnar.kernels`).
+
+The engine's contract is *equivalence*, not approximation: every kernel
+documents whether it is bit-identical to the scalar path, identical up
+to one ulp on transcendental-function outputs, or (for re-phased random
+draws) statistically equivalent — and the equivalence test suite
+enforces each tier.
+"""
+
+from repro.columnar.batch import EventBatch, JaggedCollection
+from repro.columnar.fourvec import (
+    FourVectorArray,
+    delta_phi_array,
+    delta_r_array,
+    invariant_mass_array,
+    transverse_mass_array,
+    wrap_phi_array,
+)
+from repro.columnar.kernels import (
+    batch_stream,
+    digitize_batch,
+    simulate_batch,
+)
+from repro.columnar.objects import ColumnarObjectBuilder, delta_r_matrix
+from repro.columnar.select import (
+    apply_skim,
+    apply_slim,
+    cut_mask,
+    derived_columns,
+    skim_mask,
+)
+
+__all__ = [
+    "ColumnarObjectBuilder",
+    "EventBatch",
+    "FourVectorArray",
+    "JaggedCollection",
+    "apply_skim",
+    "apply_slim",
+    "batch_stream",
+    "cut_mask",
+    "delta_phi_array",
+    "delta_r_array",
+    "delta_r_matrix",
+    "derived_columns",
+    "digitize_batch",
+    "invariant_mass_array",
+    "simulate_batch",
+    "skim_mask",
+    "transverse_mass_array",
+    "wrap_phi_array",
+]

@@ -1,0 +1,341 @@
+"""Jagged-array event batches: the columnar twin of ``AODEvent``.
+
+An :class:`EventBatch` stores N events' object collections in
+structure-of-arrays layout: per collection, one flat
+:class:`~repro.columnar.fourvec.FourVectorArray` (plus flat per-object
+attribute arrays) and an ``offsets`` array of length ``N + 1`` marking
+each event's slice — the standard jagged-array encoding. Scalar,
+per-event quantities (MET, run/event numbers, track counts) are plain
+arrays of length N.
+
+``from_events`` / ``to_events`` round-trip losslessly: every float is
+stored in a float64 array and every int in an int64 array, so the
+reconstructed :class:`AODEvent` objects compare equal field-for-field
+with the originals. Trigger bits are strings and stay a Python list of
+tuples — they are never on the hot path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import compress
+
+import numpy as np
+
+from repro.datamodel.event import AODEvent
+from repro.errors import DataModelError
+from repro.kinematics import FourVector
+from repro.columnar.fourvec import FourVectorArray
+from repro.reconstruction.objects import (
+    Electron,
+    Jet,
+    MissingEnergy,
+    Muon,
+    Photon,
+)
+
+
+def _offsets_from_counts(counts: np.ndarray) -> np.ndarray:
+    offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+class JaggedCollection:
+    """One object collection for N events, offsets + flat arrays.
+
+    ``offsets[i]:offsets[i+1]`` slices event ``i``'s objects out of the
+    flat ``p4`` array and every extra ``fields`` array (int64 or
+    float64, all of the same flat length).
+    """
+
+    __slots__ = ("offsets", "p4", "fields", "_event_index")
+
+    def __init__(self, offsets, p4: FourVectorArray, **fields) -> None:
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.p4 = p4
+        self.fields = {name: np.asarray(values)
+                       for name, values in fields.items()}
+        self._event_index: np.ndarray | None = None
+        if self.offsets.ndim != 1 or len(self.offsets) == 0:
+            raise DataModelError("offsets must be a non-empty 1-D array")
+        flat = len(p4)
+        if int(self.offsets[-1]) != flat:
+            raise DataModelError(
+                f"offsets end at {int(self.offsets[-1])} but the flat "
+                f"arrays hold {flat} objects"
+            )
+        for name, values in self.fields.items():
+            if len(values) != flat:
+                raise DataModelError(
+                    f"field {name!r} has {len(values)} entries, "
+                    f"expected {flat}"
+                )
+
+    @property
+    def n_events(self) -> int:
+        """Number of events the collection spans."""
+        return len(self.offsets) - 1
+
+    def __len__(self) -> int:
+        """Total objects across all events."""
+        return len(self.p4)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Objects per event (length ``n_events``)."""
+        return np.diff(self.offsets)
+
+    @property
+    def event_index(self) -> np.ndarray:
+        """The owning event index of each flat object.
+
+        Computed lazily and cached: the collection's arrays never
+        mutate after construction, and the repeat shows up in every
+        vectorised cut, so callers share one copy.
+        """
+        if self._event_index is None:
+            self._event_index = np.repeat(
+                np.arange(self.n_events, dtype=np.int64), self.counts)
+        return self._event_index
+
+    def field(self, name: str) -> np.ndarray:
+        """One flat attribute array by name."""
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise DataModelError(
+                f"collection has no field {name!r}; "
+                f"available: {sorted(self.fields)}"
+            ) from None
+
+    def select_events(self, mask: np.ndarray) -> "JaggedCollection":
+        """The sub-collection of events where ``mask`` is True.
+
+        Object content and order within each kept event are unchanged.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self.n_events:
+            raise DataModelError(
+                f"event mask has {len(mask)} entries for "
+                f"{self.n_events} events"
+            )
+        object_mask = np.repeat(mask, self.counts)
+        offsets = _offsets_from_counts(self.counts[mask])
+        fields = {name: values[object_mask]
+                  for name, values in self.fields.items()}
+        return JaggedCollection(offsets, self.p4[object_mask], **fields)
+
+    def segment_sum(self, values: np.ndarray) -> np.ndarray:
+        """Per-event sums of a flat per-object array.
+
+        Uses ``np.bincount``, which accumulates in flat-array order —
+        the same left-to-right addition order as the scalar per-event
+        ``sum()`` loops, so the result is bit-identical to them.
+        """
+        return np.bincount(self.event_index,
+                           weights=np.asarray(values, dtype=np.float64),
+                           minlength=self.n_events)
+
+
+def _pack(objects_per_event: Sequence[Sequence],
+          field_specs: Sequence[tuple[str, np.dtype, object]],
+          ) -> JaggedCollection:
+    """Pack per-event object lists into one jagged collection."""
+    counts = np.fromiter((len(objs) for objs in objects_per_event),
+                         dtype=np.int64, count=len(objects_per_event))
+    offsets = _offsets_from_counts(counts)
+    total = int(offsets[-1])
+    e = np.empty(total)
+    px = np.empty(total)
+    py = np.empty(total)
+    pz = np.empty(total)
+    columns = {name: np.empty(total, dtype=dtype)
+               for name, dtype, _ in field_specs}
+    position = 0
+    for objs in objects_per_event:
+        for obj in objs:
+            p4 = obj.p4
+            e[position] = p4.e
+            px[position] = p4.px
+            py[position] = p4.py
+            pz[position] = p4.pz
+            for name, _, getter in field_specs:
+                columns[name][position] = getter(obj)
+            position += 1
+    return JaggedCollection(offsets, FourVectorArray(e, px, py, pz),
+                            **columns)
+
+
+#: (field name, dtype, getter) triples per collection kind.
+_ELECTRON_FIELDS = (
+    ("charge", np.int64, lambda o: o.charge),
+    ("e_over_p", np.float64, lambda o: o.e_over_p),
+    ("isolation", np.float64, lambda o: o.isolation),
+)
+_MUON_FIELDS = (
+    ("charge", np.int64, lambda o: o.charge),
+    ("n_stations", np.int64, lambda o: o.n_stations),
+    ("isolation", np.float64, lambda o: o.isolation),
+)
+_PHOTON_FIELDS = ()
+_JET_FIELDS = (
+    ("n_constituents", np.int64, lambda o: o.n_constituents),
+    ("em_fraction", np.float64, lambda o: o.em_fraction),
+)
+
+
+class EventBatch:
+    """N AOD events in columnar structure-of-arrays layout."""
+
+    __slots__ = ("run_number", "event_number", "electrons", "muons",
+                 "photons", "jets", "met", "met_phi", "trigger_bits",
+                 "n_tracks")
+
+    def __init__(self, run_number, event_number,
+                 electrons: JaggedCollection, muons: JaggedCollection,
+                 photons: JaggedCollection, jets: JaggedCollection,
+                 met, met_phi, trigger_bits: list[tuple[str, ...]],
+                 n_tracks) -> None:
+        self.run_number = np.asarray(run_number, dtype=np.int64)
+        self.event_number = np.asarray(event_number, dtype=np.int64)
+        self.electrons = electrons
+        self.muons = muons
+        self.photons = photons
+        self.jets = jets
+        self.met = np.asarray(met, dtype=np.float64)
+        self.met_phi = np.asarray(met_phi, dtype=np.float64)
+        self.trigger_bits = list(trigger_bits)
+        self.n_tracks = np.asarray(n_tracks, dtype=np.int64)
+        n = len(self.run_number)
+        collections = (electrons, muons, photons, jets)
+        if any(c.n_events != n for c in collections) or not (
+                len(self.event_number) == len(self.met)
+                == len(self.met_phi) == len(self.trigger_bits)
+                == len(self.n_tracks) == n):
+            raise DataModelError(
+                "event batch arrays disagree on the event count"
+            )
+
+    def __len__(self) -> int:
+        return len(self.run_number)
+
+    @property
+    def n_events(self) -> int:
+        """Number of events in the batch."""
+        return len(self.run_number)
+
+    # ------------------------------------------------------------------
+    # Round trip with the per-event datamodel
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Sequence[AODEvent]) -> "EventBatch":
+        """Pack per-event AODs into columnar layout (exact)."""
+        events = list(events)
+        return cls(
+            run_number=[e.run_number for e in events],
+            event_number=[e.event_number for e in events],
+            electrons=_pack([e.electrons for e in events],
+                            _ELECTRON_FIELDS),
+            muons=_pack([e.muons for e in events], _MUON_FIELDS),
+            photons=_pack([e.photons for e in events], _PHOTON_FIELDS),
+            jets=_pack([e.jets for e in events], _JET_FIELDS),
+            met=[e.met.met for e in events],
+            met_phi=[e.met.phi for e in events],
+            trigger_bits=[tuple(e.trigger_bits) for e in events],
+            n_tracks=[e.n_tracks for e in events],
+        )
+
+    def to_events(self) -> list[AODEvent]:
+        """Unpack to per-event AODs (exact inverse of ``from_events``)."""
+        electrons = _unpack_electrons(self.electrons)
+        muons = _unpack_muons(self.muons)
+        photons = _unpack_photons(self.photons)
+        jets = _unpack_jets(self.jets)
+        events = []
+        for index in range(len(self)):
+            events.append(AODEvent(
+                run_number=int(self.run_number[index]),
+                event_number=int(self.event_number[index]),
+                electrons=electrons[index],
+                muons=muons[index],
+                photons=photons[index],
+                jets=jets[index],
+                met=MissingEnergy(met=float(self.met[index]),
+                                  phi=float(self.met_phi[index])),
+                trigger_bits=list(self.trigger_bits[index]),
+                n_tracks=int(self.n_tracks[index]),
+            ))
+        return events
+
+    # ------------------------------------------------------------------
+    # Batch-level derived quantities
+    # ------------------------------------------------------------------
+
+    def ht(self) -> np.ndarray:
+        """Per-event scalar jet-pt sums, bit-identical to
+        ``AODEvent.ht()`` (bincount accumulates in stored jet order)."""
+        return self.jets.segment_sum(self.jets.p4.pt)
+
+    def select(self, mask: np.ndarray) -> "EventBatch":
+        """The sub-batch of events where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != len(self):
+            raise DataModelError(
+                f"event mask has {len(mask)} entries for "
+                f"{len(self)} events"
+            )
+        return EventBatch(
+            run_number=self.run_number[mask],
+            event_number=self.event_number[mask],
+            electrons=self.electrons.select_events(mask),
+            muons=self.muons.select_events(mask),
+            photons=self.photons.select_events(mask),
+            jets=self.jets.select_events(mask),
+            met=self.met[mask],
+            met_phi=self.met_phi[mask],
+            trigger_bits=list(compress(self.trigger_bits, mask)),
+            n_tracks=self.n_tracks[mask],
+        )
+
+
+def _slices(collection: JaggedCollection) -> list[tuple[int, int]]:
+    bounds = collection.offsets.tolist()
+    return list(zip(bounds[:-1], bounds[1:]))
+
+
+def _vectors(collection: JaggedCollection) -> list[FourVector]:
+    return collection.p4.to_vectors()
+
+
+def _unpack_electrons(c: JaggedCollection) -> list[list[Electron]]:
+    p4 = _vectors(c)
+    charge = c.field("charge").tolist()
+    eop = c.field("e_over_p").tolist()
+    iso = c.field("isolation").tolist()
+    return [[Electron(p4[i], charge[i], eop[i], iso[i])
+             for i in range(lo, hi)] for lo, hi in _slices(c)]
+
+
+def _unpack_muons(c: JaggedCollection) -> list[list[Muon]]:
+    p4 = _vectors(c)
+    charge = c.field("charge").tolist()
+    stations = c.field("n_stations").tolist()
+    iso = c.field("isolation").tolist()
+    return [[Muon(p4[i], charge[i], stations[i], iso[i])
+             for i in range(lo, hi)] for lo, hi in _slices(c)]
+
+
+def _unpack_photons(c: JaggedCollection) -> list[list[Photon]]:
+    p4 = _vectors(c)
+    return [[Photon(p4[i]) for i in range(lo, hi)]
+            for lo, hi in _slices(c)]
+
+
+def _unpack_jets(c: JaggedCollection) -> list[list[Jet]]:
+    p4 = _vectors(c)
+    ncon = c.field("n_constituents").tolist()
+    emf = c.field("em_fraction").tolist()
+    return [[Jet(p4[i], ncon[i], emf[i]) for i in range(lo, hi)]
+            for lo, hi in _slices(c)]

@@ -1,0 +1,437 @@
+"""Batched detector-simulation and digitisation kernels.
+
+The scalar :meth:`DetectorSimulation.simulate` / :meth:`Digitizer.digitize`
+paths draw every random number one at a time from a single generator, in
+the order the physics loop reaches them. The batch kernels here reorganise
+those draws into a handful of *phase streams* — one seeded generator per
+draw category (vertex smearing, efficiencies, calorimeter smearing,
+tracker noise, ...) — so each category becomes a single vectorised
+``Generator`` call over all events at once.
+
+Seeding contract
+----------------
+Each phase stream is seeded with the same SHA-256 derivation the runtime
+scheduler uses for work units::
+
+    np.random.default_rng(derive_seed(seed, "columnar", phase))
+
+so batch output is a pure function of the configured seed, reproducible
+across runs and machines, and statistically independent of the scalar
+stream. Because the draws are re-phased, batch events are **not
+bit-identical** to scalar events — they are drawn from the identical
+distributions with the identical acceptance logic (the equivalence suite
+checks distribution-level agreement). Where bit-identity *is* possible —
+the object-level smearing kernels in :mod:`repro.detector.response` fed
+from one stream in scalar draw order — the vectorised call matches the
+scalar loop exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.columnar.fourvec import wrap_phi_array
+from repro.detector.digitization import (
+    CaloCellHit,
+    Digitizer,
+    MuonChamberHit,
+    RawEvent,
+    TrackerHit,
+)
+from repro.detector.simulation import (
+    _MUON_MIP_ENERGY,
+    CaloDeposit,
+    DetectorSimulation,
+    SimulatedEvent,
+    Traversal,
+)
+from repro.errors import DetectorError
+from repro.generation.hepmc import GenEvent
+from repro.runtime.scheduler import derive_seed
+
+#: Draw-phase names, in documentation order.
+SIMULATION_PHASES = ("vertex", "efficiency", "mip", "ecal", "hcal")
+DIGITIZATION_PHASES = ("tracker", "tracker_noise", "calo", "calo_noise",
+                       "muon")
+
+
+def batch_stream(seed: int, phase: str) -> np.random.Generator:
+    """The seeded generator of one batch draw phase."""
+    return np.random.default_rng(derive_seed(seed, "columnar", phase))
+
+
+def _streams(seed: int, phases) -> dict[str, np.random.Generator]:
+    return {phase: batch_stream(seed, phase) for phase in phases}
+
+
+# ----------------------------------------------------------------------
+# Simulation
+# ----------------------------------------------------------------------
+
+
+def simulate_batch(sim: DetectorSimulation,
+                   events: list[GenEvent]) -> list[SimulatedEvent]:
+    """Vectorised twin of ``[sim.simulate(e) for e in events]``.
+
+    The per-particle classification (visibility, acceptance, charge) is
+    identical to the scalar path; only the random draws are re-phased
+    into vectorised per-category calls.
+    """
+    config = sim.config
+    geometry = sim.geometry
+    streams = _streams(sim.seed, SIMULATION_PHASES)
+    n_events = len(events)
+
+    vertex_x = streams["vertex"].normal(
+        0.0, config.beamspot_sigma_xy_mm, size=n_events)
+    vertex_y = streams["vertex"].normal(
+        0.0, config.beamspot_sigma_xy_mm, size=n_events)
+    vertex_z = streams["vertex"].normal(
+        0.0, config.beamspot_sigma_z_mm, size=n_events)
+
+    tracker = geometry.tracker
+    muon_system = geometry.muon_system
+    ecal = geometry.ecal
+    hcal = geometry.hcal
+
+    # Classification pass: no RNG, records which draws each particle
+    # needs. ``candidates`` are potential tracker traversals awaiting an
+    # efficiency draw; deposit slots await mip and/or smearing draws.
+    sim_events: list[SimulatedEvent] = []
+    candidates: list[tuple[SimulatedEvent, object, float, tuple, bool]] = []
+    candidate_pts: list[float] = []
+    candidate_is_muon: list[bool] = []
+    mip_energies: list[float] = []
+    ecal_true: list[float] = []
+    hcal_true: list[float] = []
+    # (sim_event, truth_index, subdetector name, eta, phi, array, index)
+    deposit_slots: list[tuple] = []
+
+    for index, event in enumerate(events):
+        primary_vertex = (float(vertex_x[index]), float(vertex_y[index]),
+                          float(vertex_z[index]))
+        sim_event = SimulatedEvent(
+            event_number=event.event_number,
+            process_name=event.process_name,
+            primary_vertex=primary_vertex,
+            truth=event,
+        )
+        sim_events.append(sim_event)
+        for particle in event.final_state():
+            if not sim._is_visible(particle):
+                continue
+            momentum = particle.momentum
+            charge = sim._charge_of(particle.pdg_id)
+            origin = particle.production_vertex
+            if origin is None:
+                origin = primary_vertex
+            else:
+                origin = (origin[0] + primary_vertex[0],
+                          origin[1] + primary_vertex[1],
+                          origin[2] + primary_vertex[2])
+            abs_id = abs(particle.pdg_id)
+            is_muon = abs_id == 13
+
+            if (charge != 0.0
+                    and momentum.pt >= config.min_track_pt
+                    and sim._in_acceptance(particle, tracker.eta_max)):
+                reaches_muon = (
+                    is_muon
+                    and momentum.pt > 3.0
+                    and sim._in_acceptance(particle, muon_system.eta_max)
+                )
+                candidates.append(
+                    (sim_event, particle, charge, origin, reaches_muon))
+                candidate_pts.append(momentum.pt)
+                candidate_is_muon.append(is_muon)
+
+            eta = momentum.eta
+            if math.isinf(eta):
+                continue
+            phi = momentum.phi
+            energy = momentum.e
+            if is_muon:
+                if abs(eta) <= hcal.eta_max:
+                    mip_slot = len(mip_energies)
+                    mip_energies.append(energy)
+                    deposit_slots.append((sim_event, particle.index,
+                                          hcal.name, eta, phi,
+                                          "hcal", ("mip", mip_slot, 0.7)))
+                    deposit_slots.append((sim_event, particle.index,
+                                          ecal.name, eta, phi,
+                                          "ecal", ("mip", mip_slot, 0.3)))
+            elif abs_id in (11, 22):
+                if abs(eta) <= ecal.eta_max:
+                    deposit_slots.append((sim_event, particle.index,
+                                          ecal.name, eta, phi, "ecal",
+                                          len(ecal_true)))
+                    ecal_true.append(energy)
+            elif abs(eta) <= hcal.eta_max:
+                if abs(eta) <= ecal.eta_max:
+                    ecal_part = 0.25 * energy
+                    deposit_slots.append((sim_event, particle.index,
+                                          ecal.name, eta, phi, "ecal",
+                                          len(ecal_true)))
+                    ecal_true.append(ecal_part)
+                    hcal_part = energy - ecal_part
+                else:
+                    hcal_part = energy
+                deposit_slots.append((sim_event, particle.index,
+                                      hcal.name, eta, phi, "hcal",
+                                      len(hcal_true)))
+                hcal_true.append(hcal_part)
+
+    # Efficiency phase: one uniform per candidate, against the curve that
+    # the particle species selects.
+    pts = np.asarray(candidate_pts, dtype=np.float64)
+    is_muon_arr = np.asarray(candidate_is_muon, dtype=bool)
+    values = np.where(is_muon_arr,
+                      config.muon_efficiency.value_array(pts),
+                      config.track_efficiency.value_array(pts))
+    passed = streams["efficiency"].uniform(size=len(pts)) < values
+    for keep, (sim_event, particle, charge, origin, reaches_muon) in zip(
+            passed, candidates):
+        if keep:
+            sim_event.traversals.append(Traversal(
+                truth_index=particle.index,
+                pdg_id=particle.pdg_id,
+                charge=charge,
+                momentum=particle.momentum,
+                origin=origin,
+                reaches_muon_system=reaches_muon,
+            ))
+
+    # Muon MIP phase, then the two calorimeter smearing phases. Slots
+    # tagged ("mip", i, fraction) resolve to a fraction of the capped
+    # exponential ionisation draw, then smear through their calorimeter.
+    mip = np.minimum(
+        np.asarray(mip_energies, dtype=np.float64),
+        streams["mip"].exponential(_MUON_MIP_ENERGY,
+                                   size=len(mip_energies)))
+    ecal_energies = np.asarray(ecal_true, dtype=np.float64)
+    hcal_energies = np.asarray(hcal_true, dtype=np.float64)
+    mip_ecal = config.ecal_response.smear_array(0.3 * mip, streams["ecal"])
+    mip_hcal = config.hcal_response.smear_array(0.7 * mip, streams["hcal"])
+    ecal_measured = config.ecal_response.smear_array(ecal_energies,
+                                                     streams["ecal"])
+    hcal_measured = config.hcal_response.smear_array(hcal_energies,
+                                                     streams["hcal"])
+
+    for (sim_event, truth_index, sub_name, eta, phi,
+         calo, slot) in deposit_slots:
+        if isinstance(slot, tuple):
+            _, mip_index, fraction = slot
+            measured = (mip_ecal[mip_index] if calo == "ecal"
+                        else mip_hcal[mip_index])
+        else:
+            measured = (ecal_measured[slot] if calo == "ecal"
+                        else hcal_measured[slot])
+        sim_event.deposits.append(CaloDeposit(
+            truth_index, sub_name, eta, phi, float(measured)))
+
+    return sim_events
+
+
+# ----------------------------------------------------------------------
+# Digitisation
+# ----------------------------------------------------------------------
+
+
+def digitize_batch(digi: Digitizer,
+                   sim_events: list[SimulatedEvent]) -> list[RawEvent]:
+    """Vectorised twin of ``[digi.digitize(e) for e in sim_events]``.
+
+    Bunch-crossing numbering continues from the digitiser's current
+    counter exactly as the scalar loop would advance it.
+    """
+    from repro.detector.digitization import KAPPA
+
+    config = digi.config
+    geometry = digi.geometry
+    tracker = geometry.tracker
+    muon_system = geometry.muon_system
+    streams = _streams(digi.seed, DIGITIZATION_PHASES)
+    n_events = len(sim_events)
+
+    start_bx = digi._bx
+    raws = [RawEvent(run_number=digi.run_number,
+                     event_number=sim_event.event_number,
+                     bunch_crossing=start_bx + index + 1)
+            for index, sim_event in enumerate(sim_events)]
+    digi._bx = start_bx + n_events
+
+    # ---- Tracker hits from traversals -------------------------------
+    # One candidate entry per (traversal, layer) the particle can reach;
+    # geometry (z position, envelope) is deterministic, so only the
+    # inefficiency uniform and the two noise normals are drawn.
+    entry_raw: list[RawEvent] = []
+    entry_layer: list[int] = []
+    radius_list: list[float] = []
+    phi_geo: list[float] = []
+    z_geo: list[float] = []
+    envelope_ok: list[bool] = []
+    z_envelope = math.sinh(tracker.eta_max)
+    for raw, sim_event in zip(raws, sim_events):
+        for traversal in sim_event.traversals:
+            momentum = traversal.momentum
+            pt = momentum.pt
+            if pt <= 0.0:
+                raise DetectorError("cannot digitise a zero-pt traversal")
+            eta = momentum.eta
+            phi0 = momentum.phi
+            x0, y0, z0 = traversal.origin
+            d0 = x0 * math.sin(phi0) - y0 * math.cos(phi0)
+            curvature = (-traversal.charge * KAPPA
+                         * geometry.bfield_tesla / (2.0 * pt))
+            transverse_origin = math.hypot(x0, y0)
+            sinh_eta = math.sinh(eta)
+            for layer, radius in enumerate(tracker.layer_radii_mm):
+                if radius <= transverse_origin:
+                    continue
+                z = z0 + radius * sinh_eta
+                entry_raw.append(raw)
+                entry_layer.append(layer)
+                radius_list.append(radius)
+                phi_geo.append(phi0 + d0 / radius + curvature * radius)
+                z_geo.append(z)
+                envelope_ok.append(
+                    abs(z) <= radius * z_envelope + 200.0)
+
+    radii = np.asarray(radius_list, dtype=np.float64)
+    uniforms = streams["tracker"].uniform(size=len(radii))
+    kept = ((uniforms >= config.layer_inefficiency)
+            & np.asarray(envelope_ok, dtype=bool))
+    kept_indices = np.flatnonzero(kept)
+    sigma_phi = tracker.hit_resolution_mm / radii[kept_indices]
+    phi_noise = streams["tracker"].normal(0.0, sigma_phi)
+    z_noise = streams["tracker"].normal(
+        0.0, 3.0 * tracker.hit_resolution_mm, size=len(kept_indices))
+    phis = wrap_phi_array(
+        np.asarray(phi_geo, dtype=np.float64)[kept_indices] + phi_noise)
+    zs = np.asarray(z_geo, dtype=np.float64)[kept_indices] + z_noise
+    for position, flat in enumerate(kept_indices.tolist()):
+        entry_raw[flat].tracker_hits.append(TrackerHit(
+            layer=entry_layer[flat],
+            r_mm=radius_list[flat],
+            phi=float(phis[position]),
+            z_mm=float(zs[position]),
+        ))
+
+    # ---- Tracker noise hits ------------------------------------------
+    n_layers = len(tracker.layer_radii_mm)
+    noise_counts = streams["tracker_noise"].poisson(
+        config.tracker_noise_hits, size=n_events)
+    total_noise = int(noise_counts.sum())
+    noise_layers = streams["tracker_noise"].integers(
+        0, n_layers, size=total_noise)
+    noise_phis = streams["tracker_noise"].uniform(
+        -math.pi, math.pi, size=total_noise)
+    noise_zs = streams["tracker_noise"].uniform(
+        -2500.0, 2500.0, size=total_noise)
+    cursor = 0
+    for raw, count in zip(raws, noise_counts.tolist()):
+        for offset in range(cursor, cursor + count):
+            layer = int(noise_layers[offset])
+            raw.tracker_hits.append(TrackerHit(
+                layer=layer,
+                r_mm=tracker.layer_radii_mm[layer],
+                phi=float(noise_phis[offset]),
+                z_mm=float(noise_zs[offset]),
+            ))
+        cursor += count
+
+    # ---- Calorimeter cells -------------------------------------------
+    # Neighbour-sharing direction per valid deposit, batched.
+    valid_deposits: list[tuple[int, object, tuple[int, int]]] = []
+    for index, sim_event in enumerate(sim_events):
+        for deposit in sim_event.deposits:
+            cell = digi._cell_index(deposit.subdetector, deposit.eta,
+                                    deposit.phi)
+            if cell is not None:
+                valid_deposits.append((index, deposit, cell))
+    directions = (streams["calo"].integers(
+        0, 2, size=len(valid_deposits)) * 2 - 1)
+
+    cell_maps: list[dict[tuple[str, int, int], float]] = [
+        {} for _ in range(n_events)]
+    for (index, deposit, (ieta, iphi)), direction in zip(
+            valid_deposits, directions.tolist()):
+        cells = cell_maps[index]
+        core_key = (deposit.subdetector, ieta, iphi)
+        cells[core_key] = (cells.get(core_key, 0.0)
+                           + 0.8 * deposit.measured_energy)
+        sub = geometry.subdetectors[deposit.subdetector]
+        neighbour_key = (deposit.subdetector, ieta,
+                         (iphi + direction) % sub.phi_cells)
+        cells[neighbour_key] = (cells.get(neighbour_key, 0.0)
+                                + 0.2 * deposit.measured_energy)
+
+    cell_counts = [len(cells) for cells in cell_maps]
+    cell_noise = streams["calo"].normal(
+        0.0, config.calo_cell_noise, size=sum(cell_counts))
+    cursor = 0
+    for raw, cells in zip(raws, cell_maps):
+        for (sub_name, ieta, iphi), energy in cells.items():
+            noisy = energy + float(cell_noise[cursor])
+            cursor += 1
+            if noisy >= config.calo_cell_threshold:
+                raw.calo_hits.append(
+                    CaloCellHit(sub_name, ieta, iphi, noisy))
+
+    # ---- Pure-noise calorimeter cells --------------------------------
+    noise_subs = [name for name in ("ecal", "hcal")
+                  if name in geometry.subdetectors]
+    sub_counts = {
+        name: streams["calo_noise"].poisson(config.calo_noise_cells,
+                                            size=n_events)
+        for name in noise_subs
+    }
+    for name in noise_subs:
+        sub = geometry.subdetectors[name]
+        counts = sub_counts[name]
+        total = int(counts.sum())
+        ietas = streams["calo_noise"].integers(0, sub.eta_cells,
+                                               size=total)
+        iphis = streams["calo_noise"].integers(0, sub.phi_cells,
+                                               size=total)
+        energies = (config.calo_cell_threshold
+                    + streams["calo_noise"].exponential(0.1, size=total))
+        cursor = 0
+        for raw, count in zip(raws, counts.tolist()):
+            for offset in range(cursor, cursor + count):
+                raw.calo_hits.append(CaloCellHit(
+                    sub.name, int(ietas[offset]), int(iphis[offset]),
+                    float(energies[offset])))
+            cursor += count
+
+    # ---- Muon chamber hits -------------------------------------------
+    muon_entries: list[tuple[RawEvent, Traversal, int]] = []
+    angular_list: list[float] = []
+    for raw, sim_event in zip(raws, sim_events):
+        for traversal in sim_event.traversals:
+            if not traversal.reaches_muon_system:
+                continue
+            for station, radius in enumerate(muon_system.layer_radii_mm):
+                muon_entries.append((raw, traversal, station))
+                angular_list.append(
+                    muon_system.hit_resolution_mm / radius)
+    muon_uniforms = streams["muon"].uniform(size=len(muon_entries))
+    muon_kept = np.flatnonzero(
+        muon_uniforms >= config.layer_inefficiency)
+    angular = np.asarray(angular_list, dtype=np.float64)[muon_kept]
+    eta_noise = streams["muon"].normal(0.0, 5.0 * angular)
+    phi_noise = streams["muon"].normal(0.0, angular)
+    kept_entries = [muon_entries[flat] for flat in muon_kept.tolist()]
+    phis = wrap_phi_array(np.fromiter(
+        (entry[1].momentum.phi for entry in kept_entries),
+        dtype=np.float64, count=len(kept_entries)) + phi_noise)
+    for position, (raw, traversal, station) in enumerate(kept_entries):
+        raw.muon_hits.append(MuonChamberHit(
+            station=station,
+            eta=traversal.momentum.eta + float(eta_noise[position]),
+            phi=float(phis[position]),
+        ))
+
+    return raws

@@ -38,9 +38,17 @@ class AODEvent:
     n_tracks: int = 0
 
     def leptons(self) -> list[Electron | Muon]:
-        """All charged leptons, pt-sorted."""
+        """All charged leptons, pt-sorted (descending).
+
+        Ties are broken deterministically by flavour (electrons before
+        muons) and then stored order — an *explicit* secondary key, so
+        the ordering is part of the preserved selection semantics
+        rather than an accident of sort stability, and the columnar
+        engine can reproduce it with ``np.lexsort``.
+        """
         return sorted(self.electrons + self.muons,
-                      key=lambda lepton: lepton.p4.pt, reverse=True)
+                      key=lambda lepton: (-lepton.p4.pt,
+                                          isinstance(lepton, Muon)))
 
     def ht(self) -> float:
         """Scalar sum of jet transverse momenta."""

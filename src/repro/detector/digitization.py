@@ -173,6 +173,7 @@ class Digitizer:
         self.geometry = geometry
         self.config = config if config is not None else DigitizerConfig()
         self.run_number = run_number
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._bx = 0
 
@@ -341,6 +342,17 @@ class Digitizer:
     def digitize_many(self, sim_events: list[SimulatedEvent]) -> list[RawEvent]:
         """Digitise a list of simulated events in order."""
         return [self.digitize(event) for event in sim_events]
+
+    def digitize_many_batch(
+            self, sim_events: list[SimulatedEvent]) -> list[RawEvent]:
+        """Columnar twin of :meth:`digitize_many`: random draws are
+        batched per phase (see :mod:`repro.columnar.kernels`), so output
+        is statistically — not bitwise — equivalent to the scalar path.
+        Advances the bunch-crossing counter exactly as the scalar loop.
+        """
+        from repro.columnar.kernels import digitize_batch
+
+        return digitize_batch(self, sim_events)
 
     def describe(self) -> dict:
         """Provenance description of the digitiser configuration."""

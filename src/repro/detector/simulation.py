@@ -123,6 +123,7 @@ class DetectorSimulation:
         self.geometry = geometry
         self.config = config if config is not None else SimulationConfig()
         self.table = table if table is not None else default_particle_table()
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -267,6 +268,16 @@ class DetectorSimulation:
     def simulate_many(self, events: list[GenEvent]) -> list[SimulatedEvent]:
         """Simulate a list of events in order."""
         return [self.simulate(event) for event in events]
+
+    def simulate_many_batch(self,
+                            events: list[GenEvent]) -> list[SimulatedEvent]:
+        """Columnar twin of :meth:`simulate_many`: random draws are
+        batched per phase (see :mod:`repro.columnar.kernels`), so output
+        is statistically — not bitwise — equivalent to the scalar path.
+        """
+        from repro.columnar.kernels import simulate_batch
+
+        return simulate_batch(self, events)
 
     def describe(self) -> dict:
         """Provenance description of the simulation configuration."""

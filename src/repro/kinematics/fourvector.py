@@ -96,13 +96,21 @@ class FourVector:
 
     @property
     def pt(self) -> float:
-        """Transverse momentum."""
-        return math.hypot(self.px, self.py)
+        """Transverse momentum.
+
+        Written as ``sqrt(px*px + py*py)`` rather than ``hypot`` so the
+        columnar :class:`~repro.columnar.FourVectorArray` twin computes
+        the bit-identical value (libm's ``hypot`` and numpy's disagree
+        in the last ulp; plain sqrt-of-squares does not).
+        """
+        return math.sqrt(self.px * self.px + self.py * self.py)
 
     @property
     def p(self) -> float:
         """Magnitude of the three-momentum."""
-        return math.sqrt(self.px**2 + self.py**2 + self.pz**2)
+        return math.sqrt(
+            self.px * self.px + self.py * self.py + self.pz * self.pz
+        )
 
     @property
     def phi(self) -> float:
@@ -141,8 +149,15 @@ class FourVector:
 
     @property
     def mass2(self) -> float:
-        """Invariant mass squared (may be slightly negative numerically)."""
-        return self.e**2 - self.px**2 - self.py**2 - self.pz**2
+        """Invariant mass squared (may be slightly negative numerically).
+
+        Explicit products, not ``**2``: CPython's float power is not
+        guaranteed to equal multiplication in the last bit, while
+        numpy's ``x**2`` is — the product form is what keeps the
+        columnar twin bit-identical.
+        """
+        return (self.e * self.e - self.px * self.px
+                - self.py * self.py - self.pz * self.pz)
 
     @property
     def mass(self) -> float:
@@ -229,7 +244,7 @@ class FourVector:
         """Angular distance ``sqrt(d_eta^2 + d_phi^2)`` used by jet cones."""
         d_eta = self.delta_eta(other)
         d_phi = self.delta_phi(other)
-        return math.hypot(d_eta, d_phi)
+        return math.sqrt(d_eta * d_eta + d_phi * d_phi)
 
     def angle(self, other: "FourVector") -> float:
         """Opening angle in radians between the three-momenta."""

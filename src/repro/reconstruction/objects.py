@@ -210,7 +210,11 @@ class ObjectBuilder:
 
     @staticmethod
     def _delta_r(eta1: float, phi1: float, eta2: float, phi2: float) -> float:
-        return math.hypot(eta1 - eta2, delta_phi(phi1, phi2))
+        # sqrt-of-squares, not hypot: keeps this bit-identical to the
+        # vectorised delta_r matrices in repro.columnar.objects.
+        d_eta = eta1 - eta2
+        d_phi = delta_phi(phi1, phi2)
+        return math.sqrt(d_eta * d_eta + d_phi * d_phi)
 
     def _isolation(self, track: Track, tracks: list[Track]) -> float:
         """Scalar pt sum of other tracks in the isolation cone."""

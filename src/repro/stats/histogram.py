@@ -118,7 +118,16 @@ class Histogram1D:
 
     def fill_array(self, values: Sequence[float],
                    weights: Sequence[float] | None = None) -> None:
-        """Vectorised fill of many values."""
+        """Vectorised fill of many values.
+
+        Bin-edge semantics are identical to :meth:`fill` (``side="right"``
+        search, underflow strictly below the first edge, overflow at or
+        above the last). Per-bin accumulation uses ``np.bincount``,
+        which adds the selected weights left-to-right in input order —
+        the same association order as a sequential :meth:`fill` loop —
+        and is an order of magnitude faster than the ``np.add.at``
+        scatter it replaces.
+        """
         values = np.asarray(values, dtype=float)
         if weights is None:
             weights = np.ones_like(values)
@@ -129,16 +138,27 @@ class Histogram1D:
         self.n_entries += len(values)
         below = values < self.edges[0]
         above = values >= self.edges[-1]
-        self.underflow += float(weights[below].sum())
-        self.overflow += float(weights[above].sum())
+        # Flow sums also via bincount (input-order accumulation), so
+        # the result is bit-identical to a sequential fill() loop —
+        # a pairwise .sum() here would differ in the last ulp.
+        category = np.full(len(values), 2, dtype=np.intp)
+        category[below] = 0
+        category[above] = 1
+        flow = np.bincount(category, weights=weights, minlength=3)
+        self.underflow += float(flow[0])
+        self.overflow += float(flow[1])
         in_range = ~(below | above)
         if not np.any(in_range):
             return
         indices = np.searchsorted(self.edges, values[in_range],
                                   side="right") - 1
         indices = np.clip(indices, 0, self.nbins - 1)
-        np.add.at(self._sumw, indices, weights[in_range])
-        np.add.at(self._sumw2, indices, weights[in_range] ** 2)
+        in_weights = weights[in_range]
+        self._sumw += np.bincount(indices, weights=in_weights,
+                                  minlength=self.nbins)
+        self._sumw2 += np.bincount(indices,
+                                   weights=in_weights * in_weights,
+                                   minlength=self.nbins)
 
     # ------------------------------------------------------------------
 
@@ -284,6 +304,44 @@ class Histogram2D:
                  self.shape[1] - 1)
         self._sumw[ix, iy] += weight
         self._sumw2[ix, iy] += weight * weight
+
+    def fill_array(self, xs: Sequence[float], ys: Sequence[float],
+                   weights: Sequence[float] | None = None) -> None:
+        """Vectorised fill of many (x, y) values.
+
+        Same semantics as a :meth:`fill` loop — out-of-range pairs are
+        dropped (either axis) — with the accumulation done as one
+        ``np.bincount`` over the ravelled (ix, iy) bin index.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.shape != ys.shape:
+            raise HistogramError("x and y must match in shape")
+        if weights is None:
+            weights = np.ones_like(xs)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != xs.shape:
+                raise HistogramError("weights must match values in shape")
+        self.n_entries += len(xs)
+        in_range = ((self.x_edges[0] <= xs) & (xs < self.x_edges[-1])
+                    & (self.y_edges[0] <= ys) & (ys < self.y_edges[-1]))
+        if not np.any(in_range):
+            return
+        nx, ny = self.shape
+        ix = np.minimum(
+            np.searchsorted(self.x_edges, xs[in_range], side="right") - 1,
+            nx - 1)
+        iy = np.minimum(
+            np.searchsorted(self.y_edges, ys[in_range], side="right") - 1,
+            ny - 1)
+        flat = ix * ny + iy
+        in_weights = weights[in_range]
+        self._sumw += np.bincount(
+            flat, weights=in_weights, minlength=nx * ny).reshape(nx, ny)
+        self._sumw2 += np.bincount(
+            flat, weights=in_weights * in_weights,
+            minlength=nx * ny).reshape(nx, ny)
 
     def values(self) -> np.ndarray:
         """The (nx, ny) content array (copy)."""

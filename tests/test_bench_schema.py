@@ -23,7 +23,7 @@ class TestBaselineFiles:
     def test_all_expected_baselines_present(self):
         names = [path.name for path in BASELINES]
         for expected in ("BENCH_parallel.json", "BENCH_lint.json",
-                         "BENCH_obs.json"):
+                         "BENCH_obs.json", "BENCH_columnar.json"):
             assert expected in names
 
     @pytest.mark.parametrize("path", BASELINES,
@@ -37,6 +37,15 @@ class TestBaselineFiles:
     def test_baseline_has_named_workloads(self, path):
         record = json.loads(path.read_text(encoding="utf-8"))
         assert record["workloads"], f"{path.name} records no workloads"
+
+    def test_columnar_baseline_claims_equivalence(self):
+        # The columnar engine's contract: every recorded speedup comes
+        # with its equivalence check passing at record time.
+        path = REPO_ROOT / "BENCH_columnar.json"
+        record = json.loads(path.read_text(encoding="utf-8"))
+        for name, workload in record["workloads"].items():
+            assert workload["bit_identical"] is True, name
+            assert workload["speedup"] > 1.0, name
 
 
 class TestEnvelopePinning:

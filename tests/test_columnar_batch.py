@@ -1,0 +1,152 @@
+"""EventBatch round-trip and jagged-container tests.
+
+The batch container must be a lossless columnar twin of the AOD list:
+``EventBatch.from_events(events).to_events()`` reproduces every event's
+``to_dict()`` exactly — over full-chain samples and over
+hypothesis-generated corner cases (empty collections, empty batches,
+single events).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar import EventBatch, FourVectorArray, JaggedCollection
+from repro.datamodel.event import AODEvent
+from repro.kinematics.fourvector import FourVector
+from repro.reconstruction.objects import (
+    Electron,
+    Jet,
+    MissingEnergy,
+    Muon,
+    Photon,
+)
+
+finite = st.floats(min_value=-500.0, max_value=500.0,
+                   allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=0.0, max_value=500.0,
+                     allow_nan=False, allow_infinity=False)
+
+p4_strategy = st.builds(FourVector, positive, finite, finite, finite)
+
+electron_strategy = st.builds(
+    Electron, p4=p4_strategy, charge=st.sampled_from((-1, 1)),
+    e_over_p=st.floats(min_value=0.5, max_value=1.5),
+    isolation=positive)
+muon_strategy = st.builds(
+    Muon, p4=p4_strategy, charge=st.sampled_from((-1, 1)),
+    n_stations=st.integers(min_value=0, max_value=4),
+    isolation=positive)
+photon_strategy = st.builds(Photon, p4=p4_strategy)
+jet_strategy = st.builds(
+    Jet, p4=p4_strategy,
+    n_constituents=st.integers(min_value=1, max_value=40),
+    em_fraction=st.floats(min_value=0.0, max_value=1.0))
+
+aod_strategy = st.builds(
+    AODEvent,
+    run_number=st.integers(min_value=0, max_value=10**6),
+    event_number=st.integers(min_value=0, max_value=10**9),
+    electrons=st.lists(electron_strategy, max_size=4),
+    muons=st.lists(muon_strategy, max_size=4),
+    photons=st.lists(photon_strategy, max_size=3),
+    jets=st.lists(jet_strategy, max_size=5),
+    met=st.builds(MissingEnergy, met=positive, phi=finite),
+    trigger_bits=st.lists(
+        st.sampled_from(("HLT_SingleMu20", "HLT_DiEl12", "HLT_Met80")),
+        max_size=3, unique=True),
+    n_tracks=st.integers(min_value=0, max_value=60),
+)
+
+
+def dicts(events):
+    return [event.to_dict() for event in events]
+
+
+class TestRoundTrip:
+    def test_full_chain_sample(self, mixed_aods):
+        batch = EventBatch.from_events(mixed_aods)
+        assert batch.n_events == len(mixed_aods)
+        assert dicts(batch.to_events()) == dicts(mixed_aods)
+
+    def test_z_sample(self, z_aods):
+        batch = EventBatch.from_events(z_aods)
+        assert dicts(batch.to_events()) == dicts(z_aods)
+
+    @given(st.lists(aod_strategy, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_generated_events(self, events):
+        batch = EventBatch.from_events(events)
+        assert dicts(batch.to_events()) == dicts(events)
+
+    def test_empty_batch(self):
+        batch = EventBatch.from_events([])
+        assert batch.n_events == 0
+        assert batch.to_events() == []
+        assert batch.select(np.zeros(0, dtype=bool)).n_events == 0
+
+
+class TestDerivedQuantities:
+    def test_ht_matches_scalar(self, mixed_aods):
+        batch = EventBatch.from_events(mixed_aods)
+        assert batch.ht().tolist() == [e.ht() for e in mixed_aods]
+
+    def test_counts_and_event_index(self, mixed_aods):
+        batch = EventBatch.from_events(mixed_aods)
+        assert (batch.jets.counts.tolist()
+                == [len(e.jets) for e in mixed_aods])
+        # event_index maps every flat object back to its event.
+        index = batch.muons.event_index
+        counts = np.bincount(index, minlength=batch.n_events)
+        assert counts.tolist() == [len(e.muons) for e in mixed_aods]
+
+    def test_select_matches_python_filter(self, mixed_aods):
+        batch = EventBatch.from_events(mixed_aods)
+        mask = np.array([len(e.jets) >= 2 for e in mixed_aods])
+        kept = batch.select(mask)
+        want = [e for e, keep in zip(mixed_aods, mask) if keep]
+        assert dicts(kept.to_events()) == dicts(want)
+
+
+class TestJaggedCollection:
+    def test_segment_sum_accumulation_order(self):
+        # bincount accumulates flat weights left to right per segment —
+        # the same association order as a per-event Python sum().
+        p4 = FourVectorArray.from_vectors([
+            FourVector.from_ptetaphim(pt, 0.1 * i, 0.2, 0.0)
+            for i, pt in enumerate([30.0, 20.0, 50.0, 1e-3, 1e16])
+        ])
+        offsets = np.array([0, 2, 2, 5], dtype=np.int64)
+        collection = JaggedCollection(offsets, p4)
+        got = collection.segment_sum(p4.pt)
+        pts = p4.pt.tolist()
+        want = [pts[0] + pts[1], 0.0, pts[2] + pts[3] + pts[4]]
+        assert got.tolist() == want
+
+    def test_select_events_empty_and_full(self, z_aods):
+        batch = EventBatch.from_events(z_aods)
+        none = batch.muons.select_events(
+            np.zeros(batch.n_events, dtype=bool))
+        assert none.n_events == 0 and len(none.p4) == 0
+        everything = batch.muons.select_events(
+            np.ones(batch.n_events, dtype=bool))
+        assert everything.counts.tolist() == batch.muons.counts.tolist()
+
+    def test_field_access(self, z_aods):
+        batch = EventBatch.from_events(z_aods)
+        charges = batch.muons.field("charge")
+        flat = [m.charge for e in z_aods for m in e.muons]
+        assert charges.tolist() == flat
+        assert charges.dtype == np.int64
+
+    def test_met_stored_polar(self, mixed_aods):
+        batch = EventBatch.from_events(mixed_aods)
+        assert batch.met.tolist() == [e.met.met for e in mixed_aods]
+        assert batch.met_phi.tolist() == [e.met.phi for e in mixed_aods]
+        for value in batch.met_phi.tolist():
+            assert math.isfinite(value)

@@ -1,0 +1,293 @@
+"""Property-based equivalence suite: FourVectorArray vs FourVector.
+
+Enforces the per-property agreement contract documented in
+``repro.columnar.fourvec``: *exact* properties must be bit-identical to
+the scalar implementation element-wise; *ulp* properties may differ by a
+few units in the last place (asinh/atan2/sinh/log go through different
+libm loops).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar import (
+    FourVectorArray,
+    delta_phi_array,
+    delta_r_array,
+    invariant_mass_array,
+    transverse_mass_array,
+    wrap_phi_array,
+)
+from repro.errors import KinematicsError
+from repro.kinematics.fourvector import (
+    FourVector,
+    delta_phi,
+    invariant_mass,
+    wrap_phi,
+)
+
+# Tolerance for the ulp tier: a handful of last-place bits, far tighter
+# than any physics tolerance but loose enough for libm disagreement.
+ULP_REL = 1e-12
+ULP_ABS = 1e-12
+
+finite_pt = st.floats(min_value=0.0, max_value=2000.0,
+                      allow_nan=False, allow_infinity=False)
+finite_eta = st.floats(min_value=-6.0, max_value=6.0,
+                       allow_nan=False, allow_infinity=False)
+finite_phi = st.floats(min_value=-10.0, max_value=10.0,
+                       allow_nan=False, allow_infinity=False)
+finite_mass = st.floats(min_value=0.0, max_value=500.0,
+                        allow_nan=False, allow_infinity=False)
+
+vector_strategy = st.builds(FourVector.from_ptetaphim,
+                            finite_pt, finite_eta, finite_phi,
+                            finite_mass)
+vectors_strategy = st.lists(vector_strategy, min_size=1, max_size=16)
+
+
+def pack(vectors):
+    return FourVectorArray.from_vectors(vectors)
+
+
+def assert_exact(array_values, scalar_values):
+    """Bit-identical agreement (0.0 == -0.0 is fine here)."""
+    assert np.asarray(array_values).tolist() == list(scalar_values)
+
+
+def assert_ulp(array_values, scalar_values):
+    for got, want in zip(np.asarray(array_values).tolist(),
+                         scalar_values):
+        if math.isnan(want) or math.isinf(want):
+            # Degenerate kinematics (eta at +/-inf, inf - inf): the
+            # contract is that both paths degenerate the same way.
+            assert (math.isnan(got) if math.isnan(want)
+                    else got == want)
+            continue
+        assert math.isclose(got, want, rel_tol=ULP_REL, abs_tol=ULP_ABS)
+
+
+class TestWrapPhi:
+    @given(st.lists(finite_phi, min_size=1, max_size=32))
+    @settings(max_examples=200)
+    def test_matches_scalar_bitwise(self, phis):
+        assert_exact(wrap_phi_array(phis), [wrap_phi(p) for p in phis])
+
+    def test_boundary_values(self):
+        # The interval is (-pi, pi]: +pi stays, -pi maps to +pi.
+        edges = [math.pi, -math.pi, 2.0 * math.pi, -2.0 * math.pi,
+                 3.0 * math.pi, -3.0 * math.pi, 0.0, -0.0,
+                 math.nextafter(math.pi, 4.0),
+                 math.nextafter(-math.pi, -4.0), 1e9, -1e9]
+        wrapped = wrap_phi_array(edges)
+        assert_exact(wrapped, [wrap_phi(p) for p in edges])
+        finite_mask = np.abs(wrapped) <= math.pi
+        assert bool(np.all(finite_mask))
+        assert wrapped[0] == math.pi
+        assert wrapped[1] == math.pi
+
+    @given(st.lists(finite_phi, min_size=1, max_size=16),
+           st.lists(finite_phi, min_size=1, max_size=16))
+    @settings(max_examples=100)
+    def test_delta_phi_matches_scalar(self, phi1, phi2):
+        n = min(len(phi1), len(phi2))
+        phi1, phi2 = phi1[:n], phi2[:n]
+        assert_exact(delta_phi_array(phi1, phi2),
+                     [delta_phi(a, b) for a, b in zip(phi1, phi2)])
+
+
+class TestExactTier:
+    @given(vectors_strategy)
+    @settings(max_examples=150)
+    def test_pt_p_mass2_mass_et_beta(self, vectors):
+        array = pack(vectors)
+        assert_exact(array.pt, [v.pt for v in vectors])
+        assert_exact(array.p, [v.p for v in vectors])
+        assert_exact(array.mass2, [v.mass2 for v in vectors])
+        assert_exact(array.mass, [v.mass for v in vectors])
+        assert_exact(array.et, [v.et for v in vectors])
+        assert_exact(array.beta, [v.beta for v in vectors])
+
+    @given(vectors_strategy, vectors_strategy)
+    @settings(max_examples=100)
+    def test_arithmetic_and_dot(self, lhs, rhs):
+        n = min(len(lhs), len(rhs))
+        lhs, rhs = lhs[:n], rhs[:n]
+        a, b = pack(lhs), pack(rhs)
+        assert (a + b).to_vectors() == [x + y for x, y in zip(lhs, rhs)]
+        assert (a - b).to_vectors() == [x - y for x, y in zip(lhs, rhs)]
+        assert (a * 2.5).to_vectors() == [x * 2.5 for x in lhs]
+        assert (-a).to_vectors() == [-x for x in lhs]
+        assert_exact(a.dot(b), [x.dot(y) for x, y in zip(lhs, rhs)])
+
+    @given(vectors_strategy,
+           st.floats(min_value=-0.9, max_value=0.9),
+           st.floats(min_value=-0.3, max_value=0.3),
+           st.floats(min_value=-0.3, max_value=0.3))
+    @settings(max_examples=100)
+    def test_boosted_bit_identical(self, vectors, bx, by, bz):
+        if bx * bx + by * by + bz * bz >= 1.0:
+            return
+        array = pack(vectors)
+        assert (array.boosted(bx, by, bz).to_vectors()
+                == [v.boosted(bx, by, bz) for v in vectors])
+
+    @given(vectors_strategy, vectors_strategy, vectors_strategy)
+    @settings(max_examples=100)
+    def test_invariant_mass_accumulation_order(self, vs1, vs2, vs3):
+        # One array per "object slot", n parallel systems: element i of
+        # the array result must equal the scalar invariant mass of the
+        # i-th system, bit for bit (same zero-accumulator sum order).
+        n = min(len(vs1), len(vs2), len(vs3))
+        vs1, vs2, vs3 = vs1[:n], vs2[:n], vs3[:n]
+        got = invariant_mass_array([pack(vs1), pack(vs2), pack(vs3)])
+        want = [invariant_mass([a, b, c])
+                for a, b, c in zip(vs1, vs2, vs3)]
+        assert_exact(got, want)
+
+    def test_ultra_relativistic_mass2_cancellation(self):
+        # E ~ |p| with a tiny mass: catastrophic cancellation territory.
+        # The contract is not accuracy but *identical* rounding: the
+        # columnar value must equal the scalar one bit for bit.
+        vectors = [
+            FourVector.from_p3m(1e8, 2e7, -5e7, 0.000511),
+            FourVector.from_p3m(3e9, -1e9, 7e8, 0.105658),
+            FourVector.from_p3m(1e12, 0.0, -1e11, 0.000511),
+        ]
+        array = pack(vectors)
+        assert_exact(array.mass2, [v.mass2 for v in vectors])
+        assert_exact(array.mass, [v.mass for v in vectors])
+
+    @given(st.lists(st.tuples(finite_pt, finite_eta, finite_phi,
+                              finite_mass),
+                    min_size=1, max_size=16))
+    @settings(max_examples=100)
+    def test_from_ptetaphim_px_py_exact(self, coords):
+        scalars = [FourVector.from_ptetaphim(*c) for c in coords]
+        array = FourVectorArray.from_ptetaphim(
+            [c[0] for c in coords], [c[1] for c in coords],
+            [c[2] for c in coords], [c[3] for c in coords])
+        assert_exact(array.px, [v.px for v in scalars])
+        assert_exact(array.py, [v.py for v in scalars])
+        # pz/e go through sinh: ulp tier.
+        assert_ulp(array.pz, [v.pz for v in scalars])
+        assert_ulp(array.e, [v.e for v in scalars])
+
+
+class TestUlpTier:
+    @given(vectors_strategy)
+    @settings(max_examples=150)
+    def test_eta_phi_theta(self, vectors):
+        array = pack(vectors)
+        assert_ulp(array.phi, [v.phi for v in vectors])
+        assert_ulp(array.eta, [v.eta for v in vectors])
+        assert_ulp(array.theta, [v.theta for v in vectors])
+
+    @given(vectors_strategy)
+    @settings(max_examples=100)
+    def test_rapidity(self, vectors):
+        array = pack(vectors)
+        defined = all(v.e > abs(v.pz) for v in vectors)
+        if not defined:
+            with pytest.raises(KinematicsError):
+                _ = array.rapidity
+            return
+        assert_ulp(array.rapidity, [v.rapidity for v in vectors])
+
+    @given(vectors_strategy, vectors_strategy)
+    @settings(max_examples=100)
+    def test_delta_r(self, lhs, rhs):
+        n = min(len(lhs), len(rhs))
+        lhs, rhs = lhs[:n], rhs[:n]
+        a, b = pack(lhs), pack(rhs)
+        assert_ulp(a.delta_r(b),
+                   [x.delta_r(y) for x, y in zip(lhs, rhs)])
+
+    def test_delta_r_array_exact_on_shared_inputs(self):
+        # Given *identical* eta/phi inputs the helper itself is exact —
+        # the ulp tier above comes only from recomputing eta/phi.
+        eta1, phi1 = [0.5, -1.2, 3.0], [0.1, 3.1, -3.1]
+        eta2, phi2 = [0.4, 1.0, -2.0], [-0.1, -3.0, 3.0]
+        want = [
+            math.sqrt((e1 - e2) ** 2 + delta_phi(p1, p2) ** 2)
+            for e1, p1, e2, p2 in zip(eta1, phi1, eta2, phi2)
+        ]
+        got = delta_r_array(eta1, phi1, eta2, phi2)
+        for g, w in zip(got.tolist(), want):
+            assert math.isclose(g, w, rel_tol=1e-15, abs_tol=0.0)
+
+
+class TestEdgeCases:
+    def test_null_vector_conventions(self):
+        array = FourVectorArray.zeros(2)
+        assert array.phi.tolist() == [0.0, 0.0]
+        assert array.eta.tolist() == [0.0, 0.0]
+        assert array.theta.tolist() == [0.0, 0.0]
+        assert array.et.tolist() == [0.0, 0.0]
+        assert array.beta.tolist() == [0.0, 0.0]
+
+    def test_purely_longitudinal_eta_is_infinite(self):
+        array = FourVectorArray([5.0, 5.0], [0.0, 0.0], [0.0, 0.0],
+                                [4.0, -4.0])
+        assert array.eta.tolist() == [math.inf, -math.inf]
+        scalar_up = FourVector(5.0, 0.0, 0.0, 4.0)
+        assert scalar_up.eta == math.inf
+
+    def test_negative_pt_rejected(self):
+        with pytest.raises(KinematicsError):
+            FourVectorArray.from_ptetaphim([-1.0], [0.0], [0.0], [0.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(KinematicsError):
+            FourVectorArray([1.0, 2.0], [0.0], [0.0], [0.0])
+
+
+class TestContainerProtocol:
+    @given(vectors_strategy)
+    @settings(max_examples=50)
+    def test_roundtrip_and_indexing(self, vectors):
+        array = pack(vectors)
+        assert len(array) == len(vectors)
+        assert array.to_vectors() == vectors
+        assert array[0] == vectors[0]
+        assert array[1:].to_vectors() == vectors[1:]
+        mask = np.zeros(len(vectors), dtype=bool)
+        mask[0] = True
+        assert array[mask].to_vectors() == vectors[:1]
+        taken = array.take(np.arange(len(vectors))[::-1])
+        assert taken.to_vectors() == vectors[::-1]
+
+    @given(vectors_strategy)
+    @settings(max_examples=50)
+    def test_components_roundtrip(self, vectors):
+        array = pack(vectors)
+        again = FourVectorArray.from_components(array.to_components())
+        assert again.to_vectors() == vectors
+
+    def test_concatenate_empty(self):
+        assert len(FourVectorArray.concatenate([])) == 0
+
+
+class TestTransverseMass:
+    @given(vectors_strategy,
+           st.lists(st.floats(min_value=0.0, max_value=300.0),
+                    min_size=1, max_size=16),
+           st.lists(finite_phi, min_size=1, max_size=16))
+    @settings(max_examples=100)
+    def test_against_scalar(self, leptons, mets, met_phis):
+        n = min(len(leptons), len(mets), len(met_phis))
+        leptons, mets, met_phis = leptons[:n], mets[:n], met_phis[:n]
+        got = transverse_mass_array(pack(leptons), mets, met_phis)
+        for lepton, met, met_phi, value in zip(leptons, mets, met_phis,
+                                               got.tolist()):
+            d_phi = delta_phi(lepton.phi, met_phi)
+            mt2 = 2.0 * lepton.pt * met * (1.0 - math.cos(d_phi))
+            want = math.sqrt(max(0.0, mt2))
+            assert math.isclose(value, want, rel_tol=ULP_REL,
+                                abs_tol=ULP_ABS)

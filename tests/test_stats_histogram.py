@@ -185,3 +185,68 @@ class TestHistogram2D:
     def test_bad_shape_rejected(self):
         with pytest.raises(HistogramError):
             Histogram2D("h", 0, 0.0, 1.0, 2, 0.0, 2.0)
+
+
+class TestVectorisedFillEquivalence:
+    """The bincount-based fills must reproduce the scalar loops exactly.
+
+    On a freshly constructed histogram the per-bin accumulation order
+    (flat-array order, left to right) is the same as a sequential fill
+    loop, so the comparison is strict equality, not allclose.
+    """
+
+    def test_1d_bit_identical_to_fill_loop(self, rng):
+        values = rng.uniform(-2.0, 12.0, 1000)
+        weights = rng.uniform(0.1, 3.0, 1000)
+        vectorised = Histogram1D("v", 25, 0.0, 10.0)
+        looped = Histogram1D("l", 25, 0.0, 10.0)
+        vectorised.fill_array(values, weights)
+        for value, weight in zip(values.tolist(), weights.tolist()):
+            looped.fill(value, weight)
+        assert vectorised.values().tolist() == looped.values().tolist()
+        assert vectorised.errors().tolist() == looped.errors().tolist()
+        assert vectorised.underflow == looped.underflow
+        assert vectorised.overflow == looped.overflow
+        assert vectorised.n_entries == looped.n_entries
+
+    def test_1d_edge_values_land_identically(self):
+        # Bin-edge semantics: side="right" search — a value exactly on
+        # an interior edge lands in the higher bin; the first edge is
+        # inclusive, the last exclusive (overflow).
+        edges = [0.0, 1.0, 2.0, 4.0]
+        values = [0.0, 1.0, 2.0, 3.9999999, 4.0, -0.0001]
+        vectorised = Histogram1D("v", edges=edges)
+        looped = Histogram1D("l", edges=edges)
+        vectorised.fill_array(values)
+        for value in values:
+            looped.fill(value)
+        assert vectorised.values().tolist() == looped.values().tolist()
+        assert vectorised.underflow == looped.underflow
+        assert vectorised.overflow == looped.overflow
+
+    def test_2d_bit_identical_to_fill_loop(self, rng):
+        xs = rng.uniform(-1.0, 5.0, 800)
+        ys = rng.uniform(-1.0, 3.0, 800)
+        weights = rng.uniform(0.1, 2.0, 800)
+        vectorised = Histogram2D("v", 4, 0.0, 4.0, 3, 0.0, 2.0)
+        looped = Histogram2D("l", 4, 0.0, 4.0, 3, 0.0, 2.0)
+        vectorised.fill_array(xs, ys, weights)
+        for x, y, w in zip(xs.tolist(), ys.tolist(), weights.tolist()):
+            looped.fill(x, y, w)
+        assert (vectorised.values().tolist()
+                == looped.values().tolist())
+        assert vectorised.n_entries == looped.n_entries
+        assert vectorised.integral() == looped.integral()
+
+    def test_2d_all_out_of_range(self):
+        histogram = Histogram2D("h", 4, 0.0, 4.0, 4, 0.0, 4.0)
+        histogram.fill_array([-1.0, 9.0], [1.0, 1.0])
+        assert histogram.integral() == 0.0
+        assert histogram.n_entries == 2
+
+    def test_2d_shape_mismatch_rejected(self):
+        histogram = Histogram2D("h", 4, 0.0, 4.0, 4, 0.0, 4.0)
+        with pytest.raises(HistogramError):
+            histogram.fill_array([1.0, 2.0], [1.0])
+        with pytest.raises(HistogramError):
+            histogram.fill_array([1.0], [1.0], [1.0, 2.0])
