@@ -200,7 +200,14 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="also run the interprocedural pass: build "
                            "call/import graphs per target tree and "
                            "propagate impurity facts to Analysis "
-                           "entry points (DAS2xx rules)")
+                           "entry points (DAS2xx rules); implies the "
+                           "parallel-safety pass (--par)")
+    lint.add_argument("--par", action="store_true",
+                      help="also run the parallel/columnar safety "
+                           "pass: escape analysis over pool workers, "
+                           "RNG-stream discipline, numpy in-place/"
+                           "aliasing checks, and equivalence-tier "
+                           "order-sensitivity (DAS3xx rules)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
     _add_trace_arguments(lint)
@@ -544,6 +551,7 @@ def _cmd_lint(args) -> int:
         lint_bundled_artifacts,
         lint_path,
         lint_tree_deep,
+        lint_tree_par,
         render_json,
         render_rule_catalog,
         render_text,
@@ -585,16 +593,22 @@ def _cmd_lint(args) -> int:
                     f"lint target {target!r} does not exist"
                 )
             passes = [functools.partial(lint_path, target)]
-            if args.deep and (Path(target).is_dir()
-                              or Path(target).suffix == ".py"):
+            is_tree = (Path(target).is_dir()
+                       or Path(target).suffix == ".py")
+            if args.deep and is_tree:
                 passes.append(functools.partial(lint_tree_deep, target))
+            if (args.par or args.deep) and is_tree:
+                passes.append(functools.partial(lint_tree_par, target))
             lint_target(target, *passes)
         if args.bundled:
             passes = [lint_bundled_artifacts]
-            if args.deep:
+            if args.deep or args.par:
                 import repro.rivet.standard_analyses as standard_analyses
+                if args.deep:
+                    passes.append(functools.partial(
+                        lint_tree_deep, standard_analyses.__file__))
                 passes.append(functools.partial(
-                    lint_tree_deep, standard_analyses.__file__))
+                    lint_tree_par, standard_analyses.__file__))
             lint_target("<bundled>", *passes)
     report = session.report()
     _write_trace(args, tracer, obs_metrics, provenance={

@@ -8,10 +8,11 @@ building (:class:`ColumnarObjectBuilder`), and phase-streamed batch
 simulation/digitisation kernels (:mod:`repro.columnar.kernels`).
 
 The engine's contract is *equivalence*, not approximation: every kernel
-documents whether it is bit-identical to the scalar path, identical up
+declares whether it is bit-identical to the scalar path, identical up
 to one ulp on transcendental-function outputs, or (for re-phased random
-draws) statistically equivalent — and the equivalence test suite
-enforces each tier.
+draws) statistically equivalent — via :func:`equivalence_tier` from
+:mod:`repro.columnar.tiers` — and both the equivalence test suites and
+the ``repro lint --par`` static analyzer enforce each tier.
 """
 
 from repro.columnar.batch import EventBatch, JaggedCollection
@@ -36,9 +37,16 @@ from repro.columnar.select import (
     derived_columns,
     skim_mask,
 )
+from repro.columnar.tiers import (
+    EQUIVALENCE_TIERS,
+    declared_tier,
+    declared_tiers,
+    equivalence_tier,
+)
 
 __all__ = [
     "ColumnarObjectBuilder",
+    "EQUIVALENCE_TIERS",
     "EventBatch",
     "FourVectorArray",
     "JaggedCollection",
@@ -46,11 +54,14 @@ __all__ = [
     "apply_slim",
     "batch_stream",
     "cut_mask",
+    "declared_tier",
+    "declared_tiers",
     "delta_phi_array",
     "delta_r_array",
     "delta_r_matrix",
     "derived_columns",
     "digitize_batch",
+    "equivalence_tier",
     "invariant_mass_array",
     "simulate_batch",
     "skim_mask",

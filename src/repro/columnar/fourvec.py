@@ -31,6 +31,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.columnar.tiers import equivalence_tier
 from repro.errors import KinematicsError
 from repro.kinematics.fourvector import FourVector
 
@@ -41,6 +42,7 @@ def _as_float_array(values) -> np.ndarray:
     return np.asarray(values, dtype=np.float64)
 
 
+@equivalence_tier("exact")
 def wrap_phi_array(phi) -> np.ndarray:
     """Vectorized :func:`repro.kinematics.fourvector.wrap_phi` (exact)."""
     phi = _as_float_array(phi)
@@ -50,11 +52,13 @@ def wrap_phi_array(phi) -> np.ndarray:
     return wrapped
 
 
+@equivalence_tier("exact")
 def delta_phi_array(phi1, phi2) -> np.ndarray:
     """Vectorized smallest signed azimuthal difference (exact)."""
     return wrap_phi_array(_as_float_array(phi1) - _as_float_array(phi2))
 
 
+@equivalence_tier("exact")
 def delta_r_array(eta1, phi1, eta2, phi2) -> np.ndarray:
     """Vectorized angular distance ``sqrt(d_eta^2 + d_phi^2)`` (exact)."""
     with np.errstate(invalid="ignore"):
@@ -353,6 +357,7 @@ class FourVectorArray:
                    components[:, 2], components[:, 3])
 
 
+@equivalence_tier("exact")
 def invariant_mass_array(arrays: Sequence[FourVectorArray]) -> np.ndarray:
     """Element-wise invariant mass of N-vector systems (exact).
 
@@ -367,6 +372,7 @@ def invariant_mass_array(arrays: Sequence[FourVectorArray]) -> np.ndarray:
     return total.mass
 
 
+@equivalence_tier("ulp")
 def transverse_mass_array(lepton: FourVectorArray, met, met_phi
                           ) -> np.ndarray:
     """Element-wise transverse mass of lepton + missing-momentum systems.

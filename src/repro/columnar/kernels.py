@@ -33,6 +33,7 @@ import math
 import numpy as np
 
 from repro.columnar.fourvec import wrap_phi_array
+from repro.columnar.tiers import equivalence_tier
 from repro.detector.digitization import (
     CaloCellHit,
     Digitizer,
@@ -71,6 +72,7 @@ def _streams(seed: int, phases) -> dict[str, np.random.Generator]:
 # ----------------------------------------------------------------------
 
 
+@equivalence_tier("statistical")
 def simulate_batch(sim: DetectorSimulation,
                    events: list[GenEvent]) -> list[SimulatedEvent]:
     """Vectorised twin of ``[sim.simulate(e) for e in events]``.
@@ -239,6 +241,7 @@ def simulate_batch(sim: DetectorSimulation,
 # ----------------------------------------------------------------------
 
 
+@equivalence_tier("statistical")
 def digitize_batch(digi: Digitizer,
                    sim_events: list[SimulatedEvent]) -> list[RawEvent]:
     """Vectorised twin of ``[digi.digitize(e) for e in sim_events]``.
@@ -260,6 +263,8 @@ def digitize_batch(digi: Digitizer,
                      event_number=sim_event.event_number,
                      bunch_crossing=start_bx + index + 1)
             for index, sim_event in enumerate(sim_events)]
+    # lint: ignore[DAS309] -- the scalar contract: digitisation advances
+    # the digitiser's bunch-crossing counter exactly like digi.digitize()
     digi._bx = start_bx + n_events
 
     # ---- Tracker hits from traversals -------------------------------

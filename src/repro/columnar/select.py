@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.columnar.batch import EventBatch, JaggedCollection
 from repro.columnar.fourvec import FourVectorArray
+from repro.columnar.tiers import equivalence_tier
 from repro.datamodel.event import NtupleRow
 from repro.datamodel.skimslim import (
     AndCut,
@@ -59,6 +60,7 @@ def register_mask(kind: str):
     return wrap
 
 
+@equivalence_tier("ulp")
 def cut_mask(cut: SelectionCut, batch: EventBatch) -> np.ndarray:
     """Evaluate any cut tree over a batch; one bool per event."""
     builder = _MASK_BUILDERS.get(cut.kind())
@@ -71,11 +73,13 @@ def cut_mask(cut: SelectionCut, batch: EventBatch) -> np.ndarray:
                        dtype=bool, count=len(events))
 
 
+@equivalence_tier("ulp")
 def skim_mask(spec: SkimSpec, batch: EventBatch) -> np.ndarray:
     """The event mask of a whole skim spec."""
     return cut_mask(spec.cut, batch)
 
 
+@equivalence_tier("ulp")
 def apply_skim(spec: SkimSpec, batch: EventBatch) -> EventBatch:
     """Batch twin of :meth:`SkimSpec.apply`: the passing sub-batch."""
     return batch.select(skim_mask(spec, batch))
@@ -390,6 +394,7 @@ def derived_columns(columns: tuple[str, ...], batch: EventBatch
     return arrays
 
 
+@equivalence_tier("ulp")
 def apply_slim(spec: SlimSpec, batch: EventBatch) -> list[NtupleRow]:
     """Batch twin of :meth:`SlimSpec.apply`.
 

@@ -39,6 +39,7 @@ from repro.lint.flow import (
     extract_closure,
     lint_tree_deep,
 )
+from repro.lint.par import lint_tree_par, par_findings
 from repro.lint.pycheck import lint_source, lint_source_file
 from repro.lint.report import (
     render_json,
@@ -84,6 +85,8 @@ __all__ = [
     "lint_source",
     "lint_source_file",
     "lint_tree_deep",
+    "lint_tree_par",
+    "par_findings",
     "render_json",
     "render_rule_catalog",
     "render_text",

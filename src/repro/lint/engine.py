@@ -77,6 +77,7 @@ def _ensure_rules_loaded() -> None:
     """Import the checker modules so their rules self-register."""
     from repro.lint import consistency, pycheck  # noqa: F401
     from repro.lint.flow import rules  # noqa: F401
+    from repro.lint.par import rules as par_rules  # noqa: F401
 
 
 @dataclass(frozen=True)

@@ -473,6 +473,17 @@ class _GraphBuilder:
             events.append(("global_mutate",
                            f"{node.func.value.id}.{node.func.attr}",
                            node.lineno))
+        # ``functools.partial(f, ...)`` freezes arguments but the call
+        # still lands in ``f``: edge through the wrapper so taint and
+        # worker-escape chains don't stop at the partial boundary.
+        if (scan.imports.resolve(dotted) == "functools.partial"
+                and node.args):
+            wrapped = _dotted_name(node.args[0])
+            if wrapped is not None:
+                inner = self._resolve_call(module, scan, wrapped,
+                                           class_name)
+                if inner is not None:
+                    calls.append((inner, node.lineno))
         target = self._resolve_call(module, scan, dotted, class_name)
         if target is not None:
             calls.append((target, node.lineno))

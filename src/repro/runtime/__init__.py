@@ -16,12 +16,22 @@ from repro.runtime.scheduler import (
     derive_seed,
     parallel_map,
 )
+from repro.runtime.workers import (
+    WorkerDispatch,
+    dispatch_for,
+    register_worker_dispatcher,
+    worker_dispatchers,
+)
 
 __all__ = [
     "MODES",
     "ExecutionPolicy",
+    "WorkerDispatch",
     "chunked",
     "default_chunk_size",
     "derive_seed",
+    "dispatch_for",
     "parallel_map",
+    "register_worker_dispatcher",
+    "worker_dispatchers",
 ]

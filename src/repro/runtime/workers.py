@@ -1,0 +1,80 @@
+"""The worker-dispatch registry: which callables fan work out.
+
+The parallel layers of the library all funnel through a small set of
+*dispatch points* — callables that accept a worker function and apply
+it to many items across an :class:`~repro.runtime.ExecutionPolicy`'s
+pool (:func:`repro.runtime.parallel_map` is the canonical one). The
+static concurrency analyzer (``repro.lint.par``) needs to know exactly
+which call sites hand a callable to a pool, and in which argument
+position the worker travels; this registry is that contract, kept next
+to the scheduler so the two cannot drift.
+
+Third-party layers that build their own fan-out primitive on top of
+``parallel_map`` can register it here and the DAS3xx rules will treat
+their workers exactly like the library's own::
+
+    from repro.runtime.workers import register_worker_dispatcher
+
+    register_worker_dispatcher("my_pool_map", arg_position=0,
+                               keyword="fn")
+
+Matching is by the *unqualified* callable name (the last dotted
+segment), because the analyzer sees statically resolved names like
+``repro.runtime.scheduler.parallel_map`` in one tree and a bare
+``parallel_map`` import alias in another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkerDispatch:
+    """One registered dispatch point.
+
+    ``arg_position`` is the zero-based positional slot of the worker
+    callable; ``keyword`` the keyword it may alternatively travel
+    under (empty when the dispatcher takes the worker positionally
+    only).
+    """
+
+    name: str
+    arg_position: int = 0
+    keyword: str = "fn"
+
+
+#: Unqualified dispatcher name -> dispatch contract.
+_DISPATCHERS: dict[str, WorkerDispatch] = {}
+
+
+def register_worker_dispatcher(name: str, arg_position: int = 0,
+                               keyword: str = "fn") -> WorkerDispatch:
+    """Register a fan-out callable; duplicate names are bugs."""
+    base = name.rpartition(".")[2]
+    if not base:
+        raise ConfigurationError(
+            f"worker dispatcher needs a name, got {name!r}")
+    if base in _DISPATCHERS:
+        raise ConfigurationError(
+            f"worker dispatcher {base!r} already registered")
+    dispatch = WorkerDispatch(name=base, arg_position=arg_position,
+                              keyword=keyword)
+    _DISPATCHERS[base] = dispatch
+    return dispatch
+
+
+def worker_dispatchers() -> dict[str, WorkerDispatch]:
+    """Every registered dispatch point, keyed by unqualified name."""
+    return {name: _DISPATCHERS[name] for name in sorted(_DISPATCHERS)}
+
+
+def dispatch_for(dotted: str) -> WorkerDispatch | None:
+    """The dispatch contract a (possibly dotted) call name matches."""
+    return _DISPATCHERS.get(dotted.rpartition(".")[2])
+
+
+#: The scheduler's own primitive: ``parallel_map(fn, items, policy)``.
+register_worker_dispatcher("parallel_map", arg_position=0, keyword="fn")

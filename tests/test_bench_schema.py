@@ -38,6 +38,17 @@ class TestBaselineFiles:
         record = json.loads(path.read_text(encoding="utf-8"))
         assert record["workloads"], f"{path.name} records no workloads"
 
+    def test_lint_baseline_records_the_par_pass(self):
+        # The par pass rides in the shared lint baseline: its
+        # throughput is recorded alongside the deep pass, and its
+        # determinism was re-asserted while timing.
+        path = REPO_ROOT / "BENCH_lint.json"
+        record = json.loads(path.read_text(encoding="utf-8"))
+        par = record["workloads"]["par_lint_pass"]
+        assert par["byte_identical"] is True
+        assert par["files_per_second"] > 0
+        assert par["n_findings"] == 0
+
     def test_columnar_baseline_claims_equivalence(self):
         # The columnar engine's contract: every recorded speedup comes
         # with its equivalence check passing at record time.

@@ -43,6 +43,25 @@ class TestExecutionPolicy:
         with pytest.raises(ExecutionError):
             ExecutionPolicy(mode="process", n_jobs=2, chunk_size=0)
 
+    def test_negative_chunk_size_rejected(self):
+        with pytest.raises(ExecutionError, match="chunk_size"):
+            ExecutionPolicy(mode="thread", n_jobs=2, chunk_size=-4)
+
+    def test_negative_n_jobs_rejected(self):
+        with pytest.raises(ExecutionError, match="n_jobs"):
+            ExecutionPolicy(mode="thread", n_jobs=-1)
+
+    def test_rejection_names_the_bad_mode(self):
+        with pytest.raises(ExecutionError, match="'gpu'"):
+            ExecutionPolicy(mode="gpu")
+
+    def test_from_jobs_validates_the_mode_too(self):
+        with pytest.raises(ExecutionError):
+            ExecutionPolicy.from_jobs(4, mode="gpu")
+
+    def test_none_chunk_size_means_automatic(self):
+        assert ExecutionPolicy.threads(2).chunk_size is None
+
     def test_constructors(self):
         assert ExecutionPolicy.serial().is_serial
         assert ExecutionPolicy.threads(3).mode == "thread"
