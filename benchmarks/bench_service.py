@@ -1,0 +1,167 @@
+"""Benchmark the RECAST request service: throughput, dedup, replay.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+
+Writes ``BENCH_service.json`` at the repo root in the shared bench
+envelope. Three workloads:
+
+- ``throughput`` — a single-tenant burst of distinct requests driven
+  to idle; requests per second of wall time.
+- ``dedup`` — a repeat-heavy multi-tenant mix; the measured cache +
+  dedup hit rate is the fraction of submissions that never reached a
+  back end.
+- ``replay`` — the demo submission script run twice; records whether
+  the two event logs were byte-identical (the determinism claim this
+  subsystem exists for).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.obs import bench_envelope
+from repro.recast import ModelSpec
+from repro.service import (
+    RecastService,
+    ServiceConfig,
+    TenantQuota,
+    demo_api,
+    demo_script,
+    run_script,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_service.json"
+
+
+def model(mass: float) -> ModelSpec:
+    return ModelSpec(f"Zp-{mass:g}", "zprime",
+                     {"mass": mass, "cross_section_pb": 0.05})
+
+
+def bench_throughput(n_requests: int, n_events: int) -> dict:
+    api = demo_api(n_events=n_events, n_limit_toys=200)
+    service = RecastService(api, ServiceConfig(max_inflight=4))
+    service.register_tenant("bench", TenantQuota(
+        weight=1.0, max_queued=n_requests, max_inflight=4))
+    started = time.perf_counter()
+    tickets = [service.submit("bench", "GPD-EXO-01",
+                              model(1000.0 + 25.0 * index))
+               for index in range(n_requests)]
+    steps = service.run_until_idle()
+    elapsed = time.perf_counter() - started
+    committed = sum(
+        1 for ticket in tickets
+        if api.get_request(ticket.request_id).result is not None
+    )
+    return {
+        "n_requests": n_requests,
+        "n_committed": committed,
+        "n_steps": steps,
+        "wall_seconds": round(elapsed, 4),
+        "requests_per_second": round(n_requests / elapsed, 3),
+    }
+
+
+def bench_dedup(n_tenants: int, n_rounds: int, n_events: int) -> dict:
+    api = demo_api(n_events=n_events, n_limit_toys=200)
+    service = RecastService(api, ServiceConfig(max_inflight=4))
+    for index in range(n_tenants):
+        service.register_tenant(f"tenant-{index:02d}", TenantQuota(
+            weight=1.0 + index % 2, max_queued=64, max_inflight=2))
+    # Every tenant scans the same 4 mass points round after round: the
+    # first round executes, everything after is dedup or cache.
+    masses = [1200.0, 1500.0, 1800.0, 2100.0]
+    submitted = 0
+    started = time.perf_counter()
+    for _ in range(n_rounds):
+        for index in range(n_tenants):
+            for mass in masses:
+                service.submit(f"tenant-{index:02d}", "GPD-EXO-01",
+                               model(mass))
+                submitted += 1
+        service.run_until_idle()
+    elapsed = time.perf_counter() - started
+    counters = service.metrics.snapshot()["counters"]
+
+    def total(name: str) -> int:
+        return sum(c["value"] for c in counters if c["name"] == name)
+
+    executions = total("service.commits")
+    shared = total("service.dedup_hits") + total("service.cache_hits")
+    return {
+        "n_tenants": n_tenants,
+        "n_submissions": submitted,
+        "n_backend_executions": executions,
+        "n_shared_answers": shared,
+        "hit_rate": round(shared / submitted, 5),
+        "wall_seconds": round(elapsed, 4),
+        "submissions_per_second": round(submitted / elapsed, 3),
+    }
+
+
+def bench_replay(n_events: int) -> dict:
+    def run() -> bytes:
+        service, _ = run_script(
+            demo_api(n_events=n_events, n_limit_toys=200),
+            demo_script())
+        return service.event_log_bytes()
+
+    started = time.perf_counter()
+    log_one = run()
+    log_two = run()
+    elapsed = time.perf_counter() - started
+    return {
+        "n_log_events": log_one.count(b"\n"),
+        "byte_identical": log_one == log_two,
+        "wall_seconds": round(elapsed, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (smoke test, noisier)")
+    parser.add_argument("--output", default=str(BASELINE_PATH),
+                        help="where to write the baseline JSON")
+    args = parser.parse_args(argv)
+
+    n_requests = 8 if args.quick else 24
+    n_tenants = 3 if args.quick else 6
+    n_rounds = 2 if args.quick else 4
+    n_events = 30 if args.quick else 60
+
+    record = bench_envelope("repro.service request scheduler")
+    print("throughput (single tenant, distinct requests) ...")
+    record["workloads"]["throughput"] = bench_throughput(
+        n_requests, n_events)
+    print("dedup (repeat-heavy multi-tenant mix) ...")
+    record["workloads"]["dedup"] = bench_dedup(
+        n_tenants, n_rounds, n_events)
+    print("replay (demo script twice, logs compared) ...")
+    record["workloads"]["replay"] = bench_replay(n_events)
+
+    output = Path(args.output)
+    with output.open("w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    throughput = record["workloads"]["throughput"]
+    dedup = record["workloads"]["dedup"]
+    replay = record["workloads"]["replay"]
+    print(f"  throughput: {throughput['requests_per_second']:.1f} req/s")
+    print(f"  dedup hit rate: {dedup['hit_rate']:.3f} "
+          f"({dedup['n_backend_executions']} executions for "
+          f"{dedup['n_submissions']} submissions)")
+    print(f"  replay byte-identical: {replay['byte_identical']}")
+    print(f"baseline written to {output}")
+    return 0 if replay["byte_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

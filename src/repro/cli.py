@@ -254,6 +254,33 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--format", choices=("text", "json"),
                          default="text", dest="output_format")
 
+    serve = sub.add_parser(
+        "serve",
+        help="replay a submission script through the RECAST request "
+             "service (deterministic: same script, same event log)",
+    )
+    serve.add_argument("--script", metavar="PATH",
+                       help="submission script JSON; omitted = the "
+                            "built-in two-tenant demo script")
+    serve.add_argument("--events", type=int, default=60,
+                       help="events per back-end run of the demo "
+                            "experiment")
+    serve.add_argument("--toys", type=int, default=400,
+                       help="limit-setting toys per back-end run")
+    serve.add_argument("--seed", type=int, default=900,
+                       help="back-end base seed")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="lease worker processes (default 1 = "
+                            "serial; -1 = all CPUs)")
+    serve.add_argument("--event-log", metavar="PATH",
+                       help="write the request-event log (canonical "
+                            "JSON lines) to this file")
+    serve.add_argument("--write-script", metavar="PATH",
+                       help="write the effective submission script to "
+                            "this JSON file and exit (use to seed a "
+                            "custom script from the demo)")
+    _add_trace_arguments(serve)
+
     interview = sub.add_parser("interview",
                                help="print an experiment's interview")
     interview.add_argument("--experiment", required=True)
@@ -690,6 +717,47 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.runtime import ExecutionPolicy
+    from repro.service import demo_api, demo_script, load_script, run_script
+
+    if args.write_script:
+        script = demo_script()
+        with open(args.write_script, "w", encoding="utf-8") as handle:
+            json.dump(script, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote demo submission script to {args.write_script}")
+        return 0
+
+    script = (load_script(args.script) if args.script
+              else demo_script())
+    api = demo_api(n_events=args.events, n_limit_toys=args.toys,
+                   seed=args.seed)
+    policy = ExecutionPolicy.from_jobs(args.jobs)
+    tracer, obs_metrics = _trace_context(args, "serve")
+    service, tickets = run_script(api, script, policy=policy,
+                                  tracer=tracer, metrics=obs_metrics)
+
+    for ticket in tickets:
+        request = api.get_request(ticket.request_id)
+        print(f"{ticket.request_id}  {ticket.status:<10}  "
+              f"-> {request.status.value}")
+    stats = service.cache.stats
+    print(f"served {len(tickets)} submission(s): "
+          f"{len(service.events)} events, "
+          f"cache hit rate {stats.hit_rate:.2f}")
+    if args.event_log:
+        Path(args.event_log).write_bytes(service.event_log_bytes())
+        print(f"wrote request-event log to {args.event_log}")
+    _write_trace(args, tracer, obs_metrics, provenance={
+        "command": "serve",
+        "script": str(args.script) if args.script else "<demo>",
+        "n_submissions": len(tickets),
+        "n_events": len(service.events),
+    })
+    return 0
+
+
 def _cmd_interview(args) -> int:
     from repro.experiments import get_experiment
     from repro.interview import response_for_experiment
@@ -727,6 +795,7 @@ _COMMANDS = {
     "closure": _cmd_closure,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "serve": _cmd_serve,
     "interview": _cmd_interview,
     "table1": _cmd_table1,
     "maturity": _cmd_maturity,

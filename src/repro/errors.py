@@ -100,12 +100,20 @@ class RecastError(ReproError):
     """Failure inside the RECAST-analogue re-analysis framework."""
 
 
-class RequestStateError(RecastError):
-    """A RECAST request was driven through an illegal state transition."""
-
-
 class BackendError(RecastError):
     """A RECAST back end failed to process a request."""
+
+
+class ServiceError(RecastError):
+    """Failure inside the RECAST request-scheduling service."""
+
+
+class QuotaError(ServiceError):
+    """A tenant exceeded its queue or in-flight quota."""
+
+
+class LeaseError(ServiceError):
+    """A lease was granted, committed, or released inconsistently."""
 
 
 class HepDataError(ReproError):
@@ -118,6 +126,14 @@ class RecordNotFoundError(HepDataError):
 
 class PreservationError(ReproError):
     """Failure in the core preservation framework."""
+
+
+class RequestStateError(RecastError, PreservationError):
+    """A RECAST request was driven through an illegal state transition.
+
+    Doubles as a :class:`PreservationError`: the request history is a
+    preserved artifact, and an illegal edge would corrupt that record.
+    """
 
 
 class ArchiveError(PreservationError):

@@ -16,7 +16,12 @@ Implements the "closed system" of Section 2.3/2.4:
 """
 
 from repro.recast.catalog import AnalysisCatalog, PreservedSearch
-from repro.recast.requests import ModelSpec, RecastRequest, RequestStatus
+from repro.recast.requests import (
+    ModelSpec,
+    RecastRequest,
+    RequestStatus,
+    legal_transitions,
+)
 from repro.recast.results import RecastResult
 from repro.recast.backend import FullChainBackend, RecastBackend
 from repro.recast.background import (
@@ -35,6 +40,7 @@ __all__ = [
     "ModelSpec",
     "RecastRequest",
     "RequestStatus",
+    "legal_transitions",
     "RecastResult",
     "RecastBackend",
     "FullChainBackend",

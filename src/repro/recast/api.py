@@ -47,6 +47,24 @@ class RecastAPI:
         raise RecastError(f"no experiment catalogues analysis "
                           f"{analysis_id!r}")
 
+    def find_search(self, analysis_id: str):
+        """``(experiment, search)`` for an analysis id, anywhere.
+
+        The lookup the service layer schedules against; raises
+        :class:`~repro.errors.RecastError` when no registered
+        experiment catalogues the analysis.
+        """
+        return self._find_search(analysis_id)
+
+    def backend_for(self, experiment: str) -> RecastBackend:
+        """The processing back end registered for one experiment."""
+        try:
+            return self._backends[experiment]
+        except KeyError:
+            raise RecastError(
+                f"no back end registered for experiment {experiment!r}"
+            ) from None
+
     # ------------------------------------------------------------------
     # Request lifecycle
     # ------------------------------------------------------------------
@@ -89,9 +107,12 @@ class RecastAPI:
         """
         request = self.get_request(request_id)
         request.transition(RequestStatus.PROCESSING)
-        experiment, search = self._find_search(request.analysis_id)
-        backend = self._backends[experiment]
         try:
+            # Resolution failures (analysis dropped from its catalogue,
+            # back end unregistered) are processing failures too — they
+            # must not strand the request in PROCESSING.
+            experiment, search = self._find_search(request.analysis_id)
+            backend = self._backends[experiment]
             result = backend.process(search, request.model)
         except Exception as exc:
             request.failure_reason = str(exc)

@@ -10,10 +10,22 @@ from repro.recast.results import RecastResult
 
 
 class RequestStatus(enum.Enum):
-    """Lifecycle of a RECAST request."""
+    """Lifecycle of a RECAST request.
+
+    The synchronous path runs SUBMITTED → ACCEPTED → PROCESSING →
+    PENDING_APPROVAL → APPROVED. The service path
+    (:mod:`repro.service`) inserts the queueing states: an accepted
+    request is QUEUED, a worker holding a time-limited lease on it
+    moves it to LEASED, and a crashed/expired lease parks it in
+    RETRYING until the scheduler re-queues it (or exhausts the retry
+    cap into FAILED).
+    """
 
     SUBMITTED = "submitted"
     ACCEPTED = "accepted"
+    QUEUED = "queued"
+    LEASED = "leased"
+    RETRYING = "retrying"
     PROCESSING = "processing"
     PENDING_APPROVAL = "pending_approval"
     APPROVED = "approved"
@@ -21,12 +33,27 @@ class RequestStatus(enum.Enum):
     FAILED = "failed"
 
 
-#: Legal state transitions.
+#: Legal state transitions. QUEUED → PENDING_APPROVAL is the dedup
+#: fan-out edge: a subscriber to a shared execution receives the
+#: committed result without ever holding a lease of its own.
 _TRANSITIONS: dict[RequestStatus, frozenset[RequestStatus]] = {
     RequestStatus.SUBMITTED: frozenset(
         {RequestStatus.ACCEPTED, RequestStatus.REJECTED}
     ),
-    RequestStatus.ACCEPTED: frozenset({RequestStatus.PROCESSING}),
+    RequestStatus.ACCEPTED: frozenset(
+        {RequestStatus.PROCESSING, RequestStatus.QUEUED}
+    ),
+    RequestStatus.QUEUED: frozenset(
+        {RequestStatus.LEASED, RequestStatus.PENDING_APPROVAL,
+         RequestStatus.FAILED, RequestStatus.REJECTED}
+    ),
+    RequestStatus.LEASED: frozenset(
+        {RequestStatus.PENDING_APPROVAL, RequestStatus.RETRYING,
+         RequestStatus.FAILED}
+    ),
+    RequestStatus.RETRYING: frozenset(
+        {RequestStatus.QUEUED, RequestStatus.FAILED}
+    ),
     RequestStatus.PROCESSING: frozenset(
         {RequestStatus.PENDING_APPROVAL, RequestStatus.FAILED}
     ),
@@ -37,6 +64,11 @@ _TRANSITIONS: dict[RequestStatus, frozenset[RequestStatus]] = {
     RequestStatus.REJECTED: frozenset(),
     RequestStatus.FAILED: frozenset(),
 }
+
+
+def legal_transitions(status: RequestStatus) -> frozenset[RequestStatus]:
+    """The statuses one status may legally move to."""
+    return _TRANSITIONS[status]
 
 #: Model-spec process names the back ends know how to generate.
 KNOWN_PROCESSES = ("zprime", "drell_yan_z", "w_production", "higgs_4l")
@@ -92,13 +124,29 @@ class RecastRequest:
     failure_reason: str = ""
 
     def transition(self, new_status: RequestStatus, note: str = "") -> None:
-        """Move to a new status; illegal moves raise RequestStateError."""
+        """Move to a new status; illegal moves raise RequestStateError.
+
+        Every illegal edge raises — including re-entering the current
+        status (a double-accept is a driver bug, never a silent no-op)
+        and any move out of a terminal status. The error is a
+        :class:`~repro.errors.RequestStateError`, which is both a
+        ``RecastError`` and a ``PreservationError``.
+        """
+        if not isinstance(new_status, RequestStatus):
+            raise RequestStateError(
+                f"request {self.request_id}: transition target "
+                f"{new_status!r} is not a RequestStatus"
+            )
         allowed = _TRANSITIONS[self.status]
         if new_status not in allowed:
+            detail = ("no transitions leave a terminal status"
+                      if not allowed else
+                      f"allowed: {sorted(s.value for s in allowed)}")
+            if new_status is self.status:
+                detail = f"already {self.status.value}; " + detail
             raise RequestStateError(
                 f"request {self.request_id}: cannot go "
-                f"{self.status.value} -> {new_status.value}; allowed: "
-                f"{sorted(s.value for s in allowed)}"
+                f"{self.status.value} -> {new_status.value}; {detail}"
             )
         self.history.append(
             f"{self.status.value} -> {new_status.value}"

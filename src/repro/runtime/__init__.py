@@ -9,6 +9,7 @@ to the serial loop it replaces. :func:`derive_seed` is the deterministic
 per-work-unit seeding rule that makes the independence real.
 """
 
+from repro.runtime.clock import LogicalClock, MonotonicClock
 from repro.runtime.policy import MODES, ExecutionPolicy
 from repro.runtime.scheduler import (
     chunked,
@@ -26,6 +27,8 @@ from repro.runtime.workers import (
 __all__ = [
     "MODES",
     "ExecutionPolicy",
+    "LogicalClock",
+    "MonotonicClock",
     "WorkerDispatch",
     "chunked",
     "default_chunk_size",

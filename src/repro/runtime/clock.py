@@ -1,0 +1,81 @@
+"""Injectable time sources for lease- and deadline-based scheduling.
+
+Anything in the library that reasons about *elapsed* time (lease
+expiry, retry backoff) must not read the machine clock directly —
+a scheduler whose decisions depend on wall time can never replay a
+request log byte-identically. Instead, components accept a clock
+object with a single ``now()`` reading:
+
+- :class:`LogicalClock` — the deterministic source. Time is a plain
+  float that advances **only** when the driver calls
+  :meth:`~LogicalClock.advance`, so every scheduling decision is a
+  pure function of the submission script, and two replays of the same
+  script observe identical timestamps.
+- :class:`MonotonicClock` — the production source, reading
+  ``time.monotonic()``. Offered so deployments get real lease expiry
+  without changing any scheduler code; nothing in the test suite or
+  the deterministic replay path uses it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ExecutionError
+
+
+class LogicalClock:
+    """A deterministic clock that advances only on demand.
+
+    ``tick`` is the default step :meth:`advance` takes — one scheduling
+    round of the service driver advances the clock by one tick.
+
+    >>> clock = LogicalClock(tick=2.0)
+    >>> clock.now()
+    0.0
+    >>> clock.advance()
+    2.0
+    >>> clock.advance(0.5)
+    2.5
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0) -> None:
+        if tick <= 0.0:
+            raise ExecutionError(f"clock tick must be > 0, got {tick}")
+        self._now = float(start)
+        self.tick = float(tick)
+
+    def now(self) -> float:
+        """The current logical time."""
+        return self._now
+
+    def advance(self, amount: float | None = None) -> float:
+        """Move time forward by ``amount`` (default: one tick)."""
+        step = self.tick if amount is None else float(amount)
+        if step < 0.0:
+            raise ExecutionError(
+                f"clock cannot run backwards (advance by {step})"
+            )
+        self._now += step
+        return self._now
+
+
+class MonotonicClock:
+    """The real monotonic clock behind the same ``now()`` interface.
+
+    :meth:`advance` is a no-op — real time advances itself — so driver
+    loops written against :class:`LogicalClock` run unchanged.
+    """
+
+    #: Matches LogicalClock's interface; unused for real time.
+    tick = 0.0
+
+    def now(self) -> float:
+        """The current monotonic-clock reading."""
+        # lint: ignore[DAS001] -- the production clock's one job is
+        # reading real time; deterministic paths use LogicalClock
+        return time.monotonic()
+
+    def advance(self, amount: float | None = None) -> float:
+        """Real time cannot be advanced; returns the current reading."""
+        return self.now()

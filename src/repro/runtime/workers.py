@@ -78,3 +78,9 @@ def dispatch_for(dotted: str) -> WorkerDispatch | None:
 
 #: The scheduler's own primitive: ``parallel_map(fn, items, policy)``.
 register_worker_dispatcher("parallel_map", arg_position=0, keyword="fn")
+
+#: The RECAST service's lease executor
+#: (``repro.service.pool.run_lease_batch(fn, tasks, policy)``): lease
+#: workers fan out through it, so the DAS3xx rules must trace them.
+register_worker_dispatcher("run_lease_batch", arg_position=0,
+                           keyword="fn")

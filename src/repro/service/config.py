@@ -1,0 +1,141 @@
+"""Configuration value objects for the RECAST request service.
+
+Both are small frozen dataclasses so they can travel inside event
+logs, provenance records, and submission scripts unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission and concurrency limits for one tenant.
+
+    ``weight`` is the tenant's fair-share weight: a weight-2 tenant
+    receives twice the lease slots of a weight-1 tenant under
+    contention. ``max_queued`` caps how many *executions* the tenant
+    may have waiting in the queue (dedup subscribers ride along free —
+    that is the incentive to share work); ``max_inflight`` caps how
+    many of its executions may hold leases concurrently.
+    """
+
+    weight: float = 1.0
+    max_queued: int = 16
+    max_inflight: int = 2
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0.0:
+            raise ServiceError(
+                f"tenant weight must be > 0, got {self.weight}"
+            )
+        if self.max_queued < 1:
+            raise ServiceError(
+                f"max_queued must be >= 1, got {self.max_queued}"
+            )
+        if self.max_inflight < 1:
+            raise ServiceError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+
+    def to_dict(self) -> dict:
+        """Serialise for event logs and scripts."""
+        return {"weight": self.weight, "max_queued": self.max_queued,
+                "max_inflight": self.max_inflight}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "TenantQuota":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {"weight", "max_queued", "max_inflight"}
+        unknown = set(record) - known
+        if unknown:
+            raise ServiceError(
+                f"unknown tenant-quota fields: {sorted(unknown)}"
+            )
+        return cls(
+            weight=float(record.get("weight", 1.0)),
+            max_queued=int(record.get("max_queued", 16)),
+            max_inflight=int(record.get("max_inflight", 2)),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Scheduler-wide behaviour of one :class:`RecastService`.
+
+    ``lease_duration`` is in clock units (ticks under a
+    :class:`~repro.runtime.LogicalClock`, seconds under the monotonic
+    clock). ``max_attempts`` counts lease grants per execution: with
+    the default 3, an execution whose lease expires twice runs a third
+    time before the scheduler gives up. Backoff after the n-th failed
+    attempt is ``backoff_base * 2**(n-1)`` capped at ``backoff_cap``.
+    """
+
+    lease_duration: float = 10.0
+    max_attempts: int = 3
+    backoff_base: float = 2.0
+    backoff_cap: float = 60.0
+    max_inflight: int = 4
+
+    def __post_init__(self) -> None:
+        if self.lease_duration <= 0.0:
+            raise ServiceError(
+                f"lease_duration must be > 0, got {self.lease_duration}"
+            )
+        if self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0.0 or self.backoff_cap < self.backoff_base:
+            raise ServiceError(
+                f"backoff must satisfy 0 <= base <= cap, got "
+                f"base={self.backoff_base} cap={self.backoff_cap}"
+            )
+        if self.max_inflight < 1:
+            raise ServiceError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Requeue delay after the ``attempt``-th failed attempt."""
+        if attempt < 1:
+            raise ServiceError(f"attempt must be >= 1, got {attempt}")
+        return min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** (attempt - 1)))
+
+    def to_dict(self) -> dict:
+        """Serialise for event logs and scripts."""
+        return {
+            "lease_duration": self.lease_duration,
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_cap": self.backoff_cap,
+            "max_inflight": self.max_inflight,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ServiceConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {"lease_duration", "max_attempts", "backoff_base",
+                 "backoff_cap", "max_inflight"}
+        unknown = set(record) - known
+        if unknown:
+            raise ServiceError(
+                f"unknown service-config fields: {sorted(unknown)}"
+            )
+        defaults = cls()
+        return cls(
+            lease_duration=float(record.get(
+                "lease_duration", defaults.lease_duration)),
+            max_attempts=int(record.get(
+                "max_attempts", defaults.max_attempts)),
+            backoff_base=float(record.get(
+                "backoff_base", defaults.backoff_base)),
+            backoff_cap=float(record.get(
+                "backoff_cap", defaults.backoff_cap)),
+            max_inflight=int(record.get(
+                "max_inflight", defaults.max_inflight)),
+        )

@@ -1,0 +1,116 @@
+"""Content-addressed request deduplication and the result cache.
+
+Two submissions asking the same question — the same preserved
+analysis, the same model parameters, the same back-end configuration —
+must not run the full chain twice. The dedup key is the SHA-256 of
+that question's canonical JSON form; every submission hashing to an
+in-flight execution *subscribes* to it, and every submission hashing
+to a completed one is answered from the :class:`ResultCache`
+immediately. Repeat parameter scans therefore degrade into cache
+reads, which is what lets the service absorb heavy repeat traffic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.recast.requests import ModelSpec
+from repro.recast.results import RecastResult
+
+#: Backend constructor attributes that define *what* is computed.
+#: Deliberately a closed list: runtime knobs (tracers, caches) must
+#: never leak into the dedup identity.
+_FINGERPRINT_TYPES = (bool, int, float, str)
+
+
+def backend_fingerprint(backend) -> dict:
+    """The JSON-able configuration identity of one back end.
+
+    Collects the backend class, its reported ``name``, and every
+    public scalar attribute (event counts, seeds, toy counts, flags) —
+    the values that change *what a request computes*. Non-scalar
+    attributes (conditions stores, repositories) are identified by
+    their class name only.
+    """
+    fingerprint: dict = {
+        "class": type(backend).__name__,
+        "name": getattr(backend, "name", type(backend).__name__),
+    }
+    for attribute, value in sorted(vars(backend).items()):
+        if attribute.startswith("_"):
+            continue
+        if isinstance(value, _FINGERPRINT_TYPES):
+            fingerprint[attribute] = value
+        else:
+            fingerprint[attribute] = type(value).__name__
+    return fingerprint
+
+
+def dedup_key(analysis_id: str, model: ModelSpec,
+              backend_config: dict) -> str:
+    """The content address of one (analysis, model, backend) question.
+
+    Canonical JSON (sorted keys, fixed separators) hashed with
+    SHA-256, so the key is stable across processes, runs, and hosts.
+
+    >>> spec = ModelSpec("Zp", "zprime", {"mass": 1000.0})
+    >>> key = dedup_key("A-01", spec, {"class": "Stub"})
+    >>> key == dedup_key("A-01", spec, {"class": "Stub"})
+    True
+    >>> len(key)
+    64
+    """
+    payload = json.dumps(
+        {"analysis": analysis_id, "model": model.to_dict(),
+         "backend": backend_config},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one result cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Committed results keyed by dedup key.
+
+    The cache is unbounded by design: a committed RECAST result is a
+    preserved artifact, not an eviction candidate, and one entry is a
+    few hundred bytes.
+    """
+
+    _entries: dict[str, RecastResult] = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def get(self, key: str) -> RecastResult | None:
+        """The cached result for ``key``, counting the lookup."""
+        result = self._entries.get(key)
+        if result is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: RecastResult) -> None:
+        """Store one committed result (idempotent per key)."""
+        self._entries[key] = result
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

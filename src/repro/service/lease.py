@@ -1,0 +1,106 @@
+"""Time-limited leases and the exactly-once commit gate.
+
+A worker never *owns* a request — it holds a lease: a claim that
+expires at a known clock reading unless the worker commits first. The
+:class:`LeaseTable` is the driver-side source of truth for which
+execution is held by which attempt, and :meth:`LeaseTable.settle` is
+the single gate every outcome must pass: an outcome whose attempt
+number no longer matches the live lease (the lease expired and the
+execution was re-leased, or was already committed) is *stale* and must
+be discarded — that refusal is what makes retried execution
+idempotent and commits exactly-once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LeaseError
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's time-limited claim on one execution."""
+
+    lease_id: str
+    key: str
+    tenant: str
+    attempt: int
+    granted_at: float
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        """True once the clock has passed the lease deadline."""
+        return now >= self.expires_at
+
+
+class LeaseTable:
+    """Live leases keyed by execution key."""
+
+    def __init__(self) -> None:
+        self._leases: dict[str, Lease] = {}
+        self._sequence = 0
+
+    def grant(self, key: str, tenant: str, attempt: int, *,
+              now: float, duration: float) -> Lease:
+        """Issue a lease on one execution; double-grants are bugs."""
+        if key in self._leases:
+            raise LeaseError(
+                f"execution {key[:12]}... already holds lease "
+                f"{self._leases[key].lease_id}"
+            )
+        self._sequence += 1
+        lease = Lease(
+            lease_id=f"lease-{self._sequence:05d}",
+            key=key,
+            tenant=tenant,
+            attempt=attempt,
+            granted_at=now,
+            expires_at=now + duration,
+        )
+        self._leases[key] = lease
+        return lease
+
+    def settle(self, key: str, attempt: int) -> Lease | None:
+        """Close the lease for one outcome, if it is still current.
+
+        Returns the released lease when ``attempt`` matches the live
+        lease on ``key`` — the outcome may be committed. Returns
+        ``None`` for a stale outcome (no live lease, or a newer
+        attempt holds it): the caller must discard the result.
+        """
+        lease = self._leases.get(key)
+        if lease is None or lease.attempt != attempt:
+            return None
+        del self._leases[key]
+        return lease
+
+    def revoke(self, key: str) -> Lease:
+        """Forcibly drop the lease on one execution (expiry sweep)."""
+        try:
+            return self._leases.pop(key)
+        except KeyError:
+            raise LeaseError(
+                f"execution {key[:12]}... holds no lease to revoke"
+            ) from None
+
+    def expired(self, now: float) -> list[Lease]:
+        """Every live lease the clock has outrun, grant-ordered."""
+        return sorted(
+            (lease for lease in self._leases.values()
+             if lease.expired(now)),
+            key=lambda lease: lease.lease_id,
+        )
+
+    def inflight_by_tenant(self) -> dict[str, int]:
+        """Live lease count per tenant (the concurrency accountant)."""
+        counts: dict[str, int] = {}
+        for lease in self._leases.values():
+            counts[lease.tenant] = counts.get(lease.tenant, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._leases

@@ -1,0 +1,150 @@
+"""The multi-tenant priority queue with fair-share scheduling.
+
+Selection is a deterministic *stride scheduler*: each tenant carries a
+virtual time that advances by ``1 / weight`` whenever one of its
+executions is leased, and the schedulable tenant with the smallest
+``(virtual time, name)`` goes next — so a weight-2 tenant receives
+twice the lease slots of a weight-1 tenant under contention, with no
+clocks, randomness, or arrival-timing dependence anywhere. Within a
+tenant, entries order by ``(-priority, sequence)``: higher priority
+first, FIFO among equals.
+
+Quotas are enforced at two distinct points: ``max_queued`` at
+admission (:meth:`FairShareQueue.push` raises
+:class:`~repro.errors.QuotaError`), ``max_inflight`` at selection
+(:meth:`FairShareQueue.pop_next` skips tenants at their concurrency
+cap — their work stays queued, never lost).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import QuotaError, ServiceError
+from repro.service.config import TenantQuota
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One schedulable execution waiting for a lease.
+
+    ``sequence`` is the service-wide admission number — the FIFO
+    tie-breaker and the reason replays order identically.
+    """
+
+    key: str
+    tenant: str
+    priority: int
+    sequence: int
+
+
+@dataclass
+class _TenantState:
+    """Book-keeping for one registered tenant."""
+
+    quota: TenantQuota
+    virtual_time: float = 0.0
+    #: Heap of (-priority, sequence, entry): priority then FIFO.
+    waiting: list = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.waiting)
+
+
+class FairShareQueue:
+    """Deterministic weighted fair queueing across tenants."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[str, _TenantState] = {}
+
+    # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+
+    def register_tenant(self, name: str, quota: TenantQuota) -> None:
+        """Admit a tenant; duplicate registrations are driver bugs."""
+        if not name:
+            raise ServiceError("tenant needs a non-empty name")
+        if name in self._tenants:
+            raise ServiceError(f"tenant {name!r} already registered")
+        self._tenants[name] = _TenantState(quota=quota)
+
+    def tenants(self) -> list[str]:
+        """Registered tenant names, sorted."""
+        return sorted(self._tenants)
+
+    def quota(self, tenant: str) -> TenantQuota:
+        """The quota of one registered tenant."""
+        return self._state(tenant).quota
+
+    def _state(self, tenant: str) -> _TenantState:
+        try:
+            return self._tenants[tenant]
+        except KeyError:
+            raise ServiceError(
+                f"unknown tenant {tenant!r}; register it first"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+
+    def push(self, entry: QueueEntry, *, requeue: bool = False) -> None:
+        """Admit one execution to its tenant's queue.
+
+        ``requeue=True`` bypasses the ``max_queued`` admission check:
+        a retried execution was already admitted once, and bouncing it
+        at the quota would turn a worker crash into a lost request.
+        """
+        state = self._state(entry.tenant)
+        if not requeue and state.depth >= state.quota.max_queued:
+            raise QuotaError(
+                f"tenant {entry.tenant!r} has {state.depth} queued "
+                f"execution(s), at its max_queued="
+                f"{state.quota.max_queued} quota"
+            )
+        heapq.heappush(state.waiting,
+                       (-entry.priority, entry.sequence, entry))
+
+    def pop_next(self, inflight: dict[str, int]) -> QueueEntry | None:
+        """The next execution to lease, or None when nothing may run.
+
+        ``inflight`` maps tenant name to its current leased-execution
+        count; tenants at their ``max_inflight`` cap are skipped, and
+        the stride scheduler picks among the rest.
+        """
+        best: str | None = None
+        for name in sorted(self._tenants):
+            state = self._tenants[name]
+            if not state.waiting:
+                continue
+            if inflight.get(name, 0) >= state.quota.max_inflight:
+                continue
+            if (best is None or state.virtual_time
+                    < self._tenants[best].virtual_time):
+                best = name
+        if best is None:
+            return None
+        state = self._tenants[best]
+        _, _, entry = heapq.heappop(state.waiting)
+        state.virtual_time += 1.0 / state.quota.weight
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def depth(self, tenant: str) -> int:
+        """Queued executions of one tenant."""
+        return self._state(tenant).depth
+
+    def total_depth(self) -> int:
+        """Queued executions across all tenants."""
+        return sum(state.depth for state in self._tenants.values())
+
+    def depths(self) -> dict[str, int]:
+        """Queue depth per tenant, name-sorted."""
+        return {name: self._tenants[name].depth
+                for name in sorted(self._tenants)}

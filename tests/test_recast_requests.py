@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datamodel import AndCut, CountCut, MassWindowCut, SkimSpec
-from repro.errors import RecastError, RequestStateError
+from repro.errors import PreservationError, RecastError, RequestStateError
 from repro.recast import (
     AnalysisCatalog,
     ModelSpec,
@@ -11,6 +11,7 @@ from repro.recast import (
     RecastRequest,
     RequestStatus,
 )
+from repro.recast.requests import legal_transitions
 
 
 def make_search(analysis_id="GPD-EXO-01", experiment="GPD"):
@@ -155,3 +156,104 @@ class TestStateMachine:
         request.transition(RequestStatus.FAILED)
         assert request.public_view()["failure_reason"] == \
             "generator crashed"
+
+
+#: The complete legal edge set — one source of truth for the matrix
+#: test below. Kept literal (not imported) so an accidental edit to the
+#: state machine cannot silently rewrite its own test.
+LEGAL_EDGES = {
+    (RequestStatus.SUBMITTED, RequestStatus.ACCEPTED),
+    (RequestStatus.SUBMITTED, RequestStatus.REJECTED),
+    (RequestStatus.ACCEPTED, RequestStatus.PROCESSING),
+    (RequestStatus.ACCEPTED, RequestStatus.QUEUED),
+    (RequestStatus.QUEUED, RequestStatus.LEASED),
+    (RequestStatus.QUEUED, RequestStatus.PENDING_APPROVAL),
+    (RequestStatus.QUEUED, RequestStatus.FAILED),
+    (RequestStatus.QUEUED, RequestStatus.REJECTED),
+    (RequestStatus.LEASED, RequestStatus.PENDING_APPROVAL),
+    (RequestStatus.LEASED, RequestStatus.RETRYING),
+    (RequestStatus.LEASED, RequestStatus.FAILED),
+    (RequestStatus.RETRYING, RequestStatus.QUEUED),
+    (RequestStatus.RETRYING, RequestStatus.FAILED),
+    (RequestStatus.PROCESSING, RequestStatus.PENDING_APPROVAL),
+    (RequestStatus.PROCESSING, RequestStatus.FAILED),
+    (RequestStatus.PENDING_APPROVAL, RequestStatus.APPROVED),
+    (RequestStatus.PENDING_APPROVAL, RequestStatus.REJECTED),
+}
+
+
+class TestTransitionMatrix:
+    """Every (from, to) pair of the state machine, exhaustively."""
+
+    def _request_at(self, status):
+        request = RecastRequest(
+            request_id="req-m", analysis_id="GPD-EXO-01",
+            requester="theorist",
+            model=ModelSpec("Zp", "zprime", {"mass": 1500.0}),
+        )
+        request.status = status
+        return request
+
+    @pytest.mark.parametrize(
+        "source,target",
+        [(s, t) for s in RequestStatus for t in RequestStatus],
+        ids=[f"{s.value}->{t.value}"
+             for s in RequestStatus for t in RequestStatus],
+    )
+    def test_every_edge_agrees_with_the_matrix(self, source, target):
+        request = self._request_at(source)
+        if (source, target) in LEGAL_EDGES:
+            request.transition(target)
+            assert request.status is target
+            assert request.history == [
+                f"{source.value} -> {target.value}"
+            ]
+        else:
+            with pytest.raises(RequestStateError):
+                request.transition(target)
+            assert request.status is source
+            assert request.history == []
+
+    def test_legal_transitions_helper_matches(self):
+        for status in RequestStatus:
+            expected = {target for source, target in LEGAL_EDGES
+                        if source is status}
+            assert legal_transitions(status) == expected
+
+    def test_terminal_statuses_have_no_exits(self):
+        for status in (RequestStatus.APPROVED, RequestStatus.REJECTED,
+                       RequestStatus.FAILED):
+            assert legal_transitions(status) == frozenset()
+
+    def test_illegal_edge_error_is_a_preservation_error(self):
+        # The request history is itself a preserved artifact; breaking
+        # its state machine is a preservation failure, not just an API
+        # misuse, so both error families must catch it.
+        request = self._request_at(RequestStatus.SUBMITTED)
+        with pytest.raises(PreservationError):
+            request.transition(RequestStatus.APPROVED)
+        with pytest.raises(RecastError):
+            request.transition(RequestStatus.APPROVED)
+
+    def test_error_message_names_the_edge(self):
+        request = self._request_at(RequestStatus.QUEUED)
+        with pytest.raises(RequestStateError,
+                           match="queued -> processing"):
+            request.transition(RequestStatus.PROCESSING)
+
+    def test_terminal_error_message_explains(self):
+        request = self._request_at(RequestStatus.APPROVED)
+        with pytest.raises(RequestStateError,
+                           match="no transitions leave a terminal"):
+            request.transition(RequestStatus.SUBMITTED)
+
+    def test_self_transition_called_out(self):
+        request = self._request_at(RequestStatus.ACCEPTED)
+        with pytest.raises(RequestStateError, match="already accepted"):
+            request.transition(RequestStatus.ACCEPTED)
+
+    def test_non_status_target_rejected(self):
+        request = self._request_at(RequestStatus.SUBMITTED)
+        with pytest.raises(RequestStateError,
+                           match="not a RequestStatus"):
+            request.transition("accepted")

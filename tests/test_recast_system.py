@@ -108,6 +108,29 @@ class TestFullRoundTrip:
         assert view["status"] == "failed"
         assert "failure_reason" in view
 
+    def test_resolution_failure_during_run_fails_request(self):
+        # Regression: a request accepted while its analysis was
+        # catalogued must land in FAILED — not be stranded mid
+        # -PROCESSING with an exception — if the catalogue entry is
+        # gone by the time the back end is resolved.
+        catalog = AnalysisCatalog("GPD")
+        catalog.register(_search())
+        api = RecastAPI()
+        api.register_experiment(
+            catalog, FullChainBackend("GPD", n_events=10))
+        request_id = api.submit(
+            "GPD-EXO-01",
+            ModelSpec("Zp", "zprime",
+                      {"mass": 1500.0, "cross_section_pb": 0.05}),
+            "theorist",
+        ).request_id
+        api.accept(request_id)
+        api._catalogs.clear()
+        api.run(request_id)
+        view = api.public_status(request_id)
+        assert view["status"] == "failed"
+        assert "GPD-EXO-01" in view["failure_reason"]
+
     def test_off_peak_model_not_excluded(self, api):
         # A model whose dimuon mass sits below the search window has
         # low efficiency and must not be excluded.

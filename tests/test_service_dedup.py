@@ -1,0 +1,92 @@
+"""Tests for content-addressed dedup keys and the result cache."""
+
+from repro.recast import FullChainBackend, ModelSpec, RecastResult
+from repro.service import (
+    ResultCache,
+    backend_fingerprint,
+    dedup_key,
+)
+
+
+def result(model="Zp"):
+    return RecastResult(
+        analysis_id="GPD-EXO-01", model_name=model, n_generated=100,
+        n_selected=40, signal_efficiency=0.4, efficiency_error=0.05,
+        upper_limit_pb=0.1, model_cross_section_pb=0.05,
+        excluded=False, backend="test",
+    )
+
+
+class TestBackendFingerprint:
+    def test_captures_scalar_config(self):
+        backend = FullChainBackend("GPD", n_events=120,
+                                   n_limit_toys=500, seed=7)
+        fingerprint = backend_fingerprint(backend)
+        assert fingerprint["class"] == "FullChainBackend"
+        assert fingerprint["n_events"] == 120
+        assert fingerprint["seed"] == 7
+
+    def test_different_config_different_fingerprint(self):
+        one = backend_fingerprint(FullChainBackend("GPD", n_events=10))
+        two = backend_fingerprint(FullChainBackend("GPD", n_events=20))
+        assert one != two
+
+    def test_private_attributes_excluded(self):
+        backend = FullChainBackend("GPD", n_events=10)
+        backend._scratch = object()
+        assert "_scratch" not in backend_fingerprint(backend)
+
+
+class TestDedupKey:
+    MODEL = ModelSpec("Zp", "zprime", {"mass": 1500.0})
+
+    def test_stable(self):
+        assert dedup_key("A", self.MODEL, {"class": "B"}) == \
+            dedup_key("A", self.MODEL, {"class": "B"})
+
+    def test_sixty_four_hex_chars(self):
+        key = dedup_key("A", self.MODEL, {})
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_sensitive_to_every_component(self):
+        base = dedup_key("A", self.MODEL, {"class": "B"})
+        assert dedup_key("A2", self.MODEL, {"class": "B"}) != base
+        assert dedup_key("A", ModelSpec("Zp", "zprime",
+                                        {"mass": 1600.0}),
+                         {"class": "B"}) != base
+        assert dedup_key("A", self.MODEL, {"class": "C"}) != base
+
+    def test_dict_ordering_irrelevant(self):
+        spec_a = ModelSpec("Zp", "zprime", {"mass": 1.0, "width": 2.0})
+        spec_b = ModelSpec("Zp", "zprime", {"width": 2.0, "mass": 1.0})
+        assert dedup_key("A", spec_a, {}) == dedup_key("A", spec_b, {})
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", result())
+        assert cache.get("k").model_name == "Zp"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_hit_rate_with_no_lookups(self):
+        assert ResultCache().stats.hit_rate == 0.0
+
+    def test_contains_and_len_do_not_count(self):
+        cache = ResultCache()
+        cache.put("k", result())
+        assert "k" in cache
+        assert len(cache) == 1
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+    def test_put_is_idempotent_per_key(self):
+        cache = ResultCache()
+        cache.put("k", result("first"))
+        cache.put("k", result("second"))
+        assert len(cache) == 1
+        assert cache.get("k").model_name == "second"

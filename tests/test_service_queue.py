@@ -1,0 +1,176 @@
+"""Tests for the fair-share queue, quotas, and service config."""
+
+import pytest
+
+from repro.errors import QuotaError, ServiceError
+from repro.service import FairShareQueue, QueueEntry, ServiceConfig, TenantQuota
+
+
+def entry(key, tenant, priority=0, sequence=0):
+    return QueueEntry(key=key, tenant=tenant, priority=priority,
+                      sequence=sequence)
+
+
+class TestTenantQuota:
+    def test_defaults_valid(self):
+        quota = TenantQuota()
+        assert quota.weight == 1.0
+        assert quota.max_queued >= 1
+        assert quota.max_inflight >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"weight": 0.0}, {"weight": -1.0},
+        {"max_queued": 0}, {"max_inflight": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            TenantQuota(**kwargs)
+
+    def test_roundtrip(self):
+        quota = TenantQuota(weight=2.0, max_queued=5, max_inflight=3)
+        assert TenantQuota.from_dict(quota.to_dict()) == quota
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ServiceError):
+            TenantQuota.from_dict({"weight": 1.0, "max_leases": 4})
+
+
+class TestServiceConfig:
+    def test_defaults_valid(self):
+        config = ServiceConfig()
+        assert config.lease_duration > 0
+        assert config.max_attempts >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"lease_duration": 0.0}, {"max_attempts": 0},
+        {"backoff_base": -1.0}, {"backoff_base": 5.0, "backoff_cap": 1.0},
+        {"max_inflight": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            ServiceConfig(**kwargs)
+
+    def test_backoff_doubles_then_caps(self):
+        config = ServiceConfig(backoff_base=2.0, backoff_cap=10.0)
+        assert config.backoff(1) == 2.0
+        assert config.backoff(2) == 4.0
+        assert config.backoff(3) == 8.0
+        assert config.backoff(4) == 10.0
+        assert config.backoff(10) == 10.0
+
+    def test_backoff_needs_positive_attempt(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig().backoff(0)
+
+    def test_roundtrip(self):
+        config = ServiceConfig(lease_duration=3.0, max_attempts=5,
+                               backoff_base=1.0, backoff_cap=4.0,
+                               max_inflight=8)
+        assert ServiceConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig.from_dict({"lease_seconds": 3.0})
+
+
+class TestFairShareQueue:
+    def test_unknown_tenant_rejected(self):
+        queue = FairShareQueue()
+        with pytest.raises(ServiceError):
+            queue.push(entry("k", "ghost"))
+
+    def test_duplicate_tenant_rejected(self):
+        queue = FairShareQueue()
+        queue.register_tenant("t", TenantQuota())
+        with pytest.raises(ServiceError):
+            queue.register_tenant("t", TenantQuota())
+
+    def test_fifo_within_tenant(self):
+        queue = FairShareQueue()
+        queue.register_tenant("t", TenantQuota(max_queued=10))
+        for index in range(3):
+            queue.push(entry(f"k{index}", "t", sequence=index))
+        popped = [queue.pop_next({}).key for _ in range(3)]
+        assert popped == ["k0", "k1", "k2"]
+
+    def test_priority_beats_fifo(self):
+        queue = FairShareQueue()
+        queue.register_tenant("t", TenantQuota(max_queued=10))
+        queue.push(entry("low", "t", priority=0, sequence=0))
+        queue.push(entry("high", "t", priority=5, sequence=1))
+        assert queue.pop_next({}).key == "high"
+        assert queue.pop_next({}).key == "low"
+
+    def test_max_queued_enforced_on_push(self):
+        queue = FairShareQueue()
+        queue.register_tenant("t", TenantQuota(max_queued=2))
+        queue.push(entry("a", "t", sequence=0))
+        queue.push(entry("b", "t", sequence=1))
+        with pytest.raises(QuotaError):
+            queue.push(entry("c", "t", sequence=2))
+
+    def test_requeue_bypasses_admission_quota(self):
+        queue = FairShareQueue()
+        queue.register_tenant("t", TenantQuota(max_queued=1))
+        queue.push(entry("a", "t", sequence=0))
+        # A retried execution was already admitted once; bouncing it
+        # would turn a worker crash into a lost request.
+        queue.push(entry("b", "t", sequence=1), requeue=True)
+        assert queue.depth("t") == 2
+
+    def test_max_inflight_skips_tenant(self):
+        queue = FairShareQueue()
+        queue.register_tenant("busy", TenantQuota(max_inflight=1))
+        queue.register_tenant("idle", TenantQuota(max_inflight=1))
+        queue.push(entry("b1", "busy", sequence=0))
+        queue.push(entry("i1", "idle", sequence=1))
+        popped = queue.pop_next({"busy": 1})
+        assert popped.key == "i1"
+        # Both at cap: nothing schedulable, work stays queued.
+        assert queue.pop_next({"busy": 1, "idle": 1}) is None
+        assert queue.depth("busy") == 1
+
+    def test_weighted_fair_share_is_two_to_one(self):
+        queue = FairShareQueue()
+        queue.register_tenant("heavy", TenantQuota(weight=2.0,
+                                                   max_queued=50,
+                                                   max_inflight=50))
+        queue.register_tenant("light", TenantQuota(weight=1.0,
+                                                   max_queued=50,
+                                                   max_inflight=50))
+        for index in range(30):
+            queue.push(entry(f"h{index}", "heavy", sequence=index))
+            queue.push(entry(f"l{index}", "light", sequence=100 + index))
+        grants = [queue.pop_next({}).tenant for _ in range(30)]
+        assert grants.count("heavy") == 20
+        assert grants.count("light") == 10
+
+    def test_selection_is_deterministic(self):
+        def drain():
+            queue = FairShareQueue()
+            queue.register_tenant("a", TenantQuota(weight=3.0,
+                                                   max_queued=40))
+            queue.register_tenant("b", TenantQuota(weight=1.0,
+                                                   max_queued=40))
+            for index in range(20):
+                queue.push(entry(f"a{index}", "a", sequence=index))
+                queue.push(entry(f"b{index}", "b", sequence=50 + index))
+            order = []
+            while queue.total_depth():
+                order.append(queue.pop_next({}).key)
+            return order
+
+        assert drain() == drain()
+
+    def test_empty_queue_pops_none(self):
+        queue = FairShareQueue()
+        queue.register_tenant("t", TenantQuota())
+        assert queue.pop_next({}) is None
+
+    def test_depth_accounting(self):
+        queue = FairShareQueue()
+        queue.register_tenant("a", TenantQuota())
+        queue.register_tenant("b", TenantQuota())
+        queue.push(entry("k", "a", sequence=0))
+        assert queue.depths() == {"a": 1, "b": 0}
+        assert queue.total_depth() == 1

@@ -1,0 +1,457 @@
+"""Integration tests for the RECAST request service scheduler.
+
+The acceptance properties of the service layer live here: replay
+determinism (same script, byte-identical event log), dedup (identical
+concurrent submissions execute the back end exactly once), and crash
+recovery (a killed worker's request completes via lease re-queue
+within the retry cap).
+"""
+
+import pytest
+
+from repro.errors import RecastError, ServiceError
+from repro.recast import ModelSpec, RecastAPI, RequestStatus
+from repro.runtime import ExecutionPolicy, LogicalClock
+from repro.service import (
+    CrashingBackend,
+    FailingBackend,
+    RecastService,
+    ServiceConfig,
+    TenantQuota,
+    demo_api,
+    demo_script,
+    load_script,
+    run_script,
+    validate_script,
+)
+
+
+def model(mass=1500.0, name=None):
+    return ModelSpec(name or f"Zp-{mass:g}", "zprime",
+                     {"mass": mass, "cross_section_pb": 0.05})
+
+
+def make_service(api=None, config=None, **kwargs):
+    api = api if api is not None else demo_api(n_events=40,
+                                              n_limit_toys=200)
+    service = RecastService(
+        api,
+        config if config is not None else ServiceConfig(
+            lease_duration=2.0, max_attempts=3,
+            backoff_base=1.0, backoff_cap=4.0),
+        **kwargs,
+    )
+    return api, service
+
+
+class CountingBackend:
+    """Wraps a back end, counting driver-side process() calls.
+
+    The count is kept in an underscore attribute so it stays out of
+    the backend fingerprint — a counter that changed the dedup key
+    between submissions would defeat the dedup it is measuring.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = inner.name
+        self._calls = 0
+
+    @property
+    def calls(self):
+        return self._calls
+
+    def process(self, search, spec):
+        self._calls += 1
+        return self.inner.process(search, spec)
+
+
+def install_counter(api, experiment="GPD"):
+    counter = CountingBackend(api._backends[experiment])
+    api._backends[experiment] = counter
+    return counter
+
+
+class TestSubmission:
+    def test_queued_then_committed(self):
+        api, service = make_service()
+        service.register_tenant("t")
+        ticket = service.submit("t", "GPD-EXO-01", model())
+        assert ticket.status == "queued"
+        request = api.get_request(ticket.request_id)
+        assert request.status is RequestStatus.QUEUED
+        service.run_until_idle()
+        assert request.status is RequestStatus.PENDING_APPROVAL
+        assert request.result is not None
+
+    def test_approval_still_gates_release(self):
+        # The service schedules; the experiment still controls release.
+        api, service = make_service()
+        service.register_tenant("t")
+        ticket = service.submit("t", "GPD-EXO-01", model())
+        service.run_until_idle()
+        assert "result" not in api.public_status(ticket.request_id)
+        api.approve(ticket.request_id, "coordinator")
+        assert "result" in api.public_status(ticket.request_id)
+
+    def test_unknown_analysis_raises(self):
+        _, service = make_service()
+        service.register_tenant("t")
+        with pytest.raises(RecastError):
+            service.submit("t", "NOPE", model())
+
+    def test_unknown_tenant_raises(self):
+        _, service = make_service()
+        with pytest.raises(ServiceError):
+            service.submit("ghost", "GPD-EXO-01", model())
+
+
+class TestDedup:
+    def test_identical_submissions_execute_backend_once(self):
+        api, service = make_service()
+        counter = install_counter(api)
+        service.register_tenant("a")
+        service.register_tenant("b")
+        one = service.submit("a", "GPD-EXO-01", model())
+        two = service.submit("b", "GPD-EXO-01", model())
+        assert one.status == "queued"
+        assert two.status == "subscribed"
+        assert one.key == two.key
+        service.run_until_idle()
+        assert counter.calls == 1
+        first = api.get_request(one.request_id)
+        second = api.get_request(two.request_id)
+        assert first.status is RequestStatus.PENDING_APPROVAL
+        assert second.status is RequestStatus.PENDING_APPROVAL
+        assert second.result is first.result
+
+    def test_dedup_hit_observable_in_metrics(self):
+        api, service = make_service()
+        service.register_tenant("a")
+        service.submit("a", "GPD-EXO-01", model())
+        service.submit("a", "GPD-EXO-01", model())
+        counters = service.metrics.snapshot()["counters"]
+        hits = [c["value"] for c in counters
+                if c["name"] == "service.dedup_hits"]
+        assert hits == [1]
+
+    def test_fan_out_to_many_subscribers(self):
+        api, service = make_service()
+        counter = install_counter(api)
+        service.register_tenant("t", TenantQuota(max_queued=2))
+        tickets = [service.submit("t", "GPD-EXO-01", model())
+                   for _ in range(6)]
+        assert [t.status for t in tickets] == \
+            ["queued"] + ["subscribed"] * 5
+        service.run_until_idle()
+        assert counter.calls == 1
+        results = {id(api.get_request(t.request_id).result)
+                   for t in tickets}
+        assert len(results) == 1
+
+    def test_repeat_after_commit_is_cache_hit(self):
+        api, service = make_service()
+        counter = install_counter(api)
+        service.register_tenant("t")
+        service.submit("t", "GPD-EXO-01", model())
+        service.run_until_idle()
+        ticket = service.submit("t", "GPD-EXO-01", model())
+        assert ticket.status == "cached"
+        assert counter.calls == 1
+        request = api.get_request(ticket.request_id)
+        assert request.status is RequestStatus.PENDING_APPROVAL
+        assert service.cache.stats.hits == 1
+
+    def test_different_models_do_not_dedup(self):
+        api, service = make_service()
+        counter = install_counter(api)
+        service.register_tenant("t")
+        service.submit("t", "GPD-EXO-01", model(1500.0))
+        service.submit("t", "GPD-EXO-01", model(1700.0))
+        service.run_until_idle()
+        assert counter.calls == 2
+
+
+class TestQuotas:
+    def test_overflow_rejected_not_raised(self):
+        api, service = make_service()
+        service.register_tenant("t", TenantQuota(max_queued=1))
+        first = service.submit("t", "GPD-EXO-01", model(1500.0))
+        second = service.submit("t", "GPD-EXO-01", model(1700.0))
+        assert first.status == "queued"
+        assert second.status == "rejected"
+        request = api.get_request(second.request_id)
+        assert request.status is RequestStatus.REJECTED
+        assert "max_queued" in request.history[0]
+
+    def test_rejection_counted_in_metrics(self):
+        api, service = make_service()
+        service.register_tenant("t", TenantQuota(max_queued=1))
+        service.submit("t", "GPD-EXO-01", model(1500.0))
+        service.submit("t", "GPD-EXO-01", model(1700.0))
+        counters = service.metrics.snapshot()["counters"]
+        rejections = [c["value"] for c in counters
+                      if c["name"] == "service.quota_rejections"]
+        assert rejections == [1]
+
+    def test_rejected_tenant_can_resubmit_after_drain(self):
+        api, service = make_service()
+        service.register_tenant("t", TenantQuota(max_queued=1))
+        service.submit("t", "GPD-EXO-01", model(1500.0))
+        service.run_until_idle()
+        ticket = service.submit("t", "GPD-EXO-01", model(1700.0))
+        assert ticket.status == "queued"
+
+    def test_max_inflight_throttles_concurrency(self):
+        api, service = make_service(config=ServiceConfig(
+            lease_duration=100.0, max_inflight=4))
+        service.register_tenant("t", TenantQuota(max_queued=10,
+                                                 max_inflight=1))
+        for mass in (1500.0, 1600.0, 1700.0):
+            service.submit("t", "GPD-EXO-01", model(mass))
+        service.step()
+        # Tenant cap of 1 binds even though the global cap allows 4 —
+        # and dispatch being synchronous, each step commits the one
+        # leased execution before the next grant round.
+        grants = [e for e in service.events
+                  if e["event"] == "lease_grant"]
+        assert len(grants) == 1
+
+
+class TestFairness:
+    def test_weighted_share_under_contention(self):
+        api, service = make_service(config=ServiceConfig(
+            lease_duration=5.0, max_inflight=1))
+        service.register_tenant("heavy", TenantQuota(
+            weight=2.0, max_queued=30, max_inflight=1))
+        service.register_tenant("light", TenantQuota(
+            weight=1.0, max_queued=30, max_inflight=1))
+        for index in range(12):
+            service.submit("heavy", "GPD-EXO-01",
+                           model(1000.0 + index, name=f"h{index}"))
+            service.submit("light", "GPD-EXO-01",
+                           model(3000.0 + index, name=f"l{index}"))
+        for _ in range(12):
+            service.step()
+        grants = [e["tenant"] for e in service.events
+                  if e["event"] == "lease_grant"]
+        assert grants.count("heavy") == 8
+        assert grants.count("light") == 4
+
+
+class TestCrashRecovery:
+    def _crashing(self, crash_times, max_attempts=3):
+        api = demo_api(n_events=40, n_limit_toys=200)
+        api._backends["GPD"] = CrashingBackend(
+            inner=api._backends["GPD"], crash_times=crash_times,
+            name="GPD-full-chain")
+        service = RecastService(api, ServiceConfig(
+            lease_duration=2.0, max_attempts=max_attempts,
+            backoff_base=1.0, backoff_cap=4.0))
+        service.register_tenant("t")
+        return api, service
+
+    def test_killed_worker_recovers_within_retry_cap(self):
+        api, service = self._crashing(crash_times=2, max_attempts=3)
+        ticket = service.submit("t", "GPD-EXO-01", model())
+        service.run_until_idle()
+        request = api.get_request(ticket.request_id)
+        assert request.status is RequestStatus.PENDING_APPROVAL
+        events = [e["event"] for e in service.events]
+        assert events.count("worker_crash") == 2
+        assert events.count("lease_expire") == 2
+        assert events.count("requeue") == 2
+        assert events.count("committed") == 1
+        grants = [e["attempt"] for e in service.events
+                  if e["event"] == "lease_grant"]
+        assert grants == [1, 2, 3]
+
+    def test_retry_cap_exhaustion_fails_request(self):
+        api, service = self._crashing(crash_times=99, max_attempts=2)
+        ticket = service.submit("t", "GPD-EXO-01", model())
+        service.run_until_idle()
+        request = api.get_request(ticket.request_id)
+        assert request.status is RequestStatus.FAILED
+        assert "retry cap exhausted" in request.failure_reason
+        grants = [e for e in service.events
+                  if e["event"] == "lease_grant"]
+        assert len(grants) == 2
+
+    def test_lease_lifecycle_recorded_in_history(self):
+        api, service = self._crashing(crash_times=1, max_attempts=3)
+        ticket = service.submit("t", "GPD-EXO-01", model())
+        service.run_until_idle()
+        history = api.get_request(ticket.request_id).history
+        assert any("-> leased" in line for line in history)
+        assert any("-> retrying" in line for line in history)
+        assert any("backoff complete" in line for line in history)
+
+    def test_subscribers_share_the_recovered_result(self):
+        api, service = self._crashing(crash_times=1, max_attempts=3)
+        one = service.submit("t", "GPD-EXO-01", model())
+        two = service.submit("t", "GPD-EXO-01", model())
+        service.run_until_idle()
+        assert api.get_request(two.request_id).status is \
+            RequestStatus.PENDING_APPROVAL
+        assert api.get_request(two.request_id).result is \
+            api.get_request(one.request_id).result
+
+    def test_subscribers_fail_with_exhausted_primary(self):
+        api, service = self._crashing(crash_times=99, max_attempts=1)
+        one = service.submit("t", "GPD-EXO-01", model())
+        two = service.submit("t", "GPD-EXO-01", model())
+        service.run_until_idle()
+        for ticket in (one, two):
+            assert api.get_request(ticket.request_id).status is \
+                RequestStatus.FAILED
+
+    def test_backoff_spaces_the_retries(self):
+        api, service = self._crashing(crash_times=2, max_attempts=3)
+        service.submit("t", "GPD-EXO-01", model())
+        service.run_until_idle()
+        scheduled = [e for e in service.events
+                     if e["event"] == "retry_scheduled"]
+        gaps = [e["ready_at"] - e["time"] for e in scheduled]
+        assert gaps == [1.0, 2.0]
+
+    def test_deterministic_failure_not_retried(self):
+        api = demo_api(n_events=40)
+        api._backends["GPD"] = FailingBackend(reason="bad physics")
+        service = RecastService(api, ServiceConfig(lease_duration=2.0))
+        service.register_tenant("t")
+        ticket = service.submit("t", "GPD-EXO-01", model())
+        steps = service.run_until_idle()
+        request = api.get_request(ticket.request_id)
+        assert request.status is RequestStatus.FAILED
+        assert request.failure_reason == "bad physics"
+        assert steps == 1
+        events = [e["event"] for e in service.events]
+        assert "retry_scheduled" not in events
+
+    def test_run_until_idle_guard_raises(self):
+        api, service = self._crashing(crash_times=99, max_attempts=3)
+        service.submit("t", "GPD-EXO-01", model())
+        with pytest.raises(ServiceError):
+            service.run_until_idle(max_steps=2)
+
+
+class TestDeterminism:
+    def test_replayed_script_is_byte_identical(self):
+        def replay():
+            service, tickets = run_script(
+                demo_api(n_events=40, n_limit_toys=200), demo_script())
+            return service.event_log_bytes(), [t.to_dict()
+                                               for t in tickets]
+
+        log_one, tickets_one = replay()
+        log_two, tickets_two = replay()
+        assert log_one == log_two
+        assert tickets_one == tickets_two
+
+    def test_results_identical_across_replays(self):
+        def replay():
+            api = demo_api(n_events=40, n_limit_toys=200)
+            _, tickets = run_script(api, demo_script())
+            return [api.get_request(t.request_id).result.to_dict()
+                    for t in tickets]
+
+        assert replay() == replay()
+
+    def test_crash_recovery_replays_byte_identically(self):
+        def replay():
+            api, service = TestCrashRecovery()._crashing(
+                crash_times=2, max_attempts=3)
+            service.submit("t", "GPD-EXO-01", model())
+            service.submit("t", "GPD-EXO-01", model(1700.0))
+            service.run_until_idle()
+            return service.event_log_bytes()
+
+        assert replay() == replay()
+
+    def test_thread_policy_matches_serial(self):
+        def run(policy):
+            api = demo_api(n_events=40, n_limit_toys=200)
+            service, _ = run_script(api, demo_script(), policy=policy)
+            return service.event_log_bytes()
+
+        assert run(None) == run(ExecutionPolicy(mode="thread",
+                                                n_jobs=4))
+
+    def test_injected_clock_is_the_only_time_source(self):
+        api, service = make_service(clock=LogicalClock(start=100.0))
+        service.register_tenant("t")
+        service.submit("t", "GPD-EXO-01", model())
+        service.run_until_idle()
+        times = [e["time"] for e in service.events]
+        assert min(times) >= 100.0
+        assert times == sorted(times)
+
+
+class TestSubmissionScripts:
+    def test_demo_script_validates(self):
+        assert validate_script(demo_script())
+
+    def test_envelope_enforced(self):
+        with pytest.raises(ServiceError):
+            validate_script({"format": "something-else", "version": 1})
+        script = demo_script()
+        script["version"] = 99
+        with pytest.raises(ServiceError):
+            validate_script(script)
+
+    def test_malformed_actions_rejected(self):
+        script = demo_script()
+        script["actions"] = [{"action": "submit", "tenant": "t"}]
+        with pytest.raises(ServiceError):
+            validate_script(script)
+        script["actions"] = [{"action": "explode"}]
+        with pytest.raises(ServiceError):
+            validate_script(script)
+
+    def test_load_script_roundtrip(self, tmp_path):
+        import json
+
+        path = tmp_path / "script.json"
+        path.write_text(json.dumps(demo_script()), encoding="utf-8")
+        assert load_script(path) == demo_script()
+
+    def test_load_script_bad_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ServiceError):
+            load_script(path)
+
+
+class TestObservability:
+    def test_spans_cover_submission_and_steps(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer("service-test")
+        api, service = make_service(tracer=tracer)
+        service.register_tenant("t")
+        service.submit("t", "GPD-EXO-01", model())
+        service.run_until_idle()
+        names = {span.name for span in tracer.spans}
+        assert "service.submit" in names
+        assert "service.step" in names
+
+    def test_metrics_are_deterministic_counts(self):
+        def snapshot():
+            api, service = make_service()
+            service.register_tenant("t")
+            service.submit("t", "GPD-EXO-01", model())
+            service.submit("t", "GPD-EXO-01", model())
+            service.run_until_idle()
+            return service.metrics.to_json_bytes(deterministic=True)
+
+        assert snapshot() == snapshot()
+
+    def test_queue_depth_gauge_drains_to_zero(self):
+        api, service = make_service()
+        service.register_tenant("t")
+        service.submit("t", "GPD-EXO-01", model())
+        service.run_until_idle()
+        gauges = {g["name"]: g["value"]
+                  for g in service.metrics.snapshot()["gauges"]}
+        assert gauges["service.queue_depth"] == 0
+        assert gauges["service.inflight"] == 0
