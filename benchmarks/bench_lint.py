@@ -8,7 +8,10 @@ Measures what the deep pass costs on the library's own source tree:
    tree,
 3. the parallel/columnar safety pass (``--par``) on the same tree —
    worker escape analysis plus kernel tier checks,
-4. the shallow per-file pass, as the reference point the deep pass is
+4. the determinism/replay pass (``--det``) on the same tree — replay
+   root escape analysis over the registered serialization entry
+   points,
+5. the shallow per-file pass, as the reference point the deep pass is
    priced against.
 
 Determinism is re-asserted while timing: every extraction must yield
@@ -108,6 +111,31 @@ def bench_par_pass(repeats: int) -> dict:
     }
 
 
+def bench_det_pass(repeats: int) -> dict:
+    from repro.lint import lint_tree_det
+
+    n_files = _count_files(TARGET)
+    timings = []
+    serialized = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        findings = lint_tree_det(TARGET)
+        timings.append(time.perf_counter() - start)
+        serialized.append([
+            (f.code, f.file, f.line, f.message) for f in findings])
+    best = min(timings)
+    assert all(s == serialized[0] for s in serialized), \
+        "the det pass is not deterministic"
+    return {
+        "n_source_files": n_files,
+        "n_findings": len(serialized[0]),
+        "best_seconds": round(best, 4),
+        "files_per_second": round(n_files / best, 1),
+        "byte_identical": True,
+        "repeats": repeats,
+    }
+
+
 def bench_shallow_pass(repeats: int) -> dict:
     from repro.lint import lint_source_file
 
@@ -138,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
     closure = bench_closure(args.repeats)
     deep = bench_deep_pass(args.repeats)
     par = bench_par_pass(args.repeats)
+    det = bench_det_pass(args.repeats)
     shallow = bench_shallow_pass(args.repeats)
     record = bench_envelope(
         "repro.lint.flow interprocedural analysis",
@@ -146,6 +175,7 @@ def main(argv: list[str] | None = None) -> int:
     record["workloads"] = {
         "closure_extraction": closure,
         "deep_lint_pass": deep,
+        "det_lint_pass": det,
         "par_lint_pass": par,
         "shallow_lint_pass": shallow,
     }

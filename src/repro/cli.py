@@ -201,13 +201,21 @@ def _build_parser() -> argparse.ArgumentParser:
                            "call/import graphs per target tree and "
                            "propagate impurity facts to Analysis "
                            "entry points (DAS2xx rules); implies the "
-                           "parallel-safety pass (--par)")
+                           "parallel-safety (--par) and determinism "
+                           "(--det) passes")
     lint.add_argument("--par", action="store_true",
                       help="also run the parallel/columnar safety "
                            "pass: escape analysis over pool workers, "
                            "RNG-stream discipline, numpy in-place/"
                            "aliasing checks, and equivalence-tier "
                            "order-sensitivity (DAS3xx rules)")
+    lint.add_argument("--det", action="store_true",
+                      help="also run the determinism/replay-safety "
+                           "pass: escape analysis from declared "
+                           "serialization roots to non-canonical "
+                           "encodings, unordered iteration, clocks, "
+                           "environment, and undisciplined "
+                           "randomness (DAS4xx rules)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
     _add_trace_arguments(lint)
@@ -578,6 +586,7 @@ def _cmd_lint(args) -> int:
         lint_bundled_artifacts,
         lint_path,
         lint_tree_deep,
+        lint_tree_det,
         lint_tree_par,
         render_json,
         render_rule_catalog,
@@ -626,16 +635,22 @@ def _cmd_lint(args) -> int:
                 passes.append(functools.partial(lint_tree_deep, target))
             if (args.par or args.deep) and is_tree:
                 passes.append(functools.partial(lint_tree_par, target))
+            if (args.det or args.deep) and is_tree:
+                passes.append(functools.partial(lint_tree_det, target))
             lint_target(target, *passes)
         if args.bundled:
             passes = [lint_bundled_artifacts]
-            if args.deep or args.par:
+            if args.deep or args.par or args.det:
                 import repro.rivet.standard_analyses as standard_analyses
                 if args.deep:
                     passes.append(functools.partial(
                         lint_tree_deep, standard_analyses.__file__))
-                passes.append(functools.partial(
-                    lint_tree_par, standard_analyses.__file__))
+                if args.deep or args.par:
+                    passes.append(functools.partial(
+                        lint_tree_par, standard_analyses.__file__))
+                if args.deep or args.det:
+                    passes.append(functools.partial(
+                        lint_tree_det, standard_analyses.__file__))
             lint_target("<bundled>", *passes)
     report = session.report()
     _write_trace(args, tracer, obs_metrics, provenance={

@@ -14,14 +14,12 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.canonical import canonical_document, canonical_json
 from repro.core.metadata import PreservationMetadata
 from repro.errors import ArchiveError, FixityError, PersistenceError
 
-
-def canonical_json(payload: dict) -> bytes:
-    """Deterministic JSON encoding used for digests and storage."""
-    return json.dumps(payload, sort_keys=True,
-                      separators=(",", ":")).encode("utf-8")
+__all__ = ["ArchiveEntry", "PreservationArchive", "canonical_json",
+           "sha256_digest"]
 
 
 def sha256_digest(content: bytes) -> str:
@@ -180,10 +178,11 @@ class PreservationArchive:
                 "entries": [entry.to_dict()
                             for _, entry in sorted(self._entries.items())],
             }
-            with (directory / "catalogue.json").open(
-                "w", encoding="utf-8"
-            ) as handle:
-                json.dump(catalogue, handle, indent=1)
+            (directory / "catalogue.json").write_bytes(
+                canonical_document(catalogue))
+            # lint: ignore[DAS403] -- each blob lands in its own
+            # digest-named file; write order never reaches the bytes
+            # of any stored artifact
             for digest, content in self._blobs.items():
                 (blobs_dir / digest).write_bytes(content)
         except OSError as exc:

@@ -14,6 +14,7 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.canonical import canonical_json
 from repro.datamodel.schema import field_documentation, validate_record
 from repro.datamodel.tiers import DataTier
 from repro.errors import PersistenceError, SchemaError
@@ -105,9 +106,12 @@ class DatasetWriter:
         self.header.n_events = len(self._records)
         try:
             with self.path.open("w", encoding="utf-8") as handle:
-                handle.write(json.dumps(self.header.to_dict()) + "\n")
+                handle.write(
+                    canonical_json(self.header.to_dict()).decode("utf-8")
+                    + "\n")
                 for record in self._records:
-                    handle.write(json.dumps(record) + "\n")
+                    handle.write(
+                        canonical_json(record).decode("utf-8") + "\n")
         except OSError as exc:
             raise PersistenceError(
                 f"cannot write dataset {self.path}: {exc}"

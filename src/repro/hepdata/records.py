@@ -106,9 +106,10 @@ class HepDataRecord:
 
     def payload_size_bytes(self) -> int:
         """Approximate serialised size (the 'large payload' metric)."""
-        import json
+        from repro.core.canonical import canonical_text
 
-        return len(json.dumps(self.to_dict()).encode("utf-8"))
+        return len(canonical_text(self.to_dict(),
+                                  indent=None).encode("utf-8"))
 
     def to_dict(self) -> dict:
         """Serialise for the archive."""

@@ -20,6 +20,13 @@ from repro.lint.consistency import (
     lint_skim_spec,
     lint_slim_spec,
 )
+from repro.lint.det import (
+    det_findings,
+    lint_tree_det,
+    register_replay_root,
+    replay_root,
+    replay_roots,
+)
 from repro.lint.engine import (
     LintConfig,
     LintReport,
@@ -68,6 +75,7 @@ __all__ = [
     "check_manifest_against_recast",
     "check_manifest_against_repository",
     "classify_document",
+    "det_findings",
     "extract_closure",
     "get_rule",
     "lint_archive_directory",
@@ -85,9 +93,13 @@ __all__ = [
     "lint_source",
     "lint_source_file",
     "lint_tree_deep",
+    "lint_tree_det",
     "lint_tree_par",
     "par_findings",
+    "register_replay_root",
     "render_json",
     "render_rule_catalog",
     "render_text",
+    "replay_root",
+    "replay_roots",
 ]

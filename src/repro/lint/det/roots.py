@@ -1,0 +1,93 @@
+"""The determinism-root registry: who must serialise byte-stably.
+
+The det pass does not guess which functions produce preserved bytes —
+roots are *declared*, two ways:
+
+- library code registers its serialization entry points here, by
+  dotted name, with :func:`register_replay_root` (keeping analysis
+  layers importable without dragging the lint package into every
+  substrate);
+- analysis code marks its own encoders with the :func:`replay_root`
+  decorator, which the scanner recognises statically (the decorated
+  module never has to import cleanly).
+
+Everything statically reachable from a root is then held to the
+replay contract (DAS401–DAS411); the declarations themselves are
+policed by DAS412.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Dotted name -> artifact label of every library-declared root.
+_REGISTRY: dict[str, str] = {}
+
+
+def register_replay_root(dotted: str, artifact: str) -> None:
+    """Declare one library serialization entry point.
+
+    ``dotted`` is the fully qualified name the call graph will see
+    (``package.module.func`` or ``package.module.Class.method``);
+    ``artifact`` names the preserved bytes it produces, for reports.
+    """
+    if dotted in _REGISTRY:
+        raise ConfigurationError(
+            f"replay root {dotted!r} is already registered "
+            f"(as {_REGISTRY[dotted]!r})"
+        )
+    _REGISTRY[dotted] = artifact
+
+
+def replay_roots() -> dict[str, str]:
+    """Every registered root, dotted name -> artifact label."""
+    return dict(_REGISTRY)
+
+
+def replay_root(target=None, *, name: str = ""):
+    """Mark a function as a serialization root, for the det pass.
+
+    Usable bare (``@replay_root``), with a positional label
+    (``@replay_root("event log")``), or with a keyword label
+    (``@replay_root(name="event log")``). The decorator is inert at
+    runtime beyond tagging the function — detection is static, so it
+    also works in trees the linter only parses.
+    """
+    def mark(func, label: str):
+        func.__replay_root__ = label
+        return func
+
+    if callable(target):
+        return mark(target, name)
+    if target is not None and not isinstance(target, str):
+        raise ConfigurationError(
+            f"replay_root label must be a string, got "
+            f"{type(target).__name__}"
+        )
+    label = target if isinstance(target, str) else name
+    return lambda func: mark(func, label)
+
+
+# ----------------------------------------------------------------------
+# The library's own serialization entry points. Every artifact this
+# package preserves, digests, or logs funnels through one of these.
+# ----------------------------------------------------------------------
+
+register_replay_root(
+    "repro.core.canonical.canonical_json", "canonical encoding")
+register_replay_root(
+    "repro.core.archive.PreservationArchive.save", "archive catalogue")
+register_replay_root(
+    "repro.service.scheduler.RecastService.event_log_bytes",
+    "request-event log")
+register_replay_root(
+    "repro.service.dedup.dedup_key", "dedup key")
+register_replay_root(
+    "repro.obs.report.RunReport.to_json_bytes", "run report")
+register_replay_root(
+    "repro.lint.flow.manifest.ClosureManifest.to_json_bytes",
+    "closure manifest")
+register_replay_root(
+    "repro.lint.report.render_json", "lint JSON report")
+register_replay_root(
+    "repro.datamodel.io.DatasetWriter.close", "dataset file")

@@ -1,0 +1,155 @@
+"""Rule registrations for the determinism/replay-safety layer.
+
+``DAS4xx`` codes are the fourth static-analysis pass. ``DAS0xx`` rules
+inspect one statement, ``DAS2xx`` rules carry impurity facts to
+``Analysis`` entry points, ``DAS3xx`` rules police the parallel
+execution contract; these rules reason about the *replay contract*:
+every callable statically reachable from a declared serialization
+root (:mod:`repro.lint.det.roots`) must produce the same bytes on
+every run — re-serialising a preserved artifact years later has to
+reproduce it bit for bit, or fixity checking becomes noise.
+
+DAS401–DAS404 are the ordering rules (encoder settings, set/dict/
+filesystem iteration), DAS405–DAS409 the ambient-state rules (clocks,
+identities, environment, formatting, randomness), DAS410–DAS411 the
+representation rules, DAS412 the root-declaration rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import register_rule
+from repro.lint.findings import Severity
+
+RULE_DET_NONCANONICAL_JSON = register_rule(
+    "DAS401", "det-noncanonical-json", Severity.ERROR, "det",
+    "A replay root reaches a JSON encoding without ``sort_keys=True`` "
+    "through its call graph.",
+    "``json.dumps`` without ``sort_keys`` emits keys in insertion "
+    "order, and insertion order is an accident of construction: two "
+    "runs assembling the same mapping differently produce different "
+    "bytes, so digests and fixity checks over the artifact diverge. "
+    "Route every serialization through "
+    ":mod:`repro.core.canonical`.",
+    "``handle.write(json.dumps(record))`` inside a dataset writer",
+)
+
+RULE_DET_SET_ITERATION = register_rule(
+    "DAS402", "det-unordered-set-iteration", Severity.ERROR, "det",
+    "A replay root reaches iteration over a set through its call "
+    "graph.",
+    "Set iteration order depends on insertion history and on the "
+    "per-process hash seed; any bytes derived from it change between "
+    "runs even when the set's contents do not. Wrap the iteration in "
+    "``sorted(...)``.",
+    "``for tag in {\"a\", \"b\"}:`` feeding a serialised list",
+)
+
+RULE_DET_DICT_ITERATION = register_rule(
+    "DAS403", "det-unsorted-dict-iteration", Severity.WARNING, "det",
+    "A replay root reaches unsorted iteration over a dict view "
+    "through its call graph.",
+    "Dict views iterate in insertion order, which is determined by "
+    "code paths, not by content — a cache populated in a different "
+    "order serialises differently. Iterate ``sorted(d.items())`` "
+    "when the order can reach output bytes.",
+    "``for key, value in cache.items():`` inside a report builder",
+)
+
+RULE_DET_UNSORTED_FS = register_rule(
+    "DAS404", "det-unsorted-fs-enumeration", Severity.ERROR, "det",
+    "A replay root reaches an unsorted filesystem enumeration "
+    "through its call graph.",
+    "``os.listdir`` and ``Path.iterdir`` return entries in "
+    "filesystem order, which differs between hosts, filesystems, and "
+    "even repeated runs; artifact bytes built from such a listing "
+    "are irreproducible. Wrap the enumeration in ``sorted(...)``.",
+    "``for path in directory.iterdir():`` feeding a manifest",
+)
+
+RULE_DET_WALL_CLOCK = register_rule(
+    "DAS405", "det-wall-clock-in-output", Severity.ERROR, "det",
+    "A replay root reaches a wall-clock read through its call graph.",
+    "A timestamp taken at serialisation time is different on every "
+    "run by construction; re-serialising the same preserved content "
+    "can never be byte-stable. Logical time must flow in from "
+    ":mod:`repro.runtime.clock` or the caller.",
+    "``time.time()`` stamped into an archive catalogue",
+)
+
+RULE_DET_HASH_IDENTITY = register_rule(
+    "DAS406", "det-hash-identity-in-output", Severity.ERROR, "det",
+    "A replay root reaches an ``id()`` or builtin ``hash()`` value "
+    "through its call graph.",
+    "``id()`` is a memory address and ``hash()`` of strings is "
+    "salted per process (PYTHONHASHSEED); both change on every run, "
+    "so any serialised value or ordering derived from them is "
+    "unreproducible. Use content digests "
+    "(:func:`repro.core.archive.sha256_digest`) instead.",
+    "``sorted(objs, key=id)`` feeding a serialised list",
+)
+
+RULE_DET_ENV_READ = register_rule(
+    "DAS407", "det-env-read-in-output", Severity.WARNING, "det",
+    "A replay root reaches an environment-variable read through its "
+    "call graph.",
+    "``os.environ`` is ambient host state: the same code serialises "
+    "different bytes on a different machine or shell. Environment "
+    "capture belongs in the observability layer's explicit, "
+    "normalised snapshot — not inline in artifact encoders.",
+    "``os.getenv(\"USER\")`` written into a report field",
+)
+
+RULE_DET_FLOAT_FORMAT = register_rule(
+    "DAS408", "det-float-format-drift", Severity.WARNING, "det",
+    "A replay root reaches fixed-format float rendering through its "
+    "call graph.",
+    "``%g``-family formatting rounds through the platform libc and "
+    "drifts across interpreter builds, while ``repr``-based encoding "
+    "(what the JSON encoder uses) is exact and stable. Serialise the "
+    "float itself and leave display formatting to readers.",
+    "``f\"{value:.3f}\"`` inside a serialised record",
+)
+
+RULE_DET_UNDERIVED_RNG = register_rule(
+    "DAS409", "det-underived-rng-in-output", Severity.ERROR, "det",
+    "A replay root reaches a random draw that is not derived from a "
+    "managed seed through its call graph.",
+    "Randomness in a serialisation path makes the bytes different on "
+    "every run unless the stream is constructed from a "
+    "``derive_seed(...)``-derived argument; global streams and "
+    "constant seeds reproduce by luck, not by contract.",
+    "``random.random()`` generating a serialised identifier",
+)
+
+RULE_DET_LOCALE_STRING = register_rule(
+    "DAS410", "det-locale-string-op", Severity.WARNING, "det",
+    "A replay root reaches a locale-dependent string operation "
+    "through its call graph.",
+    "``locale.*`` formatting and ``strftime`` month/day names follow "
+    "the host locale: the same artifact serialises differently under "
+    "``LC_ALL=C`` and a user desktop. Render with locale-independent "
+    "formatting (ISO dates, explicit separators).",
+    "``value.strftime(\"%B %Y\")`` inside a report encoder",
+)
+
+RULE_DET_DICT_FROM_UNORDERED = register_rule(
+    "DAS411", "det-dict-from-unordered", Severity.ERROR, "det",
+    "A replay root reaches a dict comprehension over an unordered "
+    "source through its call graph.",
+    "Dicts remember insertion order, so a comprehension over a set "
+    "bakes nondeterministic ordering into the mapping itself; every "
+    "downstream consumer that iterates it — including "
+    "order-preserving encoders — inherits the instability. Build "
+    "from ``sorted(...)``.",
+    "``{name: 0 for name in tag_set}`` feeding a serialised block",
+)
+
+RULE_DET_INVALID_ROOT = register_rule(
+    "DAS412", "det-invalid-root-declaration", Severity.ERROR, "det",
+    "A replay-root declaration is not a constant, unique name.",
+    "The root registry is the contract this whole family enforces; a "
+    "root labelled by a computed expression declares nothing "
+    "checkable, and two roots sharing a label make waivers and "
+    "reports ambiguous.",
+    "``@replay_root(LABEL_VAR)`` or two ``@replay_root('log')``",
+)

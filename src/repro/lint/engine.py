@@ -76,6 +76,7 @@ def get_rule(code: str) -> Rule:
 def _ensure_rules_loaded() -> None:
     """Import the checker modules so their rules self-register."""
     from repro.lint import consistency, pycheck  # noqa: F401
+    from repro.lint.det import rules as det_rules  # noqa: F401
     from repro.lint.flow import rules  # noqa: F401
     from repro.lint.par import rules as par_rules  # noqa: F401
 

@@ -17,6 +17,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.canonical import canonical_document
 from repro.errors import PreservationError
 from repro.lint.findings import Finding
 from repro.lint.flow.rules import (
@@ -61,8 +62,7 @@ class ClosureManifest:
 
     def to_json_bytes(self) -> bytes:
         """Deterministic bytes: sorted keys, fixed indent, one LF."""
-        return (json.dumps(self.to_dict(), indent=1, sort_keys=True)
-                + "\n").encode("utf-8")
+        return canonical_document(self.to_dict())
 
     @classmethod
     def from_dict(cls, record: dict) -> "ClosureManifest":

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import json
-
+from repro.core.canonical import canonical_text
 from repro.lint.engine import LintReport, all_rules
 
 
@@ -21,7 +20,7 @@ def render_text(report: LintReport) -> str:
 
 def render_json(report: LintReport) -> str:
     """Machine-readable report (stable key order)."""
-    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    return canonical_text(report.to_dict(), indent=2)
 
 
 def render_rule_catalog() -> str:

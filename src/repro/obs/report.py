@@ -25,6 +25,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.canonical import canonical_document
 from repro.errors import ObservabilityError
 from repro.obs.env import ENVIRONMENT_FIELDS, capture_environment
 from repro.obs.metrics import MetricsRegistry
@@ -148,8 +149,7 @@ class RunReport:
 
     def to_json_bytes(self) -> bytes:
         """Deterministic bytes: sorted keys, fixed indent, one LF."""
-        return (json.dumps(self.to_dict(), indent=1, sort_keys=True)
-                + "\n").encode("utf-8")
+        return canonical_document(self.to_dict())
 
     def save(self, path: str | Path) -> None:
         """Write the report document to ``path``."""

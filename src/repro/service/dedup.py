@@ -13,9 +13,9 @@ reads, which is what lets the service absorb heavy repeat traffic.
 from __future__ import annotations
 
 import hashlib
-import json
 from dataclasses import dataclass, field
 
+from repro.core.canonical import canonical_json
 from repro.recast.requests import ModelSpec
 from repro.recast.results import RecastResult
 
@@ -62,12 +62,10 @@ def dedup_key(analysis_id: str, model: ModelSpec,
     >>> len(key)
     64
     """
-    payload = json.dumps(
+    payload = canonical_json(
         {"analysis": analysis_id, "model": model.to_dict(),
-         "backend": backend_config},
-        sort_keys=True, separators=(",", ":"),
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+         "backend": backend_config})
+    return hashlib.sha256(payload).hexdigest()
 
 
 @dataclass

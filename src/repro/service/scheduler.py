@@ -26,9 +26,9 @@ audited.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 
+from repro.core.canonical import canonical_json
 from repro.errors import QuotaError, ServiceError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, active
@@ -142,8 +142,7 @@ class RecastService:
         Byte-identical across replays of the same submission sequence —
         the artifact determinism tests and the CI replay check compare.
         """
-        lines = [json.dumps(event, sort_keys=True,
-                            separators=(",", ":"))
+        lines = [canonical_json(event).decode("utf-8")
                  for event in self._events]
         return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
 

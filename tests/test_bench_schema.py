@@ -50,6 +50,16 @@ class TestBaselineFiles:
         assert par["files_per_second"] > 0
         assert par["n_findings"] == 0
 
+    def test_lint_baseline_records_the_det_pass(self):
+        # Likewise the determinism pass: zero findings over the
+        # library's own replay roots, timed deterministically.
+        path = REPO_ROOT / "BENCH_lint.json"
+        record = json.loads(path.read_text(encoding="utf-8"))
+        det = record["workloads"]["det_lint_pass"]
+        assert det["byte_identical"] is True
+        assert det["files_per_second"] > 0
+        assert det["n_findings"] == 0
+
     def test_service_baseline_claims_its_properties(self):
         # The service baseline must carry the three claims the
         # subsystem makes: it moves requests, it shares work, and its
