@@ -259,8 +259,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render the metrics snapshot of a run-report JSON file",
     )
     metrics.add_argument("report", help="run report written by --trace-out")
-    metrics.add_argument("--format", choices=("text", "json"),
+    metrics.add_argument("--format", choices=("text", "json", "prom"),
+                         default="text", dest="output_format",
+                         help="'prom' renders Prometheus text "
+                              "exposition (# HELP/# TYPE, escaped "
+                              "labels, cumulative buckets)")
+
+    health = sub.add_parser(
+        "health",
+        help="render a health report written by 'repro serve "
+             "--health-out' (exit code: 0 ok, 1 degraded, 2 failing)",
+    )
+    health.add_argument("report", help="health report JSON file")
+    health.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="output_format")
+
+    profile = sub.add_parser(
+        "profile",
+        help="fold a run report's span tree into a self/cumulative-"
+             "time profile",
+    )
+    profile.add_argument("report", help="run report written by "
+                                        "--trace-out")
+    profile.add_argument("--format", choices=("text", "json"),
                          default="text", dest="output_format")
+    profile.add_argument("--collapsed", metavar="PATH",
+                         help="also write collapsed-stack lines "
+                              "(flamegraph.pl input) to this file")
 
     serve = sub.add_parser(
         "serve",
@@ -283,6 +308,18 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--event-log", metavar="PATH",
                        help="write the request-event log (canonical "
                             "JSON lines) to this file")
+    serve.add_argument("--health-out", metavar="PATH",
+                       help="evaluate the service SLOs over the run's "
+                            "windowed telemetry and write the health "
+                            "report (canonical JSON) to this file; "
+                            "inspect with 'repro health PATH'")
+    serve.add_argument("--slo", metavar="PATH",
+                       help="SLO spec JSON to evaluate instead of the "
+                            "built-in service defaults")
+    serve.add_argument("--telemetry-out", metavar="PATH",
+                       help="write the windowed telemetry snapshot "
+                            "(canonical JSON, deterministic form) to "
+                            "this file")
     serve.add_argument("--write-script", metavar="PATH",
                        help="write the effective submission script to "
                             "this JSON file and exit (use to seed a "
@@ -722,13 +759,43 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_metrics(args) -> int:
-    from repro.obs import RunReport, render_metrics
+    from repro.obs import RunReport, render_metrics, render_prometheus
 
     report = RunReport.load(args.report)
     if args.output_format == "json":
         print(json.dumps(report.metrics, indent=1, sort_keys=True))
+    elif args.output_format == "prom":
+        sys.stdout.write(render_prometheus(report.metrics))
     else:
         print(render_metrics(report.metrics))
+    return 0
+
+
+def _cmd_health(args) -> int:
+    from repro.obs import HealthReport, render_health
+
+    report = HealthReport.load(args.report)
+    if args.output_format == "json":
+        sys.stdout.write(report.to_json_bytes().decode("utf-8"))
+    else:
+        print(render_health(report))
+    return report.exit_code()
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs import RunReport, SpanProfile, render_profile
+
+    profile = SpanProfile.from_report(RunReport.load(args.report))
+    if args.collapsed:
+        Path(args.collapsed).write_text(profile.collapsed(),
+                                        encoding="utf-8")
+        # Status goes to stderr: stdout may be the JSON document.
+        print(f"wrote {len(profile.nodes)} collapsed stack(s) to "
+              f"{args.collapsed}", file=sys.stderr)
+    if args.output_format == "json":
+        sys.stdout.write(profile.to_json_text())
+    else:
+        print(render_profile(profile))
     return 0
 
 
@@ -764,6 +831,21 @@ def _cmd_serve(args) -> int:
     if args.event_log:
         Path(args.event_log).write_bytes(service.event_log_bytes())
         print(f"wrote request-event log to {args.event_log}")
+    if args.telemetry_out:
+        Path(args.telemetry_out).write_bytes(
+            service.telemetry.to_json_bytes(deterministic=True))
+        print(f"wrote telemetry snapshot to {args.telemetry_out}")
+    if args.health_out:
+        from repro.obs import SLOSpec, evaluate_slo
+        from repro.service import default_service_slo
+
+        spec = (SLOSpec.load(args.slo) if args.slo
+                else default_service_slo())
+        health = evaluate_slo(
+            spec, service.telemetry.snapshot(deterministic=True))
+        health.save(args.health_out)
+        print(f"wrote health report ({health.verdict}) to "
+              f"{args.health_out}")
     _write_trace(args, tracer, obs_metrics, provenance={
         "command": "serve",
         "script": str(args.script) if args.script else "<demo>",
@@ -810,6 +892,8 @@ _COMMANDS = {
     "closure": _cmd_closure,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "health": _cmd_health,
+    "profile": _cmd_profile,
     "serve": _cmd_serve,
     "interview": _cmd_interview,
     "table1": _cmd_table1,

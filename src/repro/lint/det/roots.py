@@ -91,3 +91,15 @@ register_replay_root(
     "repro.lint.report.render_json", "lint JSON report")
 register_replay_root(
     "repro.datamodel.io.DatasetWriter.close", "dataset file")
+register_replay_root(
+    "repro.obs.telemetry.TelemetryHub.to_json_bytes",
+    "telemetry snapshot")
+register_replay_root(
+    "repro.obs.slo.HealthReport.to_json_bytes", "health report")
+register_replay_root(
+    "repro.obs.profile.SpanProfile.to_json_bytes", "span profile")
+register_replay_root(
+    "repro.obs.profile.SpanProfile.collapsed", "collapsed stacks")
+register_replay_root(
+    "repro.obs.promexport.render_prometheus",
+    "prometheus exposition")

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import math
 import threading
 from dataclasses import dataclass
 
@@ -131,6 +132,41 @@ class Histogram(_Instrument):
             self.counts[index] += 1
             self.count += 1
             self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """The bucket upper bound covering the ``q``-quantile.
+
+        A fixed-bucket histogram cannot recover exact sample values, so
+        the readout is the *bound* of the bucket the quantile rank
+        falls in — deterministic (no interpolation, no machine
+        dependence) and conservative (never under-reports). Overflow
+        observations answer ``inf``; an empty histogram answers 0.0.
+
+        >>> h = Histogram("h", (), buckets=(1.0, 2.0, 4.0))
+        >>> for v in (0.5, 1.5, 1.5, 3.0):
+        ...     h.observe(v)
+        >>> h.quantile(0.5)
+        2.0
+        >>> h.quantile(1.0)
+        4.0
+        """
+        if not 0.0 < q <= 1.0:
+            raise ObservabilityError(
+                f"quantile must be in (0, 1], got {q}"
+            )
+        with self._lock:
+            total = self.count
+            counts = list(self.counts)
+        if total == 0:
+            return 0.0
+        # The 1-based rank of the order statistic the quantile names.
+        rank = max(1, math.ceil(q * total))
+        running = 0
+        for index, bound in enumerate(self.buckets):
+            running += counts[index]
+            if running >= rank:
+                return bound
+        return float("inf")
 
 
 class MetricsRegistry:
@@ -238,13 +274,25 @@ class MetricsRegistry:
 
 
 def render_metrics(snapshot: dict) -> str:
-    """Plain-text rendering of one metrics snapshot."""
+    """Plain-text rendering of one metrics snapshot.
+
+    Label values are escaped Prometheus-style (backslash, quote, and
+    newline) so a label carrying arbitrary text — a dataset title, a
+    file path — can never corrupt the line structure of the rendering.
+    For the full ``# HELP``/``# TYPE`` exposition document, see
+    :func:`repro.obs.promexport.render_prometheus`.
+    """
+    from repro.obs.promexport import escape_label_value
+
     lines: list[str] = []
 
     def label_suffix(labels: dict) -> str:
         if not labels:
             return ""
-        inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        inner = ",".join(
+            f'{k}="{escape_label_value(v)}"'
+            for k, v in sorted(labels.items())
+        )
         return "{" + inner + "}"
 
     for counter in snapshot.get("counters", []):

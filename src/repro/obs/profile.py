@@ -1,0 +1,327 @@
+"""Span profiling: self/cumulative time over the recorded span tree.
+
+A trace answers "what executed"; a profile answers "where did the time
+go". This module folds the span tree of a :class:`~repro.obs.RunReport`
+into a deterministic profile: spans are grouped by *name path* (the
+chain of span names from the root down), and each node carries call
+counts plus cumulative and self time in integer microseconds.
+
+Two invariants make the profile preservable evidence rather than a
+debugging convenience:
+
+1. **Exact telescoping** — ``self == cum - sum(child cums)`` at every
+   node, with integer microsecond arithmetic, so the self-time totals
+   of any subtree sum *exactly* to that subtree root's cumulative
+   time. A node whose children's rounded times exceed its own is
+   widened to the children's total (never clamped), keeping the
+   identity exact instead of approximately true.
+2. **Deterministic fallback** — a report built deterministically has
+   all durations normalized to zero; the profile then weights nodes by
+   *call counts* instead and says so in its ``unit`` field, so replay
+   CI can byte-compare profile exports the same way it compares event
+   logs.
+
+Exports: canonical JSON (:meth:`SpanProfile.to_json_bytes`), collapsed
+stacks compatible with Brendan Gregg's ``flamegraph.pl``
+(:meth:`SpanProfile.collapsed`), and an ASCII table
+(:func:`render_profile`) behind ``repro profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.canonical import canonical_document, canonical_text
+from repro.errors import ObservabilityError
+
+#: Schema identity of the profile document.
+PROFILE_FORMAT = "repro-span-profile"
+PROFILE_SCHEMA_VERSION = 1
+
+#: Weight units a profile can carry.
+UNIT_MICROSECONDS = "microseconds"
+UNIT_CALLS = "calls"
+
+#: Frame separator of the collapsed-stack format.
+_FRAME_SEP = ";"
+
+
+def _span_us(duration: float) -> int:
+    """One span's duration as integer microseconds (round-half-even)."""
+    return int(round(float(duration) * 1_000_000.0))
+
+
+@dataclass
+class ProfileNode:
+    """One aggregation point: every span sharing one name path."""
+
+    path: tuple
+    calls: int = 0
+    errors: int = 0
+    cum_us: int = 0
+    self_us: int = 0
+
+    @property
+    def name(self) -> str:
+        """The leaf frame of this node's path."""
+        return self.path[-1]
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth (roots are depth 0)."""
+        return len(self.path) - 1
+
+    def to_dict(self) -> dict:
+        """Serialise for the profile document."""
+        return {
+            "path": list(self.path),
+            "calls": self.calls,
+            "errors": self.errors,
+            "cum_us": self.cum_us,
+            "self_us": self.self_us,
+        }
+
+
+@dataclass
+class SpanProfile:
+    """The folded profile of one run's span tree."""
+
+    trace_id: str
+    unit: str
+    nodes: list = field(default_factory=list)
+
+    @classmethod
+    def from_spans(cls, spans: list[dict], *, trace_id: str = "trace",
+                   deterministic: bool = False) -> "SpanProfile":
+        """Fold exported span records into a profile.
+
+        ``spans`` are run-report span records (dicts with ``name``,
+        ``span_id``, ``parent_id``, ``duration``, ``status``), ordered
+        so parents precede children — the order
+        :func:`~repro.obs.report.export_spans` guarantees.
+        """
+        by_id: dict[str, dict] = {}
+        paths: dict[str, tuple] = {}
+        children: dict[str | None, list[dict]] = {}
+        for span in spans:
+            parent_id = span["parent_id"]
+            if parent_id is not None and parent_id not in by_id:
+                raise ObservabilityError(
+                    f"span {span['name']!r} references parent "
+                    f"{parent_id!r} which does not precede it"
+                )
+            by_id[span["span_id"]] = span
+            parent_path = paths[parent_id] if parent_id else ()
+            paths[span["span_id"]] = parent_path + (span["name"],)
+            children.setdefault(parent_id, []).append(span)
+
+        # Bottom-up pass (children carry higher sequence numbers, so a
+        # reverse sweep sees every child before its parent): a span's
+        # cumulative microseconds are its own rounded duration, widened
+        # to its children's total where rounding made that larger, so
+        # the telescoping identity holds in exact integer arithmetic.
+        cum_us: dict[str, int] = {}
+        self_us: dict[str, int] = {}
+        for span in reversed(spans):
+            span_id = span["span_id"]
+            child_total = sum(
+                cum_us[child["span_id"]]
+                for child in children.get(span_id, ())
+            )
+            own = max(_span_us(span["duration"]), child_total)
+            cum_us[span_id] = own
+            self_us[span_id] = own - child_total
+
+        nodes: dict[tuple, ProfileNode] = {}
+        for span in spans:
+            path = paths[span["span_id"]]
+            node = nodes.get(path)
+            if node is None:
+                node = ProfileNode(path=path)
+                nodes[path] = node
+            node.calls += 1
+            if span["status"] != "ok":
+                node.errors += 1
+            node.cum_us += cum_us[span["span_id"]]
+            node.self_us += self_us[span["span_id"]]
+
+        unit = UNIT_CALLS if deterministic else UNIT_MICROSECONDS
+        ordered = [nodes[path] for path in sorted(nodes)]
+        return cls(trace_id=trace_id, unit=unit, nodes=ordered)
+
+    @classmethod
+    def from_report(cls, report) -> "SpanProfile":
+        """Profile one :class:`~repro.obs.RunReport`."""
+        return cls.from_spans(
+            report.spans,
+            trace_id=report.trace_id,
+            deterministic=report.deterministic,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def deterministic(self) -> bool:
+        """True when weights are call counts, not clock readings."""
+        return self.unit == UNIT_CALLS
+
+    def root_nodes(self) -> list:
+        """The depth-0 nodes of the profile."""
+        return [node for node in self.nodes if node.depth == 0]
+
+    @property
+    def total_us(self) -> int:
+        """Cumulative microseconds across every root node.
+
+        Equal — exactly — to the sum of every node's ``self_us``; the
+        telescoping identity the collapsed export relies on.
+        """
+        return sum(node.cum_us for node in self.root_nodes())
+
+    def _weight(self, node: ProfileNode) -> int:
+        return node.calls if self.deterministic else node.self_us
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """Collapsed-stack lines (``flamegraph.pl`` input format).
+
+        One ``frame;frame;frame weight`` line per node with non-zero
+        weight, sorted by path. Weights are self-microseconds (or calls
+        for deterministic reports); their sum equals :attr:`total_us`
+        (or total calls) by construction.
+        """
+        lines = []
+        for node in self.nodes:
+            weight = self._weight(node)
+            if weight <= 0:
+                continue
+            lines.append(
+                _FRAME_SEP.join(node.path) + " " + str(weight)
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict:
+        """The schema-versioned profile document."""
+        return {
+            "format": PROFILE_FORMAT,
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "trace_id": self.trace_id,
+            "unit": self.unit,
+            "total_us": self.total_us,
+            "n_nodes": len(self.nodes),
+            "nodes": [node.to_dict() for node in self.nodes],
+        }
+
+    def to_json_bytes(self) -> bytes:
+        """Deterministic bytes: sorted keys, fixed indent, one LF."""
+        return canonical_document(self.to_dict())
+
+    def to_json_text(self) -> str:
+        """The profile document as canonical text."""
+        return canonical_text(self.to_dict())
+
+
+def validate_profile(record: dict) -> None:
+    """Structural validation of one profile document.
+
+    Checks the envelope, node shapes, path prefix links, and the
+    telescoping identity ``self == cum - sum(child cums)`` node by
+    node. Raises :class:`~repro.errors.ObservabilityError` on the
+    first violation.
+    """
+    if not isinstance(record, dict):
+        raise ObservabilityError("profile must be a JSON object")
+    if record.get("format") != PROFILE_FORMAT:
+        raise ObservabilityError(
+            f"profile format {record.get('format')!r} is not "
+            f"{PROFILE_FORMAT!r}"
+        )
+    if record.get("schema_version") != PROFILE_SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"profile schema version "
+            f"{record.get('schema_version')!r} is not "
+            f"{PROFILE_SCHEMA_VERSION}"
+        )
+    if record.get("unit") not in (UNIT_MICROSECONDS, UNIT_CALLS):
+        raise ObservabilityError(
+            f"profile unit {record.get('unit')!r} is unknown"
+        )
+    nodes = record.get("nodes")
+    if not isinstance(nodes, list):
+        raise ObservabilityError("profile needs a 'nodes' list")
+    child_cums: dict[tuple, int] = {}
+    paths: dict[tuple, dict] = {}
+    for node in nodes:
+        if not isinstance(node, dict):
+            raise ObservabilityError(f"malformed node: {node!r}")
+        for key in ("path", "calls", "errors", "cum_us", "self_us"):
+            if key not in node:
+                raise ObservabilityError(
+                    f"profile node is missing {key!r}: {node!r}"
+                )
+        path = tuple(node["path"])
+        if not path:
+            raise ObservabilityError("profile node has an empty path")
+        if path in paths:
+            raise ObservabilityError(
+                f"duplicate profile path {list(path)!r}"
+            )
+        paths[path] = node
+        if len(path) > 1:
+            child_cums[path[:-1]] = (
+                child_cums.get(path[:-1], 0) + int(node["cum_us"])
+            )
+    for path in sorted(paths):
+        if len(path) > 1 and path[:-1] not in paths:
+            raise ObservabilityError(
+                f"profile path {list(path)!r} has no parent node"
+            )
+        node = paths[path]
+        expected = int(node["cum_us"]) - child_cums.get(path, 0)
+        if int(node["self_us"]) != expected:
+            raise ObservabilityError(
+                f"profile node {list(path)!r} breaks the telescoping "
+                f"identity: self_us {node['self_us']} != cum_us "
+                f"{node['cum_us']} - children {child_cums.get(path, 0)}"
+            )
+    roots_total = sum(int(node["cum_us"]) for p, node in sorted(paths.items())
+                      if len(p) == 1)
+    if record.get("total_us") != roots_total:
+        raise ObservabilityError(
+            f"profile total_us {record.get('total_us')!r} does not "
+            f"match the root sum {roots_total}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Rendering (the ``repro profile`` view)
+# ----------------------------------------------------------------------
+
+def render_profile(profile: SpanProfile) -> str:
+    """ASCII table of the profile, hottest self-weight first."""
+    unit = "calls" if profile.deterministic else "us"
+    header = (
+        f"profile {profile.trace_id!r} — {len(profile.nodes)} "
+        f"node(s), total {profile.total_us} us"
+        + (" (deterministic: weights are call counts)"
+           if profile.deterministic else "")
+    )
+    lines = [header,
+             f"{'self(' + unit + ')':>12} {'cum(us)':>12} "
+             f"{'calls':>7} {'errors':>7}  path"]
+    ranked = sorted(
+        profile.nodes,
+        key=lambda node: (-profile._weight(node), node.path),
+    )
+    for node in ranked:
+        lines.append(
+            f"{profile._weight(node):>12} {node.cum_us:>12} "
+            f"{node.calls:>7} {node.errors:>7}  "
+            + _FRAME_SEP.join(node.path)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,467 @@
+"""Windowed service telemetry: deterministic time-series aggregation.
+
+:mod:`repro.obs.metrics` answers *how much happened over the whole
+run*; a long-running service needs the layer above it — *how much is
+happening now*, comparable window by window, so objectives
+(:mod:`repro.obs.slo`) can be evaluated continuously instead of once
+at shutdown. This module supplies that layer without giving up the
+library's replay contract:
+
+- **Clock injection.** A :class:`TelemetryHub` reads time only from
+  the injected :class:`~repro.runtime.Clock` — ``LogicalClock`` ticks
+  under deterministic replay, ``MonotonicClock`` in production — so
+  window boundaries are a pure function of the workload, never of the
+  machine.
+- **Fixed window grids.** A :class:`WindowSpec` places windows at
+  ``k * stride`` for integer ``k`` (tumbling when ``stride == width``,
+  sliding when ``stride < width``); two replays bin observations into
+  the same windows by construction.
+- **Exact quantile readout.** Each window keeps its observations until
+  it closes, then reduces them to count/sum/min/max, fixed-boundary
+  bucket occupancies, and *exact* quantiles at the fixed grid
+  (:data:`QUANTILE_GRID`) computed from the sorted values — no
+  estimation, no randomness, bounded memory after close.
+
+The timing-normalization convention of the metrics layer carries over:
+series named ``*_seconds`` / ``*_utilization`` are machine-derived, so
+deterministic snapshots zero their values while keeping observation
+counts (see :func:`repro.obs.metrics.is_timing_metric`).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from repro.core.canonical import canonical_document
+from repro.errors import ObservabilityError
+from repro.obs.metrics import _label_key, is_timing_metric
+from repro.runtime.clock import Clock
+
+#: Default value-distribution bucket bounds (clock-unit flavoured).
+DEFAULT_WINDOW_BUCKETS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: The fixed quantile grid every closed window reports exactly.
+QUANTILE_GRID = (0.5, 0.9, 0.95, 0.99, 1.0)
+
+#: Schema identity of the telemetry snapshot document.
+TELEMETRY_FORMAT = "repro-telemetry"
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+def quantile_label(q: float) -> str:
+    """The snapshot key of one grid quantile (``0.95`` -> ``"p95"``).
+
+    >>> quantile_label(0.5), quantile_label(0.99), quantile_label(1.0)
+    ('p50', 'p99', 'p100')
+    """
+    return "p" + str(int(round(q * 100.0)))
+
+
+def exact_quantile(ordered: list, q: float) -> float:
+    """The exact ``q``-quantile of an ascending value list.
+
+    Uses the inverse-empirical-CDF definition (the smallest value with
+    at least ``q`` of the mass at or below it): index
+    ``ceil(q * n) - 1``. Deterministic, no interpolation — the value
+    returned was observed.
+    """
+    if not ordered:
+        raise ObservabilityError("quantile of an empty window")
+    if not 0.0 < q <= 1.0:
+        raise ObservabilityError(
+            f"quantile must be in (0, 1], got {q}"
+        )
+    index = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A deterministic window grid: width plus stride.
+
+    Windows are the half-open intervals ``[k*stride, k*stride+width)``
+    for every non-negative integer ``k``. ``stride == width`` is a
+    tumbling grid (every instant in exactly one window);
+    ``stride < width`` is sliding (overlapping windows, each instant
+    in ``width/stride`` of them).
+    """
+
+    width: float = 8.0
+    stride: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0:
+            raise ObservabilityError(
+                f"window width must be > 0, got {self.width}"
+            )
+        if self.stride is None:
+            object.__setattr__(self, "stride", float(self.width))
+        if not 0.0 < self.stride <= self.width:
+            raise ObservabilityError(
+                f"window stride must satisfy 0 < stride <= width, got "
+                f"stride={self.stride} width={self.width}"
+            )
+        object.__setattr__(self, "width", float(self.width))
+        object.__setattr__(self, "stride", float(self.stride))
+
+    @property
+    def kind(self) -> str:
+        """``"tumbling"`` or ``"sliding"``."""
+        return "tumbling" if self.stride == self.width else "sliding"
+
+    def indices_for(self, time: float) -> range:
+        """Every window index whose interval contains ``time``."""
+        if time < 0.0:
+            raise ObservabilityError(
+                f"telemetry time cannot be negative, got {time}"
+            )
+        high = math.floor(time / self.stride)
+        low = max(0, math.floor((time - self.width) / self.stride) + 1)
+        # Half-open upper edge: a value exactly on (k*stride + width)
+        # belongs to the next window, not this one.
+        if low * self.stride + self.width <= time:
+            low += 1
+        return range(low, high + 1)
+
+    def start_of(self, index: int) -> float:
+        """The inclusive start time of window ``index``."""
+        return index * self.stride
+
+    def end_of(self, index: int) -> float:
+        """The exclusive end time of window ``index``."""
+        return index * self.stride + self.width
+
+    def to_dict(self) -> dict:
+        """Serialise for telemetry snapshots and SLO specs."""
+        return {"width": self.width, "stride": self.stride,
+                "kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "WindowSpec":
+        """Inverse of :meth:`to_dict`; ``kind`` is derived, not read."""
+        unknown = set(record) - {"width", "stride", "kind"}
+        if unknown:
+            raise ObservabilityError(
+                f"unknown window-spec fields: {sorted(unknown)}"
+            )
+        return cls(width=float(record.get("width", 8.0)),
+                   stride=(float(record["stride"])
+                           if record.get("stride") is not None
+                           else None))
+
+
+class _WindowAccumulator:
+    """One open window collecting observations until it closes."""
+
+    __slots__ = ("index", "values",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.values: list[float] = []
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """One closed window, reduced to its deterministic aggregate."""
+
+    start: float
+    end: float
+    count: int
+    sum: float
+    min: float
+    max: float
+    bucket_counts: tuple
+    quantiles: tuple
+
+    def to_dict(self) -> dict:
+        """Serialise for the telemetry snapshot."""
+        quantiles = {}
+        for position, q in enumerate(QUANTILE_GRID):
+            quantiles[quantile_label(q)] = self.quantiles[position]
+        return {
+            "start": self.start,
+            "end": self.end,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "bucket_counts": list(self.bucket_counts),
+            "quantiles": quantiles,
+        }
+
+
+class WindowedSeries:
+    """One named, labelled stream of ``(time, value)`` observations.
+
+    Observations land in every grid window containing their time;
+    :meth:`close_upto` reduces each window whose end has passed into a
+    :class:`WindowRecord` (count, sum, min, max, fixed-boundary bucket
+    occupancies, exact grid quantiles) and drops the raw values.
+    Windows that saw no observations emit nothing — absence of traffic
+    is represented by absence of windows, which replays identically.
+    """
+
+    def __init__(self, name: str, labels: tuple, spec: WindowSpec,
+                 buckets: tuple = DEFAULT_WINDOW_BUCKETS) -> None:
+        if not name:
+            raise ObservabilityError("series needs a non-empty name")
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2
+                             in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"series {name!r} bucket bounds must be a non-empty "
+                f"strictly ascending sequence, got {bounds}"
+            )
+        self.name = name
+        self.labels = labels
+        self.spec = spec
+        self.buckets = bounds
+        self._open: dict[int, _WindowAccumulator] = {}
+        self._closed: list[WindowRecord] = []
+        self._observations = 0
+
+    def label_dict(self) -> dict:
+        """The label set as a plain dict for export."""
+        return {key: value for key, value in self.labels}
+
+    @property
+    def n_observations(self) -> int:
+        """Total observations recorded into this series."""
+        return self._observations
+
+    def observe(self, time: float, value: float) -> None:
+        """Record one observation at one instant."""
+        value = float(value)
+        self._observations += 1
+        for index in self.spec.indices_for(float(time)):
+            window = self._open.get(index)
+            if window is None:
+                window = _WindowAccumulator(index)
+                self._open[index] = window
+            window.values.append(value)
+
+    def close_upto(self, now: float, *, final: bool = False) -> int:
+        """Reduce every window whose end has passed; returns how many.
+
+        ``final=True`` also closes windows still inside their interval
+        — the end-of-run flush, when no further observations can
+        arrive because the clock drives the workload.
+        """
+        ready = []
+        for index in sorted(self._open):
+            if final or self.spec.end_of(index) <= now:
+                ready.append(index)
+        for index in ready:
+            window = self._open.pop(index)
+            self._closed.append(self._reduce(window))
+        return len(ready)
+
+    def _reduce(self, window: _WindowAccumulator) -> WindowRecord:
+        ordered = sorted(window.values)
+        counts = [0] * (len(self.buckets) + 1)
+        for value in ordered:
+            position = 0
+            while (position < len(self.buckets)
+                   and value > self.buckets[position]):
+                position += 1
+            counts[position] += 1
+        return WindowRecord(
+            start=self.spec.start_of(window.index),
+            end=self.spec.end_of(window.index),
+            count=len(ordered),
+            sum=math.fsum(ordered),
+            min=ordered[0],
+            max=ordered[-1],
+            bucket_counts=tuple(counts),
+            quantiles=tuple(exact_quantile(ordered, q)
+                            for q in QUANTILE_GRID),
+        )
+
+    @property
+    def windows(self) -> list[WindowRecord]:
+        """Every closed window, in grid order."""
+        return list(self._closed)
+
+    def to_dict(self, *, deterministic: bool = False) -> dict:
+        """Serialise the series and its closed windows.
+
+        In deterministic mode, timing-derived series (``*_seconds`` /
+        ``*_utilization`` names) keep their window boundaries and
+        observation counts but zero every machine-dependent value.
+        """
+        normalize = deterministic and is_timing_metric(self.name)
+        windows = []
+        for record in self._closed:
+            entry = record.to_dict()
+            if normalize:
+                entry["sum"] = 0.0
+                entry["min"] = 0.0
+                entry["max"] = 0.0
+                entry["bucket_counts"] = [0] * len(
+                    entry["bucket_counts"])
+                zeroed = {}
+                for key in sorted(entry["quantiles"]):
+                    zeroed[key] = 0.0
+                entry["quantiles"] = zeroed
+            windows.append(entry)
+        return {
+            "name": self.name,
+            "labels": self.label_dict(),
+            "window": self.spec.to_dict(),
+            "buckets": list(self.buckets),
+            "n_observations": self._observations,
+            "windows": windows,
+        }
+
+
+class TelemetryHub:
+    """The per-service home of every windowed series.
+
+    Mirrors :class:`~repro.obs.metrics.MetricsRegistry`: series are
+    created on first use and shared thereafter, keyed by
+    ``(name, label set)``. Time comes exclusively from the injected
+    clock; a hub constructed with ``enabled=False`` is the no-op
+    variant instrumented code can keep calling for one branch per
+    observation.
+    """
+
+    def __init__(self, clock: Clock, *,
+                 spec: WindowSpec | None = None,
+                 enabled: bool = True) -> None:
+        self.clock = clock
+        self.spec = spec if spec is not None else WindowSpec()
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._series: dict[tuple, WindowedSeries] = {}
+
+    def series(self, name: str,
+               buckets: tuple = DEFAULT_WINDOW_BUCKETS,
+               **labels) -> WindowedSeries:
+        """Get or create the series ``name`` with ``labels``.
+
+        ``buckets`` only takes effect at creation; a later caller
+        asking for different bounds under the same identity is a bug.
+        """
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._series.get(key)
+            if existing is None:
+                existing = WindowedSeries(name, _label_key(labels),
+                                          self.spec, buckets)
+                self._series[key] = existing
+            elif existing.buckets != tuple(float(b) for b in buckets):
+                raise ObservabilityError(
+                    f"series {name!r} already exists with bounds "
+                    f"{existing.buckets}"
+                )
+            return existing
+
+    def observe(self, name: str, value: float,
+                buckets: tuple = DEFAULT_WINDOW_BUCKETS,
+                **labels) -> None:
+        """Record ``value`` on series ``name`` at the clock's now."""
+        if not self.enabled:
+            return
+        series = self.series(name, buckets, **labels)
+        with self._lock:
+            series.observe(self.clock.now(), value)
+
+    def event(self, name: str, **labels) -> None:
+        """Record one unit-valued occurrence (a windowed counter)."""
+        self.observe(name, 1.0, **labels)
+
+    def flush(self, *, final: bool = False) -> int:
+        """Close every window the clock has moved past; returns how
+        many closed. ``final=True`` is the end-of-run flush closing
+        still-open windows too."""
+        if not self.enabled:
+            return 0
+        now = self.clock.now()
+        closed = 0
+        with self._lock:
+            for key in sorted(self._series):
+                closed += self._series[key].close_upto(now, final=final)
+        return closed
+
+    @property
+    def n_observations(self) -> int:
+        """Total observations across every series."""
+        with self._lock:
+            return sum(series.n_observations
+                       for series in self._series.values())
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def snapshot(self, *, deterministic: bool = False) -> dict:
+        """Every series and its closed windows as one document.
+
+        Series sort by ``(name, labels)``; only *closed* windows are
+        exported (call :meth:`flush` first — ``final=True`` at end of
+        run). Deterministic mode applies the timing-normalization
+        convention per series.
+        """
+        with self._lock:
+            ordered = sorted(self._series.values(),
+                             key=lambda s: (s.name, s.labels))
+            series = [entry.to_dict(deterministic=deterministic)
+                      for entry in ordered]
+        return {
+            "format": TELEMETRY_FORMAT,
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "deterministic": deterministic,
+            "window": self.spec.to_dict(),
+            "series": series,
+        }
+
+    def to_json_bytes(self, *, deterministic: bool = False) -> bytes:
+        """Deterministic bytes: sorted keys, fixed indent, one LF."""
+        return canonical_document(
+            self.snapshot(deterministic=deterministic))
+
+
+def validate_telemetry_snapshot(record: dict) -> None:
+    """Structural validation of one telemetry snapshot document.
+
+    Raises :class:`~repro.errors.ObservabilityError` naming the first
+    violation.
+    """
+    if not isinstance(record, dict):
+        raise ObservabilityError(
+            "telemetry snapshot must be a JSON object")
+    if record.get("format") != TELEMETRY_FORMAT:
+        raise ObservabilityError(
+            f"telemetry format {record.get('format')!r} is not "
+            f"{TELEMETRY_FORMAT!r}"
+        )
+    if record.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"telemetry schema version "
+            f"{record.get('schema_version')!r} is not "
+            f"{TELEMETRY_SCHEMA_VERSION}"
+        )
+    series = record.get("series")
+    if not isinstance(series, list):
+        raise ObservabilityError(
+            "telemetry snapshot needs a 'series' list")
+    for entry in series:
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ObservabilityError(
+                f"malformed telemetry series entry: {entry!r}")
+        WindowSpec.from_dict(entry.get("window", {}))
+        for window in entry.get("windows", ()):
+            expected = len(entry.get("buckets", ())) + 1
+            if len(window.get("bucket_counts", ())) != expected:
+                raise ObservabilityError(
+                    f"series {entry['name']!r} window at "
+                    f"{window.get('start')} needs {expected} bucket "
+                    f"counts"
+                )
+            if window.get("count", 0) < 0:
+                raise ObservabilityError(
+                    f"series {entry['name']!r} window count cannot "
+                    f"be negative"
+                )

@@ -9,7 +9,7 @@ to the serial loop it replaces. :func:`derive_seed` is the deterministic
 per-work-unit seeding rule that makes the independence real.
 """
 
-from repro.runtime.clock import LogicalClock, MonotonicClock
+from repro.runtime.clock import Clock, LogicalClock, MonotonicClock
 from repro.runtime.policy import MODES, ExecutionPolicy
 from repro.runtime.scheduler import (
     chunked,
@@ -26,6 +26,7 @@ from repro.runtime.workers import (
 
 __all__ = [
     "MODES",
+    "Clock",
     "ExecutionPolicy",
     "LogicalClock",
     "MonotonicClock",

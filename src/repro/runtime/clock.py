@@ -24,7 +24,29 @@ import time
 from repro.errors import ExecutionError
 
 
-class LogicalClock:
+class Clock:
+    """The interface every injectable time source satisfies.
+
+    Components that reason about elapsed time (lease tables, telemetry
+    windows, backoff schedules) accept any object with this shape and
+    never read the machine clock themselves. ``tick`` is the step a
+    default :meth:`advance` takes — zero for sources that advance on
+    their own.
+    """
+
+    #: Default advance step; 0.0 for self-advancing sources.
+    tick: float = 0.0
+
+    def now(self) -> float:
+        """The current time in this source's units."""
+        raise NotImplementedError
+
+    def advance(self, amount: float | None = None) -> float:
+        """Move time forward where the source permits it."""
+        raise NotImplementedError
+
+
+class LogicalClock(Clock):
     """A deterministic clock that advances only on demand.
 
     ``tick`` is the default step :meth:`advance` takes — one scheduling
@@ -60,7 +82,7 @@ class LogicalClock:
         return self._now
 
 
-class MonotonicClock:
+class MonotonicClock(Clock):
     """The real monotonic clock behind the same ``now()`` interface.
 
     :meth:`advance` is a no-op — real time advances itself — so driver

@@ -33,6 +33,7 @@ from repro.service.pool import (
 from repro.service.queue import FairShareQueue, QueueEntry
 from repro.service.scheduler import RecastService, SubmitTicket
 from repro.service.script import (
+    default_service_slo,
     demo_api,
     demo_script,
     load_script,
@@ -58,6 +59,7 @@ __all__ = [
     "WorkerCrash",
     "backend_fingerprint",
     "dedup_key",
+    "default_service_slo",
     "demo_api",
     "demo_script",
     "execute_lease",

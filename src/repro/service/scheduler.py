@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.core.canonical import canonical_json
 from repro.errors import QuotaError, ServiceError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TelemetryHub
 from repro.obs.trace import Tracer, active
 from repro.recast.api import RecastAPI
 from repro.recast.requests import ModelSpec, RequestStatus
@@ -87,6 +88,8 @@ class _Execution:
     experiment: str
     attempt: int = 0
     request_ids: list[str] = field(default_factory=list)
+    #: Clock reading of the last (re-)queueing — wait-time origin.
+    enqueued_at: float = 0.0
 
 
 class RecastService:
@@ -101,6 +104,7 @@ class RecastService:
         policy: ExecutionPolicy | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        telemetry: TelemetryHub | None = None,
     ) -> None:
         self.api = api
         self.config = config if config is not None else ServiceConfig()
@@ -108,6 +112,12 @@ class RecastService:
         self.policy = policy
         self._tracer = active(tracer)
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Windowed per-tenant series, keyed on the service clock. The
+        #: default hub shares ``self.clock``, so telemetry windows are
+        #: as replayable as the event log; pass ``telemetry`` to share
+        #: a hub across services or to disable collection.
+        self._telemetry = (telemetry if telemetry is not None
+                           else TelemetryHub(self.clock))
         self.queue = FairShareQueue()
         self.leases = LeaseTable()
         self.cache = ResultCache()
@@ -177,6 +187,7 @@ class RecastService:
             analysis_id, model, requester or tenant
         )
         self._metrics.counter("service.submissions", tenant=tenant).inc()
+        self._telemetry.event("service.submissions", tenant=tenant)
 
         with self._tracer.span("service.submit", tenant=tenant,
                                analysis=analysis_id) as span:
@@ -192,6 +203,8 @@ class RecastService:
                                    "answered from result cache")
                 self._metrics.counter("service.cache_hits",
                                       tenant=tenant).inc()
+                self._telemetry.event("service.cache_hits",
+                                      tenant=tenant)
                 span.set("ticket", TICKET_CACHED)
                 self._record("cache_hit", tenant=tenant, key=key,
                              request_id=request.request_id)
@@ -208,6 +221,8 @@ class RecastService:
                 existing.request_ids.append(request.request_id)
                 self._metrics.counter("service.dedup_hits",
                                       tenant=tenant).inc()
+                self._telemetry.event("service.dedup_hits",
+                                      tenant=tenant)
                 span.set("ticket", TICKET_SUBSCRIBED)
                 self._record("dedup_subscribe", tenant=tenant, key=key,
                              request_id=request.request_id,
@@ -226,6 +241,8 @@ class RecastService:
                 self.api.reject(request.request_id, str(quota))
                 self._metrics.counter("service.quota_rejections",
                                       tenant=tenant).inc()
+                self._telemetry.event("service.admission_rejections",
+                                      tenant=tenant)
                 span.set("ticket", TICKET_REJECTED)
                 self._record("quota_reject", tenant=tenant, key=key,
                              request_id=request.request_id,
@@ -240,7 +257,9 @@ class RecastService:
                 sequence=self._sequence, analysis_id=analysis_id,
                 model=model, experiment=experiment,
                 request_ids=[request.request_id],
+                enqueued_at=self.clock.now(),
             )
+            self._telemetry.event("service.admissions", tenant=tenant)
             span.set("ticket", TICKET_QUEUED)
             self._record("enqueue", tenant=tenant, key=key,
                          request_id=request.request_id,
@@ -265,7 +284,9 @@ class RecastService:
             tasks = self._grant_leases(now)
             committed = self._dispatch(tasks)
             self._update_depth_gauges()
+            self._sample_depth_series(now)
             self.clock.advance()
+            self._telemetry.flush()
             self._steps += 1
         return committed
 
@@ -297,6 +318,8 @@ class RecastService:
             primary = self.api.get_request(execution.request_ids[0])
             self._metrics.counter("service.leases_expired",
                                   tenant=lease.tenant).inc()
+            self._telemetry.event("service.lease_expiries",
+                                  tenant=lease.tenant)
             self._record("lease_expire", key=lease.key,
                          lease_id=lease.lease_id,
                          tenant=lease.tenant, attempt=lease.attempt)
@@ -316,6 +339,8 @@ class RecastService:
                 self._backoff[lease.key] = now + delay
                 self._metrics.counter("service.retries",
                                       tenant=lease.tenant).inc()
+                self._telemetry.event("service.lease_retries",
+                                      tenant=lease.tenant)
                 self._record("retry_scheduled", key=lease.key,
                              tenant=lease.tenant,
                              attempt=execution.attempt,
@@ -329,6 +354,7 @@ class RecastService:
             execution = self._executions[key]
             primary = self.api.get_request(execution.request_ids[0])
             primary.transition(RequestStatus.QUEUED, "backoff complete")
+            execution.enqueued_at = now
             self.queue.push(
                 QueueEntry(key=key, tenant=execution.tenant,
                            priority=execution.priority,
@@ -355,6 +381,10 @@ class RecastService:
             primary.transition(RequestStatus.LEASED, lease.lease_id)
             self._metrics.counter("service.leases_granted",
                                   tenant=entry.tenant).inc()
+            self._telemetry.event("service.leases", tenant=entry.tenant)
+            self._telemetry.observe("service.wait_time",
+                                    now - execution.enqueued_at,
+                                    tenant=entry.tenant)
             self._record("lease_grant", key=entry.key,
                          lease_id=lease.lease_id, tenant=entry.tenant,
                          attempt=execution.attempt,
@@ -410,6 +440,13 @@ class RecastService:
                 )
             self._metrics.counter("service.commits",
                                   tenant=execution.tenant).inc()
+            self._telemetry.event("service.commits",
+                                  tenant=execution.tenant)
+            self._telemetry.observe(
+                "service.backend_seconds",
+                self.clock.now() - lease.granted_at,
+                tenant=execution.tenant,
+            )
             self._finish(execution, "committed",
                          fanout=len(execution.request_ids))
         else:
@@ -420,6 +457,8 @@ class RecastService:
             self._fail_subscribers(execution, outcome.error)
             self._metrics.counter("service.backend_failures",
                                   tenant=execution.tenant).inc()
+            self._telemetry.event("service.backend_failures",
+                                  tenant=execution.tenant)
             self._finish(execution, "failed", reason=outcome.error)
         return 1
 
@@ -446,6 +485,15 @@ class RecastService:
                                 tenant=tenant).set(depth)
         self._metrics.gauge("service.inflight").set(len(self.leases))
 
+    def _sample_depth_series(self, now: float) -> None:
+        """One windowed depth sample per registered tenant per round."""
+        depths = self.queue.depths()
+        for tenant in sorted(depths):
+            self._telemetry.observe("service.queue_depth",
+                                    depths[tenant], tenant=tenant)
+        self._telemetry.observe("service.inflight",
+                                float(len(self.leases)))
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -459,6 +507,11 @@ class RecastService:
     def tracer(self) -> Tracer:
         """The service's tracer."""
         return self._tracer
+
+    @property
+    def telemetry(self) -> TelemetryHub:
+        """The service's windowed telemetry hub."""
+        return self._telemetry
 
     def pending_executions(self) -> int:
         """Executions still queued, leased, or backing off."""

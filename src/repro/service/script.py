@@ -33,6 +33,7 @@ from pathlib import Path
 
 from repro.errors import ServiceError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TelemetryHub
 from repro.obs.trace import Tracer
 from repro.recast.api import RecastAPI
 from repro.recast.backend import FullChainBackend
@@ -102,19 +103,24 @@ def run_script(
     policy: ExecutionPolicy | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    telemetry: TelemetryHub | None = None,
 ) -> tuple[RecastService, list[SubmitTicket]]:
     """Replay one submission script against one RecastAPI.
 
     Builds the service with a fresh :class:`~repro.runtime.LogicalClock`
     (the script is the only source of time), applies the actions in
     order, drains trailing work, and returns the service plus every
-    ticket issued — all a pure function of ``(api, script)``.
+    ticket issued — all a pure function of ``(api, script)``. The
+    service's telemetry windows are flushed (``final=True``) before
+    returning, so the snapshot covers the whole run; pass ``telemetry``
+    to substitute a pre-built (for example disabled) hub — a hub with
+    its own clock will not see the script's logical time.
     """
     validate_script(script)
     config = ServiceConfig.from_dict(script.get("config", {}))
     service = RecastService(api, config, clock=LogicalClock(),
                             policy=policy, tracer=tracer,
-                            metrics=metrics)
+                            metrics=metrics, telemetry=telemetry)
     for tenant in script["tenants"]:
         service.register_tenant(
             tenant["name"],
@@ -134,6 +140,7 @@ def run_script(
             for _ in range(int(action.get("count", 1))):
                 service.step()
     service.run_until_idle()
+    service.telemetry.flush(final=True)
     return service, tickets
 
 
@@ -174,6 +181,54 @@ def demo_api(*, n_events: int = 60, n_limit_toys: int = 400,
                          n_limit_toys=n_limit_toys, seed=seed),
     )
     return api
+
+
+def default_service_slo():
+    """The built-in SLO spec ``repro serve --health-out`` evaluates.
+
+    Generic over tenant rosters: the latency objective uses the
+    ``"*"`` selector, expanding into one evaluation per tenant seen in
+    the telemetry — the per-tenant coverage the health report is for.
+    Thresholds are sized for logical-clock runs (wait time in ticks).
+    """
+    from repro.obs.slo import Objective, SLOSpec
+
+    return SLOSpec(
+        name="recast-service-defaults",
+        revision=1,
+        objectives=(
+            Objective(
+                name="wait-p95-ceiling",
+                kind="quantile_ceiling",
+                series="service.wait_time",
+                quantile=0.95,
+                threshold=16.0,
+                tenant="*",
+                tolerated_breach_fraction=0.25,
+            ),
+            Objective(
+                name="commit-availability",
+                kind="availability",
+                series="service.commits",
+                bad_series="service.backend_failures",
+                threshold=0.99,
+            ),
+            Objective(
+                name="retry-rate-ceiling",
+                kind="ratio_ceiling",
+                series="service.lease_retries",
+                bad_series="service.leases",
+                threshold=0.5,
+            ),
+            Objective(
+                name="dedup-floor",
+                kind="ratio_floor",
+                series="service.dedup_hits",
+                bad_series="service.submissions",
+                threshold=0.1,
+            ),
+        ),
+    )
 
 
 def demo_script() -> dict:

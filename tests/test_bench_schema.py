@@ -74,6 +74,50 @@ class TestBaselineFiles:
         assert dedup["n_backend_executions"] < dedup["n_submissions"]
         assert record["workloads"]["replay"]["byte_identical"] is True
 
+    def test_obs_baseline_judges_overhead_honestly(self):
+        # Every overhead record must say whether the host was quiet
+        # enough for its measured number to mean anything, and carry
+        # the min-of-N convention it was timed under.
+        path = REPO_ROOT / "BENCH_obs.json"
+        record = json.loads(path.read_text(encoding="utf-8"))
+        workloads = record["workloads"]
+        for name in ("primitives", "campaign", "reconstruction",
+                     "service", "profile_build", "health_evaluate",
+                     "prom_render"):
+            assert name in workloads, name
+        for name in ("campaign", "reconstruction", "service"):
+            overhead = workloads[name]
+            assert overhead["timing"] == "min-of-N interleaved laps"
+            assert isinstance(overhead["overhead_meaningful"], bool)
+            assert overhead["jitter_pct"] >= 0.0
+            assert overhead["spread_pct"] >= overhead["jitter_pct"]
+            assert overhead["bit_identical"] is True, name
+            assert overhead["within_budget"] is True, name
+
+    def test_obs_service_overhead_claim_is_meaningful(self):
+        # The acceptance claim: telemetry-enabled service overhead is
+        # within the budget, and the host was quiet enough at record
+        # time for that claim to carry information.
+        path = REPO_ROOT / "BENCH_obs.json"
+        record = json.loads(path.read_text(encoding="utf-8"))
+        service = record["workloads"]["service"]
+        assert service["overhead_meaningful"] is True
+        assert service["implied_enabled_overhead_pct"] \
+            <= record["overhead_budget_pct"]
+        assert service["n_telemetry_observations"] > 0
+
+    def test_obs_report_machinery_workloads_recorded(self):
+        path = REPO_ROOT / "BENCH_obs.json"
+        record = json.loads(path.read_text(encoding="utf-8"))
+        profile = record["workloads"]["profile_build"]
+        assert profile["telescoping_ok"] is True
+        assert profile["items_per_second"] > 0
+        health = record["workloads"]["health_evaluate"]
+        assert health["verdict"] == "ok"
+        assert health["n_objectives"] >= 1
+        prom = record["workloads"]["prom_render"]
+        assert prom["n_exposition_lines"] > 0
+
     def test_columnar_baseline_claims_equivalence(self):
         # The columnar engine's contract: every recorded speedup comes
         # with its equivalence check passing at record time.

@@ -202,4 +202,12 @@ class TestSnapshot:
         registry = MetricsRegistry()
         registry.counter("findings", code="DAS113").inc()
         text = render_metrics(registry.snapshot())
-        assert "findings{code=DAS113}" in text
+        assert 'findings{code="DAS113"}' in text
+
+    def test_render_escapes_hostile_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("findings", path='a"b\\c\nd').inc()
+        text = render_metrics(registry.snapshot())
+        assert 'findings{path="a\\"b\\\\c\\nd"}' in text
+        # The escaped rendering stays one line per sample.
+        assert all(line.count("{") <= 1 for line in text.splitlines())

@@ -1,0 +1,225 @@
+"""Span profiling: telescoping identity, collapsed stacks, exports."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.profile import (
+    PROFILE_FORMAT,
+    UNIT_CALLS,
+    UNIT_MICROSECONDS,
+    SpanProfile,
+    render_profile,
+    validate_profile,
+)
+from repro.obs.report import export_spans
+from repro.obs.trace import Tracer
+
+
+def _span(name, span_id, parent_id, duration, status="ok"):
+    return {"name": name, "span_id": span_id, "parent_id": parent_id,
+            "duration": duration, "status": status}
+
+
+def _tree():
+    """root(7ms) -> a(3ms), b(2ms): 2ms of root self time."""
+    return [
+        _span("root", "s0", None, 0.007),
+        _span("a", "s1", "s0", 0.003),
+        _span("b", "s2", "s0", 0.002, status="error"),
+    ]
+
+
+class TestFolding:
+    def test_self_is_cum_minus_children(self):
+        profile = SpanProfile.from_spans(_tree())
+        by_path = {node.path: node for node in profile.nodes}
+        root = by_path[("root",)]
+        assert root.cum_us == 7000
+        assert root.self_us == 2000
+        assert by_path[("root", "a")].self_us == 3000
+        assert by_path[("root", "b")].errors == 1
+        assert profile.total_us == 7000
+
+    def test_self_times_sum_exactly_to_the_root_duration(self):
+        profile = SpanProfile.from_spans(_tree())
+        assert sum(node.self_us for node in profile.nodes) \
+            == profile.total_us
+
+    def test_parent_widened_when_children_outweigh_it(self):
+        spans = [
+            _span("root", "s0", None, 0.001),
+            _span("a", "s1", "s0", 0.002),
+        ]
+        profile = SpanProfile.from_spans(spans)
+        by_path = {node.path: node for node in profile.nodes}
+        # Rounding made the child exceed the parent: the parent is
+        # widened, never the child clamped.
+        assert by_path[("root",)].cum_us == 2000
+        assert by_path[("root",)].self_us == 0
+
+    def test_same_name_path_aggregates(self):
+        spans = [
+            _span("root", "s0", None, 0.010),
+            _span("step", "s1", "s0", 0.002),
+            _span("step", "s2", "s0", 0.003),
+        ]
+        profile = SpanProfile.from_spans(spans)
+        by_path = {node.path: node for node in profile.nodes}
+        step = by_path[("root", "step")]
+        assert step.calls == 2
+        assert step.cum_us == 5000
+        assert by_path[("root",)].self_us == 5000
+
+    def test_orphan_span_rejected(self):
+        spans = [_span("child", "s1", "missing", 0.001)]
+        with pytest.raises(ObservabilityError):
+            SpanProfile.from_spans(spans)
+
+    def test_child_before_parent_rejected(self):
+        spans = [
+            _span("a", "s1", "s0", 0.001),
+            _span("root", "s0", None, 0.002),
+        ]
+        with pytest.raises(ObservabilityError):
+            SpanProfile.from_spans(spans)
+
+    def test_empty_trace_folds_to_an_empty_profile(self):
+        profile = SpanProfile.from_spans([])
+        assert profile.nodes == []
+        assert profile.total_us == 0
+        assert profile.collapsed() == ""
+
+
+class TestDeterministicFallback:
+    def test_unit_switches_to_calls(self):
+        profile = SpanProfile.from_spans(_tree(), deterministic=True)
+        assert profile.unit == UNIT_CALLS
+        assert profile.deterministic
+
+    def test_collapsed_weights_are_call_counts(self):
+        spans = [
+            _span("root", "s0", None, 0.0),
+            _span("step", "s1", "s0", 0.0),
+            _span("step", "s2", "s0", 0.0),
+        ]
+        profile = SpanProfile.from_spans(spans, deterministic=True)
+        assert profile.collapsed() == "root 1\nroot;step 2\n"
+
+
+class TestCollapsed:
+    def test_frames_joined_with_semicolons(self):
+        lines = SpanProfile.from_spans(_tree()).collapsed().splitlines()
+        assert "root 2000" in lines
+        assert "root;a 3000" in lines
+        assert "root;b 2000" in lines
+
+    def test_zero_weight_nodes_skipped(self):
+        spans = [
+            _span("root", "s0", None, 0.001),
+            _span("a", "s1", "s0", 0.001),
+        ]
+        collapsed = SpanProfile.from_spans(spans).collapsed()
+        assert collapsed == "root;a 1000\n"
+
+    def test_collapsed_weights_sum_to_total(self):
+        profile = SpanProfile.from_spans(_tree())
+        weights = [int(line.rsplit(" ", 1)[1])
+                   for line in profile.collapsed().splitlines()]
+        assert sum(weights) == profile.total_us
+
+
+class TestExportAndValidation:
+    def test_document_round_trips_through_validation(self):
+        profile = SpanProfile.from_spans(_tree())
+        record = json.loads(profile.to_json_bytes())
+        assert record["format"] == PROFILE_FORMAT
+        assert record["unit"] == UNIT_MICROSECONDS
+        assert record["total_us"] == 7000
+        validate_profile(record)
+
+    def test_bytes_are_replay_stable(self):
+        first = SpanProfile.from_spans(_tree()).to_json_bytes()
+        second = SpanProfile.from_spans(_tree()).to_json_bytes()
+        assert first == second
+
+    def test_validation_catches_broken_telescoping(self):
+        record = json.loads(
+            SpanProfile.from_spans(_tree()).to_json_bytes())
+        record["nodes"][0]["self_us"] += 1
+        with pytest.raises(ObservabilityError):
+            validate_profile(record)
+
+    def test_validation_catches_total_mismatch(self):
+        record = json.loads(
+            SpanProfile.from_spans(_tree()).to_json_bytes())
+        record["total_us"] += 1
+        with pytest.raises(ObservabilityError):
+            validate_profile(record)
+
+    def test_validation_catches_missing_parent(self):
+        record = json.loads(
+            SpanProfile.from_spans(_tree()).to_json_bytes())
+        record["nodes"] = [node for node in record["nodes"]
+                           if node["path"] != ["root"]]
+        with pytest.raises(ObservabilityError):
+            validate_profile(record)
+
+    def test_validation_catches_duplicate_paths(self):
+        record = json.loads(
+            SpanProfile.from_spans(_tree()).to_json_bytes())
+        record["nodes"].append(dict(record["nodes"][0]))
+        with pytest.raises(ObservabilityError):
+            validate_profile(record)
+
+    def test_validation_rejects_unknown_unit(self):
+        record = json.loads(
+            SpanProfile.from_spans(_tree()).to_json_bytes())
+        record["unit"] = "furlongs"
+        with pytest.raises(ObservabilityError):
+            validate_profile(record)
+
+
+class TestTracerIntegration:
+    def _traced(self):
+        ticks = itertools.count()
+        tracer = Tracer("t", clock=lambda: float(next(ticks)))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        return tracer
+
+    def test_profile_from_real_spans(self):
+        tracer = self._traced()
+        spans = export_spans(tracer.spans)
+        profile = SpanProfile.from_spans(spans, trace_id="t")
+        by_path = {node.path: node for node in profile.nodes}
+        # outer spans ticks 0..3 (3 us-seconds), inner 1..2.
+        assert by_path[("outer",)].cum_us == 3_000_000
+        assert by_path[("outer", "inner")].cum_us == 1_000_000
+        assert by_path[("outer",)].self_us == 2_000_000
+        validate_profile(json.loads(profile.to_json_bytes()))
+
+    def test_deterministic_export_profiles_by_calls(self):
+        tracer = self._traced()
+        spans = export_spans(tracer.spans, deterministic=True)
+        profile = SpanProfile.from_spans(spans, trace_id="t",
+                                         deterministic=True)
+        assert profile.collapsed() == "outer 1\nouter;inner 1\n"
+
+
+class TestRendering:
+    def test_table_ranks_by_self_weight(self):
+        text = render_profile(SpanProfile.from_spans(_tree()))
+        lines = text.splitlines()
+        assert "total 7000 us" in lines[0]
+        # a (3000) ranks above root and b (2000 each).
+        assert lines[2].strip().startswith("3000")
+        assert "root;a" in lines[2]
+
+    def test_deterministic_header_names_the_fallback(self):
+        text = render_profile(
+            SpanProfile.from_spans(_tree(), deterministic=True))
+        assert "call counts" in text

@@ -1,0 +1,140 @@
+"""Prometheus text exposition: escaping, metadata, the round trip."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    escape_label_value,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+    unescape_label_value,
+)
+
+HOSTILE = 'a"b\\c\nd'
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("service.commits", tenant="a").inc(3)
+    registry.counter("service.commits", tenant="b").inc(1)
+    registry.gauge("queue.depth", tenant="a").set(2.5)
+    histogram = registry.histogram("wait", buckets=(1.0, 2.0))
+    for value in (0.5, 1.5, 5.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestNames:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("service.commits") \
+            == "service_commits"
+
+    def test_colons_and_underscores_survive(self):
+        assert sanitize_metric_name("a:b_c") == "a:b_c"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("2pc.aborts") == "_2pc_aborts"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ObservabilityError):
+            sanitize_metric_name("")
+
+
+class TestEscaping:
+    def test_the_three_escapes(self):
+        assert escape_label_value(HOSTILE) == 'a\\"b\\\\c\\nd'
+
+    def test_round_trip(self):
+        assert unescape_label_value(escape_label_value(HOSTILE)) \
+            == HOSTILE
+
+    def test_unknown_escapes_pass_through(self):
+        assert unescape_label_value("a\\tb") == "a\\tb"
+
+
+class TestRendering:
+    def test_counters_gain_the_total_suffix(self):
+        text = render_prometheus(_registry().snapshot())
+        assert 'service_commits_total{tenant="a"} 3' in text
+        assert 'service_commits_total{tenant="b"} 1' in text
+
+    def test_help_and_type_precede_each_family(self):
+        lines = render_prometheus(_registry().snapshot()).splitlines()
+        type_line = lines.index("# TYPE service_commits_total counter")
+        assert lines[type_line - 1] \
+            == "# HELP service_commits_total " \
+               "repro metric service_commits_total"
+        assert "# TYPE queue_depth gauge" in lines
+        assert "# TYPE wait histogram" in lines
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        lines = render_prometheus(_registry().snapshot()).splitlines()
+        assert 'wait_bucket{le="1.0"} 1' in lines
+        assert 'wait_bucket{le="2.0"} 2' in lines
+        assert 'wait_bucket{le="+Inf"} 3' in lines
+        assert "wait_sum 7.0" in lines
+        assert "wait_count 3" in lines
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", path=HOSTILE).inc()
+        text = render_prometheus(registry.snapshot())
+        assert 'hits_total{path="a\\"b\\\\c\\nd"} 1' in text
+        # The raw newline never leaks into the line structure.
+        assert HOSTILE not in text
+
+    def test_exactly_one_trailing_newline(self):
+        text = render_prometheus(_registry().snapshot())
+        assert text.endswith("\n")
+        assert not text.endswith("\n\n")
+
+    def test_empty_snapshot_renders_a_comment(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) \
+            == "# (no metrics recorded)\n"
+
+    def test_family_kind_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.gauge("x_total").set(1.0)
+        with pytest.raises(ObservabilityError):
+            render_prometheus(registry.snapshot())
+
+    def test_rendering_is_deterministic(self):
+        assert render_prometheus(_registry().snapshot()) \
+            == render_prometheus(_registry().snapshot())
+
+
+class TestRoundTrip:
+    def test_parse_recovers_families_and_samples(self):
+        families = parse_prometheus(
+            render_prometheus(_registry().snapshot()))
+        assert families["service_commits_total"]["kind"] == "counter"
+        assert ("service_commits_total", {"tenant": "a"}, 3.0) \
+            in families["service_commits_total"]["samples"]
+        assert families["queue_depth"]["samples"] \
+            == [("queue_depth", {"tenant": "a"}, 2.5)]
+
+    def test_parse_recovers_hostile_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", path=HOSTILE).inc()
+        families = parse_prometheus(
+            render_prometheus(registry.snapshot()))
+        (_, labels, value), = families["hits_total"]["samples"]
+        assert labels == {"path": HOSTILE}
+        assert value == 1.0
+
+    def test_parse_recovers_cumulative_buckets(self):
+        families = parse_prometheus(
+            render_prometheus(_registry().snapshot()))
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in families["wait"]["samples"]
+            if name == "wait_bucket"
+        ]
+        assert buckets == [("1.0", 1.0), ("2.0", 2.0), ("+Inf", 3.0)]
+
+    def test_sample_before_type_line_rejected(self):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus("orphan 1\n")

@@ -1,0 +1,263 @@
+"""The SLO spec, the health engine, and verdict semantics."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.slo import (
+    HEALTH_FORMAT,
+    SLO_FORMAT,
+    VERDICT_DEGRADED,
+    VERDICT_FAILING,
+    VERDICT_OK,
+    HealthReport,
+    Objective,
+    SLOSpec,
+    evaluate_slo,
+    render_health,
+    validate_health_report,
+)
+from repro.obs.telemetry import TelemetryHub, WindowSpec
+from repro.runtime import LogicalClock
+
+
+def _quantile_objective(threshold, tolerated=0.0, tenant=""):
+    return Objective(name="latency", kind="quantile_ceiling",
+                     series="wait", quantile=0.95,
+                     threshold=threshold, tenant=tenant,
+                     tolerated_breach_fraction=tolerated)
+
+
+def _spec(*objectives):
+    return SLOSpec(name="test", objectives=tuple(objectives))
+
+
+def _snapshot(values_by_window, tenant="a", name="wait"):
+    """A telemetry snapshot with one value list per 4-tick window."""
+    clock = LogicalClock()
+    hub = TelemetryHub(clock, spec=WindowSpec(width=4.0))
+    for values in values_by_window:
+        for value in values:
+            hub.observe(name, value, tenant=tenant)
+        clock.advance(4.0)
+    hub.flush(final=True)
+    return hub.snapshot(deterministic=True)
+
+
+class TestObjectiveValidation:
+    def test_known_kinds_only(self):
+        with pytest.raises(ObservabilityError):
+            Objective(name="x", kind="sparkle", series="s",
+                      threshold=1.0)
+
+    def test_quantile_must_sit_on_the_grid(self):
+        with pytest.raises(ObservabilityError):
+            Objective(name="x", kind="quantile_ceiling", series="s",
+                      quantile=0.42, threshold=1.0)
+
+    def test_ratio_kinds_need_a_denominator(self):
+        with pytest.raises(ObservabilityError):
+            Objective(name="x", kind="availability", series="good",
+                      threshold=0.9)
+
+    def test_breach_budget_bounded(self):
+        with pytest.raises(ObservabilityError):
+            _quantile_objective(1.0, tolerated=1.5)
+
+    def test_round_trip(self):
+        objective = _quantile_objective(3.0, tolerated=0.25,
+                                        tenant="*")
+        assert Objective.from_dict(objective.to_dict()) == objective
+
+    def test_unknown_fields_rejected(self):
+        record = _quantile_objective(3.0).to_dict()
+        record["severity"] = "high"
+        with pytest.raises(ObservabilityError):
+            Objective.from_dict(record)
+
+
+class TestSLOSpec:
+    def test_duplicate_objective_names_rejected(self):
+        with pytest.raises(ObservabilityError):
+            _spec(_quantile_objective(1.0), _quantile_objective(2.0))
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ObservabilityError):
+            SLOSpec(name="empty", objectives=())
+
+    def test_versioned_round_trip(self):
+        spec = SLOSpec(name="v", revision=3,
+                       objectives=(_quantile_objective(1.0),))
+        record = spec.to_dict()
+        assert record["format"] == SLO_FORMAT
+        assert SLOSpec.from_dict(record) == spec
+
+    def test_load_rejects_wrong_envelope(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ObservabilityError):
+            SLOSpec.load(path)
+
+    def test_load_round_trips_from_disk(self, tmp_path):
+        spec = _spec(_quantile_objective(2.0))
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert SLOSpec.load(path) == spec
+
+
+class TestQuantileCeiling:
+    def test_ok_when_every_window_meets_the_ceiling(self):
+        snapshot = _snapshot([[1.0, 2.0], [2.0, 3.0]])
+        report = evaluate_slo(_spec(_quantile_objective(5.0)), snapshot)
+        assert report.verdict == VERDICT_OK
+        assert report.objectives[0]["windows_evaluated"] == 2
+
+    def test_failing_when_breaches_exceed_the_budget(self):
+        snapshot = _snapshot([[10.0], [10.0]])
+        report = evaluate_slo(_spec(_quantile_objective(5.0)), snapshot)
+        assert report.verdict == VERDICT_FAILING
+        assert len(report.objectives[0]["breaches"]) == 2
+
+    def test_degraded_within_the_breach_budget(self):
+        snapshot = _snapshot([[1.0], [10.0], [1.0], [1.0]])
+        report = evaluate_slo(
+            _spec(_quantile_objective(5.0, tolerated=0.25)), snapshot)
+        assert report.verdict == VERDICT_DEGRADED
+
+    def test_breach_carries_window_provenance(self):
+        snapshot = _snapshot([[1.0], [10.0]])
+        report = evaluate_slo(_spec(_quantile_objective(5.0)), snapshot)
+        breach = report.objectives[0]["breaches"][0]
+        assert breach["window_start"] == 4.0
+        assert breach["window_end"] == 8.0
+        assert breach["observed"] == 10.0
+
+    def test_no_traffic_is_ok_not_failing(self):
+        snapshot = _snapshot([], name="other")
+        report = evaluate_slo(_spec(_quantile_objective(1.0)), snapshot)
+        assert report.verdict == VERDICT_OK
+
+
+class TestRatioKinds:
+    def _two_series(self, good, bad):
+        clock = LogicalClock()
+        hub = TelemetryHub(clock, spec=WindowSpec(width=4.0))
+        for _ in range(good):
+            hub.event("good", tenant="a")
+        for _ in range(bad):
+            hub.event("bad", tenant="a")
+        hub.flush(final=True)
+        return hub.snapshot(deterministic=True)
+
+    def test_availability_floor(self):
+        objective = Objective(name="avail", kind="availability",
+                              series="good", bad_series="bad",
+                              threshold=0.9)
+        ok = evaluate_slo(_spec(objective), self._two_series(99, 1))
+        assert ok.verdict == VERDICT_OK
+        failing = evaluate_slo(_spec(objective),
+                               self._two_series(8, 2))
+        assert failing.verdict == VERDICT_FAILING
+        assert failing.objectives[0]["observed"] == 0.8
+
+    def test_ratio_ceiling(self):
+        objective = Objective(name="retry-rate", kind="ratio_ceiling",
+                              series="good", bad_series="bad",
+                              threshold=0.5)
+        # good/bad = 2/10 <= 0.5.
+        assert evaluate_slo(_spec(objective),
+                            self._two_series(2, 10)).verdict \
+            == VERDICT_OK
+        assert evaluate_slo(_spec(objective),
+                            self._two_series(8, 10)).verdict \
+            == VERDICT_FAILING
+
+    def test_ratio_floor(self):
+        objective = Objective(name="dedup", kind="ratio_floor",
+                              series="good", bad_series="bad",
+                              threshold=0.25)
+        assert evaluate_slo(_spec(objective),
+                            self._two_series(5, 10)).verdict \
+            == VERDICT_OK
+        assert evaluate_slo(_spec(objective),
+                            self._two_series(1, 10)).verdict \
+            == VERDICT_FAILING
+
+    def test_aggregate_breach_has_no_window(self):
+        objective = Objective(name="avail", kind="availability",
+                              series="good", bad_series="bad",
+                              threshold=0.99)
+        report = evaluate_slo(_spec(objective), self._two_series(1, 1))
+        breach = report.objectives[0]["breaches"][0]
+        assert breach["window_start"] is None
+
+
+class TestTenantExpansion:
+    def _multi_tenant(self):
+        clock = LogicalClock()
+        hub = TelemetryHub(clock, spec=WindowSpec(width=4.0))
+        hub.observe("wait", 1.0, tenant="a")
+        hub.observe("wait", 9.0, tenant="b")
+        hub.flush(final=True)
+        return hub.snapshot(deterministic=True)
+
+    def test_star_expands_per_tenant_sorted(self):
+        report = evaluate_slo(
+            _spec(_quantile_objective(5.0, tenant="*")),
+            self._multi_tenant())
+        assert [row["tenant"] for row in report.objectives] \
+            == ["a", "b"]
+        assert [row["verdict"] for row in report.objectives] \
+            == [VERDICT_OK, VERDICT_FAILING]
+        assert report.verdict == VERDICT_FAILING
+
+    def test_concrete_tenant_selects_one_series(self):
+        report = evaluate_slo(
+            _spec(_quantile_objective(5.0, tenant="a")),
+            self._multi_tenant())
+        assert report.verdict == VERDICT_OK
+
+
+class TestHealthReport:
+    def _report(self):
+        return evaluate_slo(_spec(_quantile_objective(5.0)),
+                            _snapshot([[1.0], [10.0]]))
+
+    def test_canonical_bytes_round_trip(self):
+        report = self._report()
+        record = json.loads(report.to_json_bytes())
+        assert record["format"] == HEALTH_FORMAT
+        loaded = HealthReport.from_dict(record)
+        assert loaded.to_json_bytes() == report.to_json_bytes()
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "health.json"
+        report = self._report()
+        report.save(path)
+        assert HealthReport.load(path).verdict == report.verdict
+
+    def test_exit_codes_follow_verdicts(self):
+        report = self._report()
+        assert report.exit_code() == 2
+        assert not report.ok
+        ok = evaluate_slo(_spec(_quantile_objective(100.0)),
+                          _snapshot([[1.0]]))
+        assert ok.exit_code() == 0
+        assert ok.ok
+
+    def test_validation_catches_tampering(self):
+        record = json.loads(self._report().to_json_bytes())
+        record["verdict"] = "sparkling"
+        with pytest.raises(ObservabilityError):
+            validate_health_report(record)
+        record = json.loads(self._report().to_json_bytes())
+        del record["objectives"][0]["breaches"]
+        with pytest.raises(ObservabilityError):
+            validate_health_report(record)
+
+    def test_render_names_breaches(self):
+        text = render_health(self._report())
+        assert "FAILING" in text
+        assert "window [4.0, 8.0)" in text
+        assert "latency" in text

@@ -1,0 +1,270 @@
+"""Windowed telemetry: grids, exact quantiles, the hub, determinism."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.telemetry import (
+    DEFAULT_WINDOW_BUCKETS,
+    QUANTILE_GRID,
+    TELEMETRY_FORMAT,
+    TelemetryHub,
+    WindowedSeries,
+    WindowSpec,
+    exact_quantile,
+    quantile_label,
+    validate_telemetry_snapshot,
+)
+from repro.runtime import Clock, LogicalClock, MonotonicClock
+
+
+class TestWindowSpec:
+    def test_tumbling_default(self):
+        spec = WindowSpec(width=8.0)
+        assert spec.stride == 8.0
+        assert spec.kind == "tumbling"
+
+    def test_sliding_when_stride_under_width(self):
+        spec = WindowSpec(width=8.0, stride=2.0)
+        assert spec.kind == "sliding"
+
+    def test_tumbling_assigns_each_instant_one_window(self):
+        spec = WindowSpec(width=4.0)
+        assert list(spec.indices_for(0.0)) == [0]
+        assert list(spec.indices_for(3.999)) == [0]
+        # Half-open upper edge: 4.0 belongs to the next window.
+        assert list(spec.indices_for(4.0)) == [1]
+
+    def test_sliding_covers_each_instant_width_over_stride_times(self):
+        spec = WindowSpec(width=4.0, stride=2.0)
+        assert list(spec.indices_for(0.5)) == [0]
+        assert list(spec.indices_for(2.5)) == [0, 1]
+        assert list(spec.indices_for(4.5)) == [1, 2]
+
+    def test_exact_grid_point_excluded_from_closing_window(self):
+        spec = WindowSpec(width=4.0, stride=2.0)
+        # t=4.0 is the exclusive end of window 0 ([0, 4)).
+        assert list(spec.indices_for(4.0)) == [1, 2]
+
+    def test_window_boundaries(self):
+        spec = WindowSpec(width=4.0, stride=2.0)
+        assert spec.start_of(3) == 6.0
+        assert spec.end_of(3) == 10.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ObservabilityError):
+            WindowSpec(width=4.0).indices_for(-0.1)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ObservabilityError):
+            WindowSpec(width=0.0)
+        with pytest.raises(ObservabilityError):
+            WindowSpec(width=4.0, stride=8.0)
+        with pytest.raises(ObservabilityError):
+            WindowSpec(width=4.0, stride=0.0)
+
+    def test_round_trip(self):
+        spec = WindowSpec(width=8.0, stride=2.0)
+        assert WindowSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ObservabilityError):
+            WindowSpec.from_dict({"width": 4.0, "anchor": 1.0})
+
+
+class TestExactQuantile:
+    def test_matches_inverse_cdf_definition(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert exact_quantile(values, 0.5) == 2.0
+        assert exact_quantile(values, 0.9) == 4.0
+        assert exact_quantile(values, 1.0) == 4.0
+
+    def test_returns_an_observed_value(self):
+        values = [0.1, 100.0]
+        for q in QUANTILE_GRID:
+            assert exact_quantile(values, q) in values
+
+    def test_empty_and_out_of_range_rejected(self):
+        with pytest.raises(ObservabilityError):
+            exact_quantile([], 0.5)
+        with pytest.raises(ObservabilityError):
+            exact_quantile([1.0], 0.0)
+        with pytest.raises(ObservabilityError):
+            exact_quantile([1.0], 1.5)
+
+    def test_quantile_labels(self):
+        assert [quantile_label(q) for q in QUANTILE_GRID] == \
+            ["p50", "p90", "p95", "p99", "p100"]
+
+
+class TestWindowedSeries:
+    def _series(self, **kwargs):
+        return WindowedSeries("s", (), WindowSpec(width=4.0), **kwargs)
+
+    def test_close_reduces_passed_windows_only(self):
+        series = self._series()
+        series.observe(0.0, 1.0)
+        series.observe(5.0, 2.0)
+        assert series.close_upto(5.0) == 1
+        assert len(series.windows) == 1
+        assert series.windows[0].start == 0.0
+        assert series.windows[0].count == 1
+
+    def test_final_flush_closes_open_windows(self):
+        series = self._series()
+        series.observe(5.0, 2.0)
+        assert series.close_upto(5.0) == 0
+        assert series.close_upto(5.0, final=True) == 1
+
+    def test_empty_windows_emit_nothing(self):
+        series = self._series()
+        series.observe(9.0, 1.0)  # window [8, 12) only
+        series.close_upto(100.0)
+        assert [w.start for w in series.windows] == [8.0]
+
+    def test_window_aggregates_are_exact(self):
+        series = self._series(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            series.observe(1.0, value)
+        series.close_upto(4.0)
+        window = series.windows[0]
+        assert window.count == 4
+        assert window.sum == 6.5
+        assert (window.min, window.max) == (0.5, 3.0)
+        # Inclusive upper bounds, trailing overflow.
+        assert window.bucket_counts == (1, 2, 1)
+        record = window.to_dict()
+        assert record["quantiles"]["p50"] == 1.5
+        assert record["quantiles"]["p100"] == 3.0
+
+    def test_sliding_observation_lands_in_every_covering_window(self):
+        series = WindowedSeries("s", (),
+                                WindowSpec(width=4.0, stride=2.0))
+        series.observe(2.5, 7.0)
+        series.close_upto(100.0)
+        assert [w.start for w in series.windows] == [0.0, 2.0]
+        assert all(w.count == 1 for w in series.windows)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ObservabilityError):
+            self._series(buckets=())
+        with pytest.raises(ObservabilityError):
+            self._series(buckets=(2.0, 1.0))
+
+    def test_timing_series_normalized_deterministically(self):
+        series = WindowedSeries("backend_seconds", (),
+                                WindowSpec(width=4.0))
+        series.observe(0.0, 3.25)
+        series.close_upto(4.0)
+        record = series.to_dict(deterministic=True)
+        window = record["windows"][0]
+        assert window["count"] == 1  # counts survive
+        assert window["sum"] == 0.0
+        assert window["max"] == 0.0
+        assert set(window["quantiles"].values()) == {0.0}
+        real = series.to_dict(deterministic=False)
+        assert real["windows"][0]["sum"] == 3.25
+
+
+class TestTelemetryHub:
+    def test_series_identity_by_name_and_labels(self):
+        hub = TelemetryHub(LogicalClock())
+        a = hub.series("s", tenant="a")
+        assert hub.series("s", tenant="a") is a
+        assert hub.series("s", tenant="b") is not a
+
+    def test_conflicting_buckets_rejected(self):
+        hub = TelemetryHub(LogicalClock())
+        hub.series("s", buckets=(1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            hub.series("s", buckets=(5.0,))
+
+    def test_observe_reads_the_injected_clock(self):
+        clock = LogicalClock()
+        hub = TelemetryHub(clock, spec=WindowSpec(width=4.0))
+        hub.observe("s", 1.0)
+        clock.advance(6.0)
+        hub.observe("s", 2.0)
+        hub.flush()
+        snapshot = hub.snapshot()
+        assert [w["start"] for w in snapshot["series"][0]["windows"]] \
+            == [0.0]
+        hub.flush(final=True)
+        snapshot = hub.snapshot()
+        assert [w["start"] for w in snapshot["series"][0]["windows"]] \
+            == [0.0, 4.0]
+
+    def test_disabled_hub_records_nothing(self):
+        hub = TelemetryHub(LogicalClock(), enabled=False)
+        hub.observe("s", 1.0)
+        hub.event("e")
+        assert hub.flush(final=True) == 0
+        assert hub.n_observations == 0
+        assert hub.snapshot()["series"] == []
+
+    def test_event_is_a_unit_observation(self):
+        clock = LogicalClock()
+        hub = TelemetryHub(clock, spec=WindowSpec(width=4.0))
+        hub.event("hits", tenant="t")
+        hub.event("hits", tenant="t")
+        hub.flush(final=True)
+        window = hub.snapshot()["series"][0]["windows"][0]
+        assert window["count"] == 2
+        assert window["sum"] == 2.0
+
+    def test_snapshot_bytes_are_replay_stable(self):
+        def run() -> bytes:
+            clock = LogicalClock()
+            hub = TelemetryHub(clock, spec=WindowSpec(width=2.0))
+            for step in range(10):
+                hub.observe("depth", step % 3, tenant="a")
+                hub.event("hits", tenant="b")
+                clock.advance()
+                hub.flush()
+            hub.flush(final=True)
+            return hub.to_json_bytes(deterministic=True)
+
+        assert run() == run()
+
+    def test_snapshot_validates_and_carries_envelope(self):
+        hub = TelemetryHub(LogicalClock())
+        hub.event("hits")
+        hub.flush(final=True)
+        snapshot = json.loads(hub.to_json_bytes())
+        assert snapshot["format"] == TELEMETRY_FORMAT
+        validate_telemetry_snapshot(snapshot)
+
+    def test_validation_rejects_malformed_snapshots(self):
+        with pytest.raises(ObservabilityError):
+            validate_telemetry_snapshot([])
+        with pytest.raises(ObservabilityError):
+            validate_telemetry_snapshot({"format": "nope"})
+        hub = TelemetryHub(LogicalClock())
+        hub.event("hits")
+        hub.flush(final=True)
+        snapshot = hub.snapshot()
+        snapshot["series"][0]["windows"][0]["bucket_counts"] = [1]
+        with pytest.raises(ObservabilityError):
+            validate_telemetry_snapshot(snapshot)
+
+
+class TestClockInterface:
+    def test_logical_and_monotonic_share_the_interface(self):
+        assert isinstance(LogicalClock(), Clock)
+        assert isinstance(MonotonicClock(), Clock)
+
+    def test_monotonic_clock_advances_itself(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        assert clock.advance() >= first
+
+    def test_hub_accepts_the_production_clock(self):
+        hub = TelemetryHub(MonotonicClock(), spec=WindowSpec(width=1e9))
+        hub.event("hits")
+        hub.flush(final=True)
+        assert hub.snapshot()["series"][0]["n_observations"] == 1
+
+    def test_default_buckets_strictly_ascend(self):
+        assert list(DEFAULT_WINDOW_BUCKETS) == \
+            sorted(DEFAULT_WINDOW_BUCKETS)
